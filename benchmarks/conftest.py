@@ -1,0 +1,49 @@
+"""Shared plumbing for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, prints
+the formatted result, and archives the raw dict under
+``benchmarks/_results/`` so EXPERIMENTS.md can cite measured numbers.
+
+Scale is controlled by ``REPRO_SCALE`` (smoke/quick/full).  The default
+is *smoke* so ``pytest benchmarks/ --benchmark-only`` finishes in
+minutes; use quick/full for paper-grade runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.presets import SMOKE, scale_from_env
+
+RESULTS_DIR = Path(__file__).parent / "_results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return scale_from_env(default=SMOKE)
+
+
+@pytest.fixture
+def record_result():
+    """Persist an experiment result and echo its formatted rendering."""
+
+    def _record(experiment_id: str, result: dict, formatted: str | None = None):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id}.json"
+        with path.open("w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, default=str)
+        if formatted:
+            print()
+            print(formatted)
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,31 @@
+"""Footnote 1 ablation: last-address and stride-value predictors are
+redundant next to LVP/SAP/CVP/CAP."""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import frac, pct, render_table
+
+
+def test_ablation_footnote1(benchmark, record_result, scale):
+    result = run_once(benchmark, exp.ablation_footnote1, scale)
+    rows = [
+        ["LAP alone", pct(result["standalone"]["lap"]), "-"],
+        ["SVP alone", pct(result["standalone"]["svp"]), "-"],
+        ["composite (4 components)",
+         pct(result["composite_four"]["speedup"]),
+         frac(result["composite_four"]["coverage"])],
+        ["composite (4 + LAP + SVP)",
+         pct(result["composite_six"]["speedup"]),
+         frac(result["composite_six"]["coverage"])],
+    ]
+    record_result(
+        "ablation_footnote1", result,
+        "Footnote 1 -- LAP/SVP redundancy ablation "
+        "(paper: 'limited or no benefit')\n"
+        + render_table(["design", "speedup", "coverage"], rows),
+    )
+    # The extras add essentially nothing on top of the four, despite
+    # adding 50% more predictor storage.
+    assert abs(result["speedup_benefit_of_extras"]) < 0.004
+    assert result["coverage_benefit_of_extras"] < 0.05

@@ -1,0 +1,20 @@
+"""Figure 11: composite vs the EVES championship predictor."""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import format_fig11
+
+
+def test_fig11_vs_eves(benchmark, record_result, scale):
+    result = run_once(benchmark, exp.fig11_vs_eves, scale)
+    record_result("fig11", result, format_fig11(result))
+
+    contenders = result["contenders"]
+    summary = result["composite96_vs_eves32"]
+    # The composite at 9.6KB delivers substantially more coverage than
+    # EVES at 32KB (paper: +133%).
+    assert summary["coverage_increase"] > 0.25
+    # And at least matches its speedup (paper: +55%).
+    assert contenders["composite-9.6kb"]["speedup"] >= \
+        contenders["eves-32kb"]["speedup"] - 0.002

@@ -1,0 +1,42 @@
+"""Figure 12: per-workload composite (9.6KB) vs EVES (32KB).
+
+Run with ``REPRO_SCALE=full`` to sweep all 85 workloads as the paper
+does; the default smoke/quick scales use the representative subset.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import frac, pct, render_table
+
+
+def test_fig12_per_workload(benchmark, record_result, scale):
+    result = run_once(benchmark, exp.fig12_per_workload, scale)
+    rows = [
+        [
+            wl, pct(row["composite_speedup"]), pct(row["eves_speedup"]),
+            frac(row["composite_coverage"]), frac(row["eves_coverage"]),
+        ]
+        for wl, row in sorted(result["per_workload"].items())
+    ]
+    average = result["average"]
+    rows.append([
+        "AVERAGE", pct(average["composite_speedup"]),
+        pct(average["eves_speedup"]), frac(average["composite_coverage"]),
+        frac(average["eves_coverage"]),
+    ])
+    record_result(
+        "fig12", result,
+        "Figure 12 -- per workload, composite(9.6KB) vs EVES(32KB)\n"
+        + render_table(
+            ["workload", "comp speedup", "eves speedup",
+             "comp coverage", "eves coverage"],
+            rows,
+        )
+        + f"\nwins: composite {result['composite_wins']}, "
+          f"eves {result['eves_wins']} (paper: 67 vs 9 of 85)",
+    )
+    # The composite wins the workload-level comparison decisively.
+    assert result["composite_wins"] > result["eves_wins"]
+    # Coverage advantage holds on average.
+    assert average["composite_coverage"] > average["eves_coverage"]

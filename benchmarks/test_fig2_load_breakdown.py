@@ -1,0 +1,21 @@
+"""Figure 2: oracle load breakdown by pattern."""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import frac, render_table
+
+
+def test_fig2_load_breakdown(benchmark, record_result, scale):
+    result = run_once(benchmark, exp.fig2_load_breakdown, scale)
+    rows = [[p.split(" ")[0], frac(f)] for p, f in result["average"].items()]
+    record_result(
+        "fig2", result,
+        "Figure 2 -- load breakdown (paper: roughly even thirds)\n"
+        + render_table(["pattern", "fraction"], rows),
+    )
+    average = result["average"]
+    assert abs(sum(average.values()) - 1.0) < 1e-9
+    # "...almost evenly split": every pattern holds a substantial share.
+    assert all(fraction > 0.15 for fraction in average.values())
+    assert all(fraction < 0.60 for fraction in average.values())

@@ -1,0 +1,24 @@
+"""Figure 3: per-component speedup vs table entries."""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import format_fig3
+
+
+def test_fig3_component_speedup(benchmark, record_result, scale):
+    result = run_once(
+        benchmark, exp.fig3_component_speedup, scale,
+        sizes=(64, 256, 1024, 4096),
+    )
+    record_result("fig3", result, format_fig3(result))
+
+    curves = result["speedup"]
+    # Address predictors dominate value predictors on this suite, as in
+    # the paper's Figure 3 (SAP/CAP > LVP/CVP at matched sizes).
+    assert max(curves["sap"].values()) >= max(curves["lvp"].values())
+    # Scaling beyond the knee buys little: 4K entries is within a small
+    # margin of the best smaller configuration for every predictor.
+    for name, curve in curves.items():
+        best_small = max(v for s, v in curve.items() if s < 4096)
+        assert curve[4096] <= best_small + 0.02, name

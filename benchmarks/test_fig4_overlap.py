@@ -1,0 +1,23 @@
+"""Figure 4: how many components cover each predicted load."""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import frac, render_table
+
+
+def test_fig4_overlap(benchmark, record_result, scale):
+    result = run_once(benchmark, exp.fig4_overlap, scale, per_component=1024)
+    rows = [[f"{k} predictor(s)", frac(v)]
+            for k, v in result["by_count"].items()]
+    rows.append(["multiple (>=2)", frac(result["multiple_fraction"])])
+    record_result(
+        "fig4", result,
+        "Figure 4 -- predictions per load (paper: 66% multi-covered)\n"
+        + render_table(["covered by", "fraction of predicted"], rows),
+    )
+    # Significant overlap between components...
+    assert result["multiple_fraction"] > 0.25
+    # ...and the address predictors pick up most single-covered loads.
+    sole = result["sole_predictor"]
+    assert sole["sap"] + sole["cap"] > sole["lvp"] + sole["cvp"]

@@ -1,0 +1,27 @@
+"""Figure 5: homogeneous composite vs the best single component."""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import format_fig5
+
+
+def test_fig5_composite_vs_component(benchmark, record_result, scale):
+    result = run_once(
+        benchmark, exp.fig5_composite_vs_component, scale,
+        totals=(256, 1024, 4096),
+    )
+    record_result("fig5", result, format_fig5(result))
+
+    totals = result["totals"]
+    # Except possibly at the smallest configuration, the composite
+    # matches or exceeds the best component (the paper's Figure 5
+    # finding); the tolerance absorbs short-trace timing noise.
+    for total, row in totals.items():
+        if total >= 1024:
+            assert row["composite"] >= row["best_component"] - 0.004, total
+    # And somewhere in the sweep the composite shows a clear win.
+    assert any(
+        row["composite"] > row["best_component"]
+        for row in totals.values()
+    )

@@ -1,0 +1,23 @@
+"""Figure 6: throttling speedup from the accuracy monitors."""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import pct, render_table
+
+
+def test_fig6_accuracy_monitor(benchmark, record_result, scale):
+    result = run_once(benchmark, exp.fig6_accuracy_monitor, scale,
+                      per_component=256)
+    rows = [[label, pct(v)] for label, v in result["speedup"].items()]
+    record_result(
+        "fig6", result,
+        "Figure 6 -- accuracy monitors (paper: PC-AM >= M-AM >= base)\n"
+        + render_table(["variant", "speedup"], rows),
+    )
+    speedups = result["speedup"]
+    # PC-AM outperforms (or at least matches) M-AM, the paper's main
+    # Figure 6 conclusion.
+    assert speedups["pc-am-64"] >= speedups["m-am"] - 0.002
+    # The finite PC-AM performs nearly as well as the infinite one.
+    assert speedups["pc-am-64"] >= speedups["pc-am-infinite"] - 0.005

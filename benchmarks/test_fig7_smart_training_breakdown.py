@@ -1,0 +1,39 @@
+"""Figure 7: prediction multiplicity and training effort +- smart training."""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import frac, render_table
+
+
+def test_fig7_smart_training_breakdown(benchmark, record_result, scale):
+    result = run_once(
+        benchmark, exp.fig7_smart_training, scale,
+        per_component_sizes=(256, 1024),
+    )
+    rows = []
+    for per, row in result["sizes"].items():
+        rows.append([
+            per,
+            frac(row["train_all"]["multiple_prediction_fraction"]),
+            frac(row["smart"]["multiple_prediction_fraction"]),
+            f'{row["train_all"]["avg_predictors_trained"]:.2f}',
+            f'{row["smart"]["avg_predictors_trained"]:.2f}',
+        ])
+    record_result(
+        "fig7", result,
+        "Figure 7 -- multiplicity / predictors trained "
+        "(paper @1K: 62% -> 12%, trained ~1)\n"
+        + render_table(
+            ["entries", "multi (all)", "multi (smart)",
+             "trained (all)", "trained (smart)"],
+            rows,
+        ),
+    )
+    for per, row in result["sizes"].items():
+        # Smart training significantly reduces redundant predictions...
+        assert row["smart"]["multiple_prediction_fraction"] < \
+            0.55 * row["train_all"]["multiple_prediction_fraction"]
+        # ...and cuts training operations well below train-all's 4.
+        assert row["train_all"]["avg_predictors_trained"] > 3.9
+        assert row["smart"]["avg_predictors_trained"] < 2.6

@@ -1,0 +1,22 @@
+"""Table I: the four-component predictor taxonomy."""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import render_table
+
+
+def test_table1_taxonomy(benchmark, record_result):
+    result = run_once(benchmark, exp.table1_taxonomy)
+    rows = [
+        [r["predictor"], r["predicts"], r["context"]]
+        for r in result["rows"]
+    ]
+    record_result(
+        "table1", result,
+        "Table I -- component predictor taxonomy\n"
+        + render_table(["predictor", "predicts", "context"], rows),
+    )
+    assert {r["predictor"] for r in result["rows"]} == {
+        "LVP", "SAP", "CVP", "CAP"
+    }

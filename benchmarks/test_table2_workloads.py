@@ -1,0 +1,20 @@
+"""Table II: the 85-workload population."""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import render_table
+
+
+def test_table2_workloads(benchmark, record_result):
+    result = run_once(benchmark, exp.table2_workloads)
+    rows = [
+        [family, len(workloads), ", ".join(workloads[:6]) + ", ..."]
+        for family, workloads in result["families"].items()
+    ]
+    record_result(
+        "table2", result,
+        "Table II -- workloads by family\n"
+        + render_table(["family", "count", "members"], rows),
+    )
+    assert result["total"] == 85  # the paper's workload count

@@ -1,0 +1,18 @@
+"""Table III: baseline core configuration."""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import render_table
+
+
+def test_table3_core_config(benchmark, record_result):
+    result = run_once(benchmark, exp.table3_core_config)
+    rows = [[key, value] for key, value in result.items()]
+    record_result(
+        "table3", result,
+        "Table III -- baseline core (Skylake-like)\n"
+        + render_table(["parameter", "value"], rows),
+    )
+    assert result["rob/iq/ldq/stq"] == (224, 97, 72, 56)
+    assert result["fetch_to_execute"] == 13

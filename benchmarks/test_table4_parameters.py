@@ -1,0 +1,31 @@
+"""Table IV: predictor parameters, FPC vectors, and storage."""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import render_table
+
+
+def test_table4_parameters(benchmark, record_result):
+    result = run_once(benchmark, exp.table4_parameters)
+    rows = [
+        [
+            r["predictor"], r["bits_per_entry"], r["confidence_threshold"],
+            r["effective_confidence"], "/".join(r["fpc_vector"]),
+            f'{r["storage_kib_at_1k"]}KiB',
+        ]
+        for r in result["rows"]
+    ]
+    record_result(
+        "table4", result,
+        "Table IV -- predictor parameters (paper effective conf: 64/9/16/4)\n"
+        + render_table(
+            ["predictor", "bits/entry", "threshold", "effective",
+             "FPC vector", "storage@1K"],
+            rows,
+        ),
+    )
+    assert [r["effective_confidence"] for r in result["rows"]] == [64, 9, 16, 4]
+    # The paper's knee observation: 1K entries is 8-10KB per component.
+    for row in result["rows"]:
+        assert 8.0 <= row["storage_kib_at_1k"] <= 10.2

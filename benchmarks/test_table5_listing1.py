@@ -1,0 +1,31 @@
+"""Table V: predictor warm-up on the Listing-1 loop nest."""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import format_table5
+
+
+def test_table5_listing1(benchmark, record_result):
+    result = run_once(benchmark, exp.table5_listing1, outer_m=24, inner_n=16)
+    record_result("table5", result, format_table5(result))
+    table = result["first_predicted_inner_iteration"]
+
+    # Paper row "SAP": begins predicting after ~9 completed loads and
+    # must retrain on every outer iteration (never predicts from i=0).
+    assert table["sap"][0] is not None and table["sap"][0] >= 8
+    assert all(v is None or v > 0 for v in table["sap"])
+
+    # Paper row "LVP": nothing until ~64 instances (o=4 at N=16), then
+    # predictions from the first inner iteration, no retraining.
+    assert table["lvp"][0] is None and table["lvp"][1] is None
+    late = [v for v in table["lvp"][8:] if v is not None]
+    assert late and min(late) == 0
+
+    # Paper row "CAP": per-iteration contexts confident after o > ~4.
+    assert table["cap"][0] is None
+    assert any(v is not None for v in table["cap"][4:])
+
+    # Paper row "CVP": the slowest to start (needs history fill plus
+    # 16 observations per context) but eventually predicts.
+    assert any(v is not None for v in table["cvp"])

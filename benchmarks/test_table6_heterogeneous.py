@@ -1,0 +1,24 @@
+"""Table VI: heterogeneous component sizing exploration."""
+
+from conftest import run_once
+
+from repro.harness import experiments as exp
+from repro.harness.formatting import format_table6
+
+
+def test_table6_heterogeneous(benchmark, record_result, scale):
+    result = run_once(
+        benchmark, exp.table6_heterogeneous, scale, totals=(256, 512, 1024)
+    )
+    record_result("table6", result, format_table6(result))
+
+    budgets = result["budgets"]
+    # Every winning configuration keeps all four components (the
+    # paper's first finding: the four complement each other).
+    for total, info in budgets.items():
+        assert all(x > 0 for x in info["best"]["allocation"])
+    # Speedup-per-KB rises as budgets shrink (paper: 256 total entries
+    # was the best speedup/KB).
+    per_kib = [info["speedup_per_kib"] for total, info in
+               sorted(budgets.items())]
+    assert per_kib[0] >= per_kib[-1]

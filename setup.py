@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (which must build a wheel) fail.  This shim
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` on modern setuptools) work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Bimodal (PC-indexed 2-bit counter) predictor.
+
+Serves two roles: the fallback/base component of TAGE, and a cheap
+standalone predictor useful in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import bit_length_for
+from repro.common.hashing import pc_index
+
+
+class BimodalPredictor:
+    """A table of 2-bit saturating direction counters indexed by PC."""
+
+    #: Counter value at or above which the prediction is "taken".
+    TAKEN_THRESHOLD = 2
+    COUNTER_MAX = 3
+
+    def __init__(self, entries: int = 8192) -> None:
+        self._index_bits = bit_length_for(entries)
+        # Initialized weakly-not-taken so cold branches do not thrash.
+        self._counters = [1] * entries
+
+    @property
+    def entries(self) -> int:
+        return len(self._counters)
+
+    def storage_bits(self) -> int:
+        return 2 * len(self._counters)
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[pc_index(pc, self._index_bits)] >= self.TAKEN_THRESHOLD
+
+    def train(self, pc: int, taken: bool) -> None:
+        idx = pc_index(pc, self._index_bits)
+        count = self._counters[idx]
+        if taken:
+            if count < self.COUNTER_MAX:
+                self._counters[idx] = count + 1
+        elif count > 0:
+            self._counters[idx] = count - 1

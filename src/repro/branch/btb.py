@@ -1,0 +1,64 @@
+"""Branch target buffer.
+
+The front end can only follow a taken branch without a bubble if it
+knows the target at fetch time.  The BTB caches targets of taken
+branches; a taken branch that misses redirects at decode, costing a
+small fixed bubble (the target is produced by the decoder for direct
+branches and by ITTAGE/RAS for indirect ones -- both available by
+decode in this model).
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import bit_length_for
+
+
+class BranchTargetBuffer:
+    """Set-associative, LRU target cache for taken branches."""
+
+    def __init__(self, entries: int = 4096, associativity: int = 4) -> None:
+        if entries % associativity:
+            raise ValueError(
+                f"BTB entries {entries} not divisible by ways {associativity}"
+            )
+        sets = entries // associativity
+        self._index_bits = bit_length_for(sets)
+        self._index_mask = sets - 1
+        self._associativity = associativity
+        self._sets: list[list[int]] = [[] for _ in range(sets)]
+        self.lookups = 0
+        self.misses = 0
+
+    def _split(self, pc: int) -> tuple[int, int]:
+        word = pc >> 2
+        return word & self._index_mask, word >> self._index_bits
+
+    def lookup_and_allocate(self, pc: int) -> bool:
+        """Probe for a taken branch's target; allocate on miss.
+
+        Returns True on hit (no fetch bubble).
+        """
+        self.lookups += 1
+        index, tag = self._split(pc)
+        ways = self._sets[index]
+        for pos, existing in enumerate(ways):
+            if existing == tag:
+                if pos:
+                    ways.insert(0, ways.pop(pos))
+                return True
+        self.misses += 1
+        if len(ways) >= self._associativity:
+            ways.pop()
+        ways.insert(0, tag)
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.misses / self.lookups
+
+    def storage_bits(self) -> int:
+        # tag (~30 bits of PC) + 49-bit target per entry.
+        sets = self._index_mask + 1
+        return sets * self._associativity * (30 + 49)

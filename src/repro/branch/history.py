@@ -1,0 +1,80 @@
+"""Speculative history registers shared by branch and value predictors.
+
+Three histories are maintained, all updated speculatively at fetch time
+and repaired on pipeline flushes by snapshot/restore (the standard
+checkpointing approach):
+
+* **direction history** -- one bit per conditional branch (TAGE, CVP),
+* **branch path history** -- two PC bits per branch (TAGE index hash,
+  CVP's "branch path history"),
+* **memory path history** -- two PC bits per load *or store* (CAP /
+  DLVP; the paper calls it "load path history", but its Listing-1
+  walkthrough -- CAP distinguishing the first 16 inner-loop iterations
+  of a loop whose only memory instructions besides the scanned load are
+  the memset's stores -- requires stores to shift the register too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bits import mask
+from repro.common.hashing import path_hash
+
+#: Maximum direction-history length kept (longest TAGE table plus slack).
+MAX_DIRECTION_BITS = 256
+#: Width of the path history registers, in bits.
+PATH_BITS = 32
+#: 16 memory operations x 2 bits: deep enough that CAP separates the
+#: first 16 iterations of the paper's Listing-1 inner loop (Table V).
+LOAD_PATH_BITS = 32
+
+
+@dataclass(frozen=True)
+class HistorySnapshot:
+    """An immutable copy of all history registers, taken at fetch."""
+
+    direction: int
+    path: int
+    load_path: int
+
+
+class HistorySet:
+    """The mutable register file of speculative histories."""
+
+    def __init__(self) -> None:
+        self.direction = 0
+        self.path = 0
+        self.load_path = 0
+
+    def push_branch(self, pc: int, taken: bool) -> None:
+        """Record one fetched conditional branch."""
+        self.direction = (
+            (self.direction << 1) | int(taken)
+        ) & mask(MAX_DIRECTION_BITS)
+        self.path = path_hash(self.path, pc, PATH_BITS)
+
+    def push_unconditional(self, pc: int) -> None:
+        """Record a taken unconditional branch (path history only)."""
+        self.path = path_hash(self.path, pc, PATH_BITS)
+
+    def push_memory(self, pc: int) -> None:
+        """Record one fetched load or store (CAP's memory path history)."""
+        self.load_path = path_hash(self.load_path, pc, LOAD_PATH_BITS)
+
+    # Backwards-compatible alias; CAP literature says "load path".
+    push_load = push_memory
+
+    def snapshot(self) -> HistorySnapshot:
+        return HistorySnapshot(self.direction, self.path, self.load_path)
+
+    def restore(self, snap: HistorySnapshot) -> None:
+        self.direction = snap.direction
+        self.path = snap.path
+        self.load_path = snap.load_path
+
+    def direction_bits(self, length: int) -> int:
+        """The most recent ``length`` direction bits, as an integer."""
+        if length <= 0:
+            return 0
+        return self.direction & mask(min(length, MAX_DIRECTION_BITS))

@@ -1,0 +1,49 @@
+"""Return address stack (16 entries in the paper's baseline)."""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """A circular return-address stack.
+
+    Overflow silently wraps (oldest entry is overwritten) and underflow
+    returns zero, as in real hardware; both events are counted so tests
+    can observe them.
+    """
+
+    def __init__(self, entries: int = 16) -> None:
+        if entries <= 0:
+            raise ValueError(f"RAS needs at least one entry, got {entries}")
+        self._stack = [0] * entries
+        self._top = 0
+        self._depth = 0
+        self.overflows = 0
+        self.underflows = 0
+
+    @property
+    def capacity(self) -> int:
+        return len(self._stack)
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def push(self, return_address: int) -> None:
+        self._top = (self._top + 1) % len(self._stack)
+        self._stack[self._top] = return_address
+        if self._depth == len(self._stack):
+            self.overflows += 1
+        else:
+            self._depth += 1
+
+    def pop(self) -> int:
+        if self._depth == 0:
+            self.underflows += 1
+            return 0
+        value = self._stack[self._top]
+        self._top = (self._top - 1) % len(self._stack)
+        self._depth -= 1
+        return value
+
+    def peek(self) -> int:
+        return self._stack[self._top] if self._depth else 0

@@ -1,0 +1,5 @@
+"""Oracle load classification (Section IV-A / Figure 2 of the paper)."""
+
+from repro.classify.oracle import LoadPattern, OracleClassifier, classify_trace
+
+__all__ = ["LoadPattern", "OracleClassifier", "classify_trace"]

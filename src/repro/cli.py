@@ -1,0 +1,190 @@
+"""Command-line entry point: ``repro-lvp`` / ``python -m repro``.
+
+Examples::
+
+    repro-lvp list                      # experiments and workloads
+    repro-lvp run fig5                  # regenerate Figure 5 (quick)
+    repro-lvp run table6 --scale smoke  # smaller/faster
+    repro-lvp run fig12 --json out.json # machine-readable results
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.harness import experiments as exp
+from repro.harness.presets import FULL, QUICK, SMOKE, ExperimentScale
+from repro.workloads.profiles import ALL_WORKLOADS
+
+_SCALES = {"smoke": SMOKE, "quick": QUICK, "full": FULL}
+
+#: experiment id -> (callable taking scale kwarg or none, takes_scale)
+_EXPERIMENTS = {
+    "table1": (exp.table1_taxonomy, False),
+    "table2": (exp.table2_workloads, False),
+    "table3": (exp.table3_core_config, False),
+    "table4": (exp.table4_parameters, False),
+    "table5": (exp.table5_listing1, False),
+    "table6": (exp.table6_heterogeneous, True),
+    "ablation1": (exp.ablation_footnote1, True),
+    "ablation2": (exp.ablation_selection_policy, True),
+    "ablation3": (exp.ablation_confidence_tuning, True),
+    "fig2": (exp.fig2_load_breakdown, True),
+    "fig3": (exp.fig3_component_speedup, True),
+    "fig4": (exp.fig4_overlap, True),
+    "fig5": (exp.fig5_composite_vs_component, True),
+    "fig6": (exp.fig6_accuracy_monitor, True),
+    "fig7": (exp.fig7_smart_training, True),
+    "fig8": (exp.fig8_smart_training_speedup, True),
+    "fig9": (exp.fig9_table_fusion, True),
+    "fig10": (exp.fig10_combined, True),
+    "fig11": (exp.fig11_vs_eves, True),
+    "fig12": (exp.fig12_per_workload, True),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lvp",
+        description=(
+            "Reproduction of 'Efficient Load Value Prediction using "
+            "Multiple Predictors and Filters' (HPCA 2019)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and workloads")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    run.add_argument(
+        "--scale", choices=sorted(_SCALES), default="quick",
+        help="experiment size (default: quick)",
+    )
+    run.add_argument(
+        "--json", metavar="PATH",
+        help="also write the raw result dict as JSON",
+    )
+
+    sim = sub.add_parser(
+        "simulate",
+        help="run the timing model over a trace file (see Trace.save)",
+    )
+    sim.add_argument("trace", help="JSON-lines trace file")
+    sim.add_argument(
+        "--predictor", default="none",
+        help="none | composite | eves-8kb | eves-32kb | one of "
+             "lvp/sap/cvp/cap/lap/svp (default: none)",
+    )
+    sim.add_argument(
+        "--entries", type=int, default=256,
+        help="entries per component (composite) or total (single "
+             "predictor); default 256",
+    )
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report.add_argument(
+        "--scale", choices=sorted(_SCALES), default="quick",
+    )
+    report.add_argument(
+        "-o", "--output", metavar="PATH", default="report.md",
+        help="output file (default: report.md)",
+    )
+    report.add_argument(
+        "--sections", nargs="*", metavar="ID",
+        help="subset of experiments (default: all)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("experiments:", ", ".join(sorted(_EXPERIMENTS)))
+        print(f"workloads ({len(ALL_WORKLOADS)}):", ", ".join(ALL_WORKLOADS))
+        return 0
+
+    if args.command == "simulate":
+        return _simulate_command(args)
+
+    if args.command == "report":
+        from repro.harness.report import generate_report
+
+        scale = _SCALES[args.scale]
+        report_text = generate_report(
+            scale,
+            sections=tuple(args.sections) if args.sections else None,
+            progress=lambda s: print(f"running {s} ...", file=sys.stderr),
+        )
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report_text)
+        print(f"wrote {args.output}", file=sys.stderr)
+        return 0
+
+    function, takes_scale = _EXPERIMENTS[args.experiment]
+    scale: ExperimentScale = _SCALES[args.scale]
+    started = time.time()
+    result = function(scale) if takes_scale else function()
+    elapsed = time.time() - started
+
+    print(json.dumps(result, indent=2, default=str))
+    print(f"# {args.experiment} finished in {elapsed:.1f}s", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, default=str)
+    return 0
+
+
+def _simulate_command(args) -> int:
+    """Run one trace file through the timing model and print stats."""
+    from dataclasses import asdict
+
+    from repro.composite import CompositeConfig, CompositePredictor
+    from repro.eves import eves_8kb, eves_32kb
+    from repro.isa.trace import Trace
+    from repro.pipeline import EvesAdapter, SingleComponentAdapter, simulate
+    from repro.predictors import make_component
+
+    trace = Trace.load(args.trace)
+    if trace.initial_memory is None:
+        print(
+            "warning: trace has no initial-memory section; predicted-"
+            "address probes of never-stored locations will mispredict",
+            file=sys.stderr,
+        )
+
+    name = args.predictor.lower()
+    if name == "none":
+        predictor = None
+    elif name == "composite":
+        predictor = CompositePredictor(
+            CompositeConfig(
+                epoch_instructions=max(1000, len(trace) // 12)
+            ).homogeneous(args.entries)
+        )
+    elif name == "eves-8kb":
+        predictor = EvesAdapter(eves_8kb())
+    elif name == "eves-32kb":
+        predictor = EvesAdapter(eves_32kb())
+    else:
+        predictor = SingleComponentAdapter(make_component(name, args.entries))
+
+    result = simulate(trace, predictor)
+    payload = asdict(result)
+    payload["ipc"] = result.ipc
+    payload["coverage"] = result.coverage
+    payload["accuracy"] = result.accuracy
+    payload["branch_mpki"] = result.branch_mpki
+    print(json.dumps(payload, indent=2, default=str))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

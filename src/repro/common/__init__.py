@@ -1,0 +1,35 @@
+"""Shared low-level utilities used by every subsystem.
+
+This package deliberately contains only dependency-free building blocks:
+bit manipulation, hashing, saturating and forward-probabilistic counters,
+and deterministic random-number streams.  Everything in here is pure and
+easily property-testable.
+"""
+
+from repro.common.bits import (
+    bit_length_for,
+    fold_bits,
+    mask,
+    sign_extend,
+    truncate,
+)
+from repro.common.counters import SaturatingCounter
+from repro.common.fpc import ForwardProbabilisticCounter, FpcVector
+from repro.common.hashing import mix64, path_hash, pc_index, pc_tag
+from repro.common.rng import DeterministicRng
+
+__all__ = [
+    "DeterministicRng",
+    "ForwardProbabilisticCounter",
+    "FpcVector",
+    "SaturatingCounter",
+    "bit_length_for",
+    "fold_bits",
+    "mask",
+    "mix64",
+    "path_hash",
+    "pc_index",
+    "pc_tag",
+    "sign_extend",
+    "truncate",
+]

@@ -1,0 +1,50 @@
+"""Saturating counters, the basic confidence-tracking primitive."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class SaturatingCounter:
+    """An up/down counter clamped to ``[0, maximum]``.
+
+    Predictor confidence fields in the paper are saturating counters
+    (2-bit for SAP/CAP, 3-bit for LVP/CVP).  The counter is deliberately
+    tiny and mutable; predictors embed one per table entry.
+    """
+
+    maximum: int
+    value: int = 0
+    _initial: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.maximum < 1:
+            raise ValueError(f"counter maximum must be >= 1, got {self.maximum}")
+        if not 0 <= self.value <= self.maximum:
+            raise ValueError(
+                f"counter value {self.value} outside [0, {self.maximum}]"
+            )
+        self._initial = self.value
+
+    def increment(self) -> int:
+        """Increment, saturating at ``maximum``; return the new value."""
+        if self.value < self.maximum:
+            self.value += 1
+        return self.value
+
+    def decrement(self) -> int:
+        """Decrement, saturating at zero; return the new value."""
+        if self.value > 0:
+            self.value -= 1
+        return self.value
+
+    def reset(self) -> None:
+        """Return the counter to its construction-time value."""
+        self.value = self._initial
+
+    def is_saturated(self) -> bool:
+        return self.value == self.maximum
+
+    def at_least(self, threshold: int) -> bool:
+        return self.value >= threshold

@@ -1,0 +1,254 @@
+"""Accuracy Monitors (Section V-B of the paper).
+
+An AM throttles an entire component predictor when it mispredicts too
+much, on top of the per-entry confidence each component already has.
+Two variants:
+
+* **M-AM** -- per-component misprediction-rate counters over an epoch;
+  a component exceeding 3 MPKP (mispredictions per kilo-prediction) is
+  silenced for the whole next epoch.  Silenced components keep
+  training and keep being monitored so they can be re-enabled.
+* **PC-AM** -- a small direct-mapped, PC-indexed/PC-tagged table of
+  per-component correct/incorrect counters.  A component is silenced
+  only for PCs where its accuracy is below 95%.  Entries are allocated
+  when a value-predicted load triggers a misprediction flush; every
+  value-predicted load with an entry updates the counters of *all*
+  components that were confident, not just the one whose prediction was
+  used.  Counters are 8 bits; when any counter's MSB sets, all eight
+  are halved, preserving the correct:incorrect ratio.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.common.bits import fold_bits
+from repro.predictors import COMPONENT_NAMES
+
+
+class AccuracyMonitor(abc.ABC):
+    """Common interface: consulted at fetch, updated at validation."""
+
+    @abc.abstractmethod
+    def silenced(self, component: str, pc: int) -> bool:
+        """Should this component's confident prediction be squashed?"""
+
+    @abc.abstractmethod
+    def record(
+        self,
+        pc: int,
+        correctness: dict[str, bool],
+        used_component: str | None,
+        used_correct: bool,
+    ) -> None:
+        """Observe one value-predicted load's validation.
+
+        ``correctness`` maps every *confident* component to whether its
+        prediction would have been correct; ``used_component`` is the
+        one whose prediction was actually consumed.
+        """
+
+    def end_epoch(self) -> None:
+        """Hook called at each epoch boundary (used by M-AM)."""
+
+    def storage_bits(self) -> int:
+        return 0
+
+
+class NullAccuracyMonitor(AccuracyMonitor):
+    """No throttling (the base composite of Section V-A)."""
+
+    def silenced(self, component: str, pc: int) -> bool:
+        return False
+
+    def record(self, pc, correctness, used_component, used_correct) -> None:
+        pass
+
+
+class MAm(AccuracyMonitor):
+    """Epoch-global misprediction-rate monitor.
+
+    Counts *used* predictions (the component whose prediction was
+    forwarded) and their mispredictions.  A silenced component produces
+    no used predictions, so its rate reads zero at the next epoch end
+    and it is re-enabled -- a throttled component gets periodic chances
+    to prove itself, matching the epoch-scoped silencing the paper
+    describes.
+    """
+
+    def __init__(self, mpkp_threshold: float = 3.0,
+                 component_names: tuple = COMPONENT_NAMES) -> None:
+        self.mpkp_threshold = mpkp_threshold
+        self._names = tuple(component_names)
+        self._predictions = dict.fromkeys(self._names, 0)
+        self._mispredictions = dict.fromkeys(self._names, 0)
+        self._silenced = dict.fromkeys(self._names, False)
+
+    def silenced(self, component: str, pc: int) -> bool:
+        return self._silenced[component]
+
+    def record(self, pc, correctness, used_component, used_correct) -> None:
+        if used_component is None:
+            return
+        self._predictions[used_component] += 1
+        if not used_correct:
+            self._mispredictions[used_component] += 1
+
+    def end_epoch(self) -> None:
+        for component in self._names:
+            predictions = self._predictions[component]
+            if predictions:
+                mpkp = 1000.0 * self._mispredictions[component] / predictions
+                self._silenced[component] = mpkp > self.mpkp_threshold
+            else:
+                self._silenced[component] = False
+            self._predictions[component] = 0
+            self._mispredictions[component] = 0
+
+    def storage_bits(self) -> int:
+        # Two 20-bit counters per component plus a silence bit.
+        return len(self._names) * (2 * 20 + 1)
+
+
+class _PcAmEntry:
+    __slots__ = ("tag", "correct", "incorrect")
+
+    def __init__(self, tag: int, names: tuple = COMPONENT_NAMES) -> None:
+        self.tag = tag
+        self.correct = dict.fromkeys(names, 0)
+        self.incorrect = dict.fromkeys(names, 0)
+
+    def update(self, correctness: dict[str, bool]) -> None:
+        for component, correct in correctness.items():
+            if correct:
+                self.correct[component] += 1
+            else:
+                self.incorrect[component] += 1
+        # 8-bit counters: halve them all when any MSB sets, preserving
+        # the correct:incorrect ratios.
+        if any(
+            v >= 128
+            for v in (*self.correct.values(), *self.incorrect.values())
+        ):
+            for component in self.correct:
+                self.correct[component] >>= 1
+                self.incorrect[component] >>= 1
+
+    def accuracy(self, component: str) -> float:
+        total = self.correct[component] + self.incorrect[component]
+        if total == 0:
+            return 1.0
+        return self.correct[component] / total
+
+
+_TAG_BITS = 10
+
+
+def _pc_am_index(pc: int, entries: int) -> int:
+    """The paper's index hash: ``(PC >> 2) ^ (PC >> 8)``."""
+    return ((pc >> 2) ^ (pc >> 8)) & (entries - 1)
+
+
+def _pc_am_tag(pc: int) -> int:
+    """The paper's tag hash: fold of ``(PC >> 2) ^ (PC >> 12)``."""
+    return fold_bits((pc >> 2) ^ (pc >> 12), _TAG_BITS)
+
+
+class PcAm(AccuracyMonitor):
+    """Per-PC accuracy monitor (finite, direct-mapped)."""
+
+    def __init__(self, entries: int = 64, accuracy_threshold: float = 0.95,
+                 component_names: tuple = COMPONENT_NAMES) -> None:
+        if entries & (entries - 1):
+            raise ValueError(f"PC-AM entries must be a power of two, got {entries}")
+        self.entries = entries
+        self.accuracy_threshold = accuracy_threshold
+        self._names = tuple(component_names)
+        self._table: list[_PcAmEntry | None] = [None] * entries
+
+    def _lookup(self, pc: int) -> _PcAmEntry | None:
+        entry = self._table[_pc_am_index(pc, self.entries)]
+        if entry is not None and entry.tag == _pc_am_tag(pc):
+            return entry
+        return None
+
+    def silenced(self, component: str, pc: int) -> bool:
+        entry = self._lookup(pc)
+        return (
+            entry is not None
+            and entry.accuracy(component) < self.accuracy_threshold
+        )
+
+    def record(self, pc, correctness, used_component, used_correct) -> None:
+        entry = self._lookup(pc)
+        if entry is None:
+            # Allocate only when the used prediction mispredicted and
+            # triggered a recovery (the paper's allocation rule).  The
+            # entry starts with zeroed counters -- the triggering
+            # misprediction is not pre-charged -- so a single flush on
+            # an otherwise-accurate PC does not silence it; only
+            # *sustained* inaccuracy after allocation does.
+            if used_component is not None and not used_correct:
+                self._table[_pc_am_index(pc, self.entries)] = _PcAmEntry(
+                    _pc_am_tag(pc), self._names
+                )
+            return
+        entry.update(correctness)
+
+    def storage_bits(self) -> int:
+        # tag + two 8-bit counters per component per entry.
+        return self.entries * (_TAG_BITS + 2 * 8 * len(self._names))
+
+
+class InfinitePcAm(PcAm):
+    """PC-AM with unbounded capacity (the limit study in Figure 6)."""
+
+    def __init__(self, accuracy_threshold: float = 0.95,
+                 component_names: tuple = COMPONENT_NAMES) -> None:
+        self.accuracy_threshold = accuracy_threshold
+        self._names = tuple(component_names)
+        self._map: dict[int, _PcAmEntry] = {}
+
+    def _lookup(self, pc: int) -> _PcAmEntry | None:
+        return self._map.get(pc)
+
+    def silenced(self, component: str, pc: int) -> bool:
+        entry = self._map.get(pc)
+        return (
+            entry is not None
+            and entry.accuracy(component) < self.accuracy_threshold
+        )
+
+    def record(self, pc, correctness, used_component, used_correct) -> None:
+        entry = self._map.get(pc)
+        if entry is None:
+            # Same two-strike allocation rule as the finite PC-AM.
+            if used_component is not None and not used_correct:
+                self._map[pc] = _PcAmEntry(0, self._names)
+            return
+        entry.update(correctness)
+
+    def storage_bits(self) -> int:  # pragma: no cover - limit study only
+        return len(self._map) * (8 * 8)
+
+
+def make_accuracy_monitor(
+    variant: str,
+    pc_am_entries: int = 64,
+    m_am_mpkp_threshold: float = 3.0,
+    pc_am_accuracy_threshold: float = 0.95,
+    component_names: tuple = COMPONENT_NAMES,
+) -> AccuracyMonitor:
+    """Factory keyed by the config string."""
+    if variant == "none":
+        return NullAccuracyMonitor()
+    if variant == "m-am":
+        return MAm(m_am_mpkp_threshold, component_names)
+    if variant == "pc-am":
+        return PcAm(pc_am_entries, pc_am_accuracy_threshold, component_names)
+    if variant == "pc-am-infinite":
+        return InfinitePcAm(pc_am_accuracy_threshold, component_names)
+    raise ValueError(
+        f"unknown accuracy monitor {variant!r}; expected none, m-am, "
+        f"pc-am, or pc-am-infinite"
+    )

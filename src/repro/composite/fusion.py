@@ -1,0 +1,163 @@
+"""Dynamic table fusion (Section V-E of the paper).
+
+The fusion controller watches, per epoch, how many *used* predictions
+each component produced.  Components that fall below a threshold
+(20 used predictions per kilo-instruction) in at least one epoch of an
+``N``-epoch observation window become **donors**; the rest are
+**receivers**.  Donor tables are flushed and re-attached as extra
+associative banks of the receivers:
+
+* 1 donor, 3 receivers -> the receiver with the most used predictions
+  gets the donor's table;
+* 2 donors, 2 receivers -> one donor each;
+* 3 donors, 1 receiver -> the receiver gets all three.
+
+After ``M`` epochs (M >> N) the fusion is reverted -- receivers drop
+the borrowed banks (flushing them), donors restart cold -- and the
+observation window begins again.  Fusion requires a homogeneous
+allocation (all components the same entry count), as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.predictors.base import ComponentPredictor
+
+
+@dataclass
+class FusionState:
+    """Introspectable snapshot of the controller, for tests/reports."""
+
+    fused: bool = False
+    donors: tuple[str, ...] = ()
+    receivers: tuple[str, ...] = ()
+    #: receiver -> number of donated banks currently attached
+    grants: dict[str, int] = field(default_factory=dict)
+    fusions_performed: int = 0
+    reversions_performed: int = 0
+
+
+class FusionController:
+    """Epoch-driven donor/receiver reallocation of predictor tables."""
+
+    def __init__(
+        self,
+        components: dict[str, ComponentPredictor],
+        epoch_instructions: int,
+        upki_threshold: float = 20.0,
+        observe_epochs: int = 5,
+        revert_epochs: int = 25,
+    ) -> None:
+        if observe_epochs < 1 or revert_epochs <= observe_epochs:
+            raise ValueError(
+                "fusion requires 1 <= observe_epochs < revert_epochs, got "
+                f"{observe_epochs}, {revert_epochs}"
+            )
+        self._components = components
+        self._names = tuple(components)
+        #: Used predictions per epoch that count as "productive".
+        self.used_threshold = upki_threshold * epoch_instructions / 1000.0
+        self.observe_epochs = observe_epochs
+        self.revert_epochs = revert_epochs
+        self.state = FusionState()
+        self._epoch_used = dict.fromkeys(self._names, 0)
+        self._window_used = dict.fromkeys(self._names, 0)
+        self._below_threshold_epochs = dict.fromkeys(self._names, 0)
+        self._epochs_in_window = 0
+        self._epochs_fused = 0
+        # Warm-up grace: usefulness is not judged until every component
+        # has had one observation window's worth of instructions to
+        # reach confidence.  (The paper's 1M-instruction epochs dwarf
+        # warm-up; our scaled epochs do not, and without the grace the
+        # slow-warming value predictors get their tables donated away
+        # before they ever produce a used prediction.)
+        self._grace_epochs = observe_epochs
+
+    # ------------------------------------------------------------------
+    # Per-load bookkeeping
+    # ------------------------------------------------------------------
+
+    def note_used_prediction(self, component: str) -> None:
+        self._epoch_used[component] += 1
+
+    def is_donor(self, component: str) -> bool:
+        """Donors have no table while fused: no predict, no train."""
+        return self.state.fused and component in self.state.donors
+
+    # ------------------------------------------------------------------
+    # Epoch machinery
+    # ------------------------------------------------------------------
+
+    def end_epoch(self) -> None:
+        if self._grace_epochs > 0:
+            self._grace_epochs -= 1
+            self._reset_epoch_counters()
+            return
+        if self.state.fused:
+            self._epochs_fused += 1
+            if self._epochs_fused >= self.revert_epochs:
+                self._revert()
+            self._reset_epoch_counters()
+            return
+
+        self._epochs_in_window += 1
+        for component in self._names:
+            used = self._epoch_used[component]
+            self._window_used[component] += used
+            if used < self.used_threshold:
+                self._below_threshold_epochs[component] += 1
+
+        if self._epochs_in_window >= self.observe_epochs:
+            self._classify_and_fuse()
+            self._epochs_in_window = 0
+            self._below_threshold_epochs = dict.fromkeys(self._names, 0)
+            self._window_used = dict.fromkeys(self._names, 0)
+        self._reset_epoch_counters()
+
+    def _reset_epoch_counters(self) -> None:
+        self._epoch_used = dict.fromkeys(self._names, 0)
+
+    def _classify_and_fuse(self) -> None:
+        donors = [
+            c for c in self._names if self._below_threshold_epochs[c] > 0
+        ]
+        receivers = [c for c in self._names if c not in donors]
+        if not donors or not receivers:
+            return
+
+        grants: dict[str, int] = {}
+        ranked = sorted(
+            receivers, key=lambda c: self._window_used[c], reverse=True
+        )
+        if len(donors) == 1:
+            grants[ranked[0]] = 1
+        elif len(receivers) == 1:
+            grants[ranked[0]] = len(donors)
+        else:
+            # Two donors, two receivers: one donor each.
+            for receiver in ranked[: len(donors)]:
+                grants[receiver] = 1
+
+        for donor in donors:
+            self._components[donor].flush()
+        for receiver, banks in grants.items():
+            self._components[receiver].grant_extra_banks(banks)
+
+        self.state.fused = True
+        self.state.donors = tuple(donors)
+        self.state.receivers = tuple(receivers)
+        self.state.grants = grants
+        self.state.fusions_performed += 1
+        self._epochs_fused = 0
+
+    def _revert(self) -> None:
+        for receiver in self.state.grants:
+            self._components[receiver].revoke_extra_banks()
+        for donor in self.state.donors:
+            self._components[donor].flush()
+        self.state.fused = False
+        self.state.donors = ()
+        self.state.receivers = ()
+        self.state.grants = {}
+        self.state.reversions_performed += 1

@@ -1,0 +1,76 @@
+"""Heterogeneous component sizing (Section V-C, Table VI).
+
+The paper sweeps component table sizes independently from 0..1K entries
+and reports the best allocation per total budget.  This module encodes
+the winning configurations from Table VI and provides the sweep-space
+enumerator that the Table VI benchmark uses to re-run the exploration.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.composite.config import CompositeConfig
+
+#: Table VI winners: total entries -> (LVP, SAP, CVP, CAP) entries.
+TABLE_VI_CONFIGS: dict[int, tuple[int, int, int, int]] = {
+    4096: (1024, 1024, 1024, 1024),  # homogeneous was best
+    2048: (256, 1024, 512, 256),
+    1024: (256, 256, 256, 256),      # homogeneous was best
+    512: (64, 256, 128, 64),
+    256: (32, 32, 128, 64),          # best speedup/KB in the paper
+}
+
+#: Per-entry bit widths (Table IV) for storage accounting.
+BITS_PER_ENTRY = {"lvp": 81, "sap": 77, "cvp": 81, "cap": 67}
+
+
+def storage_kib(lvp: int, sap: int, cvp: int, cap: int) -> float:
+    """Total predictor storage of an allocation, in KiB."""
+    bits = (
+        lvp * BITS_PER_ENTRY["lvp"]
+        + sap * BITS_PER_ENTRY["sap"]
+        + cvp * BITS_PER_ENTRY["cvp"]
+        + cap * BITS_PER_ENTRY["cap"]
+    )
+    return bits / 8 / 1024
+
+
+def paper_config(total_entries: int, base: CompositeConfig | None = None) -> CompositeConfig:
+    """The Table VI winning allocation for a total entry budget."""
+    try:
+        lvp, sap, cvp, cap = TABLE_VI_CONFIGS[total_entries]
+    except KeyError:
+        raise ValueError(
+            f"no Table VI configuration for {total_entries} total entries; "
+            f"known budgets: {sorted(TABLE_VI_CONFIGS)}"
+        ) from None
+    base = base or CompositeConfig()
+    config = base.with_entries(lvp, sap, cvp, cap)
+    if not config.is_homogeneous and config.table_fusion:
+        # Fusion requires homogeneous tables (paper Section V-E).
+        from dataclasses import replace
+
+        config = replace(config, table_fusion=False)
+    return config
+
+
+def candidate_allocations(
+    total_entries: int,
+    sizes: tuple[int, ...] = (0, 32, 64, 128, 256, 512, 1024),
+) -> list[tuple[int, int, int, int]]:
+    """Enumerate (LVP, SAP, CVP, CAP) allocations summing to the budget.
+
+    Zero means the component is left out entirely, as in the paper's
+    exploration.  CVP sizes below 4 (other than 0) are excluded because
+    the three-table split needs at least four entries.
+    """
+    candidates = []
+    for allocation in product(sizes, repeat=4):
+        if sum(allocation) != total_entries:
+            continue
+        cvp = allocation[2]
+        if cvp != 0 and (cvp < 4 or cvp & (cvp - 1)):
+            continue
+        candidates.append(allocation)
+    return candidates

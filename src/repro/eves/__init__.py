@@ -1,0 +1,33 @@
+"""EVES -- the first Championship Value Prediction (CVP-1) winner.
+
+Seznec's EVES [4] combines an **enhanced stride value predictor**
+(E-Stride, :mod:`repro.eves.estride`) with an **enhanced VTAGE**
+(E-VTAGE, :mod:`repro.eves.evtage`).  The paper integrates EVES into
+its framework as the state-of-the-art comparison point (Figures 11 and
+12), at 8KB and 32KB budgets plus an infinite limit.
+
+Our implementation follows the published EVES structure -- E-Stride
+handles strided *values* with in-flight-instance compensation, E-VTAGE
+is a tagged-geometric last-value predictor with confidence/usefulness
+management -- restricted to loads, as in the paper's integration.
+"""
+
+from repro.eves.estride import EStridePredictor
+from repro.eves.evtage import EVtagePredictor
+from repro.eves.eves import (
+    EvesConfig,
+    EvesPredictor,
+    eves_8kb,
+    eves_32kb,
+    eves_infinite,
+)
+
+__all__ = [
+    "EStridePredictor",
+    "EVtagePredictor",
+    "EvesConfig",
+    "EvesPredictor",
+    "eves_8kb",
+    "eves_32kb",
+    "eves_infinite",
+]

@@ -1,0 +1,218 @@
+"""E-VTAGE: the enhanced VTAGE component of EVES.
+
+A last-value base table plus ``num_tables`` tagged tables indexed with
+geometrically increasing global (branch direction + path) history.
+Unlike our CVP component -- which follows this paper's simplification
+of training all tables in parallel -- E-VTAGE uses the championship
+allocate-on-mispredict policy with usefulness bits, which is what makes
+it storage-efficient at large budgets:
+
+* the *provider* (longest matching table, or base) supplies the value;
+* on a correct provider, confidence climbs probabilistically;
+* on a wrong provider, confidence resets and, if confidence was zero,
+  the entry's value is replaced;
+* on a misprediction, a new entry is allocated in one longer-history
+  table whose slot is not useful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bits import bit_length_for, fold_bits, mask
+from repro.common.fpc import FpcVector
+from repro.common.hashing import mix64, pc_index
+from repro.common.rng import DeterministicRng
+from repro.predictors.table import INVALID_TAG
+from repro.predictors.types import LoadOutcome, LoadProbe, Prediction, PredictionKind
+
+_TAG_BITS = 14
+_VALUE_MASK = mask(64)
+
+#: FPC realizing EVES' high-confidence bar (effective 32 observations;
+#: VTAGE entries are per-context so they stabilize faster than LVP).
+EVTAGE_FPC = FpcVector.from_ratios(["1", "1", "1/2", "1/4", "1/8", "1/8", "1/8"])
+CONFIDENCE_THRESHOLD = 7
+
+#: tag + value + 3b confidence + 2b usefulness.
+BITS_PER_TAGGED_ENTRY = _TAG_BITS + 64 + 3 + 2
+#: value + 3b confidence (untagged, direct-mapped base).
+BITS_PER_BASE_ENTRY = 64 + 3
+
+
+@dataclass(slots=True)
+class _TaggedEntry:
+    tag: int = INVALID_TAG
+    value: int = 0
+    confidence: int = 0
+    useful: int = 0
+
+
+@dataclass(slots=True)
+class _BaseEntry:
+    value: int = 0
+    confidence: int = 0
+
+
+class EVtagePredictor:
+    """The VTAGE component of EVES."""
+
+    name = "e-vtage"
+    kind = PredictionKind.VALUE
+
+    def __init__(
+        self,
+        base_entries: int = 1024,
+        tagged_entries: int = 512,
+        num_tables: int = 6,
+        min_history: int = 2,
+        max_history: int = 64,
+        rng: DeterministicRng | None = None,
+    ) -> None:
+        self.base_entries = base_entries
+        self.tagged_entries = tagged_entries
+        self.num_tables = num_tables
+        self._rng = (rng or DeterministicRng(0)).derive(self.name)
+        self._base = [_BaseEntry() for _ in range(base_entries)]
+        self._base_bits = bit_length_for(base_entries)
+        self._tables = [
+            [_TaggedEntry() for _ in range(tagged_entries)]
+            for _ in range(num_tables)
+        ]
+        self._index_bits = bit_length_for(tagged_entries)
+        self._lengths = self._history_lengths(min_history, max_history)
+        self._probs = tuple(float(p) for p in EVTAGE_FPC.probabilities)
+        # Hot-path constants.
+        self._history_masks = tuple(mask(L) for L in self._lengths)
+        self._index_salts = tuple(
+            mix64(t + 31) & mask(self._index_bits) for t in range(num_tables)
+        )
+
+    def _history_lengths(self, lo: int, hi: int) -> tuple[int, ...]:
+        if self.num_tables == 1:
+            return (lo,)
+        ratio = (hi / lo) ** (1.0 / (self.num_tables - 1))
+        lengths: list[int] = []
+        for i in range(self.num_tables):
+            length = int(round(lo * ratio**i))
+            if lengths and length <= lengths[-1]:
+                length = lengths[-1] + 1
+            lengths.append(length)
+        return tuple(lengths)
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+
+    def _index(self, pc: int, table: int, direction: int, path: int) -> int:
+        bits = self._index_bits
+        history = direction & self._history_masks[table]
+        value = (pc >> 2) ^ fold_bits(history, bits) ^ fold_bits(path, bits)
+        value ^= self._index_salts[table]
+        return fold_bits(value, bits)
+
+    def _tag(self, pc: int, table: int, direction: int) -> int:
+        history = direction & self._history_masks[table]
+        scrambled = ((history + table * 0x51) * 0x9E3779B97F4A7C15) & (
+            (1 << 64) - 1
+        )
+        return fold_bits((pc >> 2) ^ scrambled, _TAG_BITS)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def _find_provider(
+        self, pc: int, direction: int, path: int
+    ) -> tuple[int, int]:
+        """Return (table, index); table == -1 means the base table."""
+        for table in range(self.num_tables - 1, -1, -1):
+            index = self._index(pc, table, direction, path)
+            if self._tables[table][index].tag == self._tag(pc, table, direction):
+                return table, index
+        return -1, pc_index(pc, self._base_bits)
+
+    def predict(self, probe: LoadProbe) -> Prediction | None:
+        table, index = self._find_provider(
+            probe.pc, probe.direction_history, probe.path_history
+        )
+        if table >= 0:
+            entry = self._tables[table][index]
+            if entry.confidence >= CONFIDENCE_THRESHOLD:
+                return Prediction(
+                    component=self.name, kind=self.kind, value=entry.value
+                )
+            return None
+        base = self._base[index]
+        if base.confidence >= CONFIDENCE_THRESHOLD:
+            return Prediction(
+                component=self.name, kind=self.kind, value=base.value
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def train(self, outcome: LoadOutcome) -> None:
+        value = outcome.value & _VALUE_MASK
+        table, index = self._find_provider(
+            outcome.pc, outcome.direction_history, outcome.path_history
+        )
+        if table >= 0:
+            entry = self._tables[table][index]
+            if entry.value == value:
+                self._bump(entry)
+                entry.useful = min(3, entry.useful + 1)
+                return
+            if entry.confidence == 0:
+                entry.value = value
+            else:
+                entry.confidence = 0
+            entry.useful = max(0, entry.useful - 1)
+            # Allocate a longer-history entry on a (potential)
+            # misprediction, with probability 1/2 to limit churn --
+            # the VTAGE allocation policy.
+            if self._rng.coin(0.5):
+                self._allocate(outcome, value, table)
+            return
+
+        base = self._base[index]
+        if base.value == value:
+            self._bump(base)
+            return
+        if base.confidence == 0:
+            base.value = value
+        else:
+            base.confidence = 0
+        if self._rng.coin(0.5):
+            self._allocate(outcome, value, -1)
+
+    def _bump(self, entry) -> None:
+        level = entry.confidence
+        if level < CONFIDENCE_THRESHOLD:
+            p = self._probs[level]
+            if p >= 1.0 or self._rng.coin(p):
+                entry.confidence = level + 1
+
+    def _allocate(self, outcome: LoadOutcome, value: int, above: int) -> None:
+        """Allocate into one longer-history table with a free-ish slot."""
+        for table in range(above + 1, self.num_tables):
+            index = self._index(
+                outcome.pc, table, outcome.direction_history,
+                outcome.path_history,
+            )
+            entry = self._tables[table][index]
+            if entry.useful == 0:
+                entry.tag = self._tag(outcome.pc, table, outcome.direction_history)
+                entry.value = value
+                entry.confidence = 0
+                return
+            if self._rng.coin(0.25):
+                entry.useful -= 1
+
+    def storage_bits(self) -> int:
+        return (
+            self.base_entries * BITS_PER_BASE_ENTRY
+            + self.num_tables * self.tagged_entries * BITS_PER_TAGGED_ENTRY
+        )

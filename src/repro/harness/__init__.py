@@ -1,0 +1,33 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Two evaluation modes are provided:
+
+* :mod:`repro.harness.functional` -- a fast program-order simulator
+  that measures predictor coverage/accuracy/overlap without timing.
+  Used for Figure 2 (oracle breakdown), Figure 4 (overlap), Figure 7
+  (smart-training breakdown), Table V (Listing-1 warm-up), and the
+  coverage half of Figures 11/12.
+* :mod:`repro.pipeline` -- the cycle-level core model, used for every
+  speedup measurement.
+
+:mod:`repro.harness.experiments` has one entry point per paper
+artifact; :mod:`repro.harness.formatting` renders the results as the
+text tables the benchmark harness prints.
+"""
+
+from repro.harness.functional import FunctionalResult, run_functional
+from repro.harness.presets import ExperimentScale, FULL, QUICK, SMOKE, scale_from_env
+from repro.harness.runner import baseline_result, run_predictor, workload_trace
+
+__all__ = [
+    "ExperimentScale",
+    "FULL",
+    "FunctionalResult",
+    "QUICK",
+    "SMOKE",
+    "baseline_result",
+    "run_functional",
+    "run_predictor",
+    "scale_from_env",
+    "workload_trace",
+]

@@ -1,0 +1,789 @@
+"""One entry point per table/figure of the paper.
+
+Every function returns a plain, JSON-friendly dict so the benchmark
+harness, the CLI, and the tests can all consume the same results.
+Speedups are fractions (0.05 == +5%); coverage is a fraction of
+predictable loads.  See EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import replace
+
+from repro.classify.oracle import LoadPattern, classify_trace
+from repro.composite.composite import CompositePredictor
+from repro.composite.config import CompositeConfig
+from repro.composite.heterogeneous import (
+    TABLE_VI_CONFIGS,
+    paper_config,
+    storage_kib,
+)
+from repro.eves.eves import eves_8kb, eves_32kb, eves_infinite
+from repro.harness.functional import run_functional
+from repro.harness.presets import QUICK, ExperimentScale
+from repro.harness.runner import speedup, workload_trace
+from repro.pipeline.vp import EvesAdapter, SingleComponentAdapter
+from repro.predictors import COMPONENT_NAMES, make_component
+from repro.predictors.fpc_vectors import table_iv_rows
+from repro.workloads.listing1 import listing1_trace
+from repro.workloads.profiles import ALL_WORKLOADS, WORKLOAD_FAMILY
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return statistics.mean(values) if values else 0.0
+
+
+def _composite_config(scale: ExperimentScale, per_component: int,
+                      **overrides) -> CompositeConfig:
+    config = CompositeConfig(
+        epoch_instructions=scale.epoch_instructions, seed=scale.seed
+    ).homogeneous(per_component)
+    return replace(config, **overrides) if overrides else config
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+
+def table1_taxonomy() -> dict:
+    """Table I: the four component predictors' taxonomy."""
+    return {
+        "rows": [
+            {"predictor": "LVP", "predicts": "values", "context": "agnostic"},
+            {"predictor": "SAP", "predicts": "addresses", "context": "agnostic"},
+            {"predictor": "CVP", "predicts": "values", "context": "aware"},
+            {"predictor": "CAP", "predicts": "addresses", "context": "aware"},
+        ]
+    }
+
+
+def table2_workloads() -> dict:
+    """Table II: the workload population, grouped by family."""
+    by_family: dict[str, list[str]] = {}
+    for name, family in WORKLOAD_FAMILY.items():
+        by_family.setdefault(family, []).append(name)
+    return {
+        "total": len(ALL_WORKLOADS),
+        "families": {f: sorted(ws) for f, ws in sorted(by_family.items())},
+    }
+
+
+def table3_core_config() -> dict:
+    """Table III: baseline core configuration actually used."""
+    from repro.pipeline.config import CoreConfig
+
+    cfg = CoreConfig()
+    return {
+        "fetch_width": cfg.fetch_width,
+        "issue_width": cfg.issue_width,
+        "rob/iq/ldq/stq": (
+            cfg.rob_entries, cfg.iq_entries, cfg.ldq_entries, cfg.stq_entries
+        ),
+        "fetch_to_execute": cfg.fetch_to_execute,
+        "l1d": f"{cfg.hierarchy.l1d.size_bytes // 1024}KB "
+               f"{cfg.hierarchy.l1d.associativity}-way "
+               f"{cfg.hierarchy.l1d.hit_latency}-cycle",
+        "l2": f"{cfg.hierarchy.l2.size_bytes // 1024}KB, "
+              f"{cfg.hierarchy.l2.hit_latency}-cycle",
+        "l3": f"{cfg.hierarchy.l3.size_bytes // (1024 * 1024)}MB, "
+              f"{cfg.hierarchy.l3.hit_latency}-cycle",
+        "memory_latency": cfg.hierarchy.memory_latency,
+        "tlb": f"{cfg.hierarchy.tlb_entries}-entry "
+               f"{cfg.hierarchy.tlb_associativity}-way",
+    }
+
+
+def table4_parameters() -> dict:
+    """Table IV: predictor parameters, FPC vectors, storage."""
+    rows = table_iv_rows()
+    for row in rows:
+        predictor = make_component(row["predictor"].lower(), 1024)
+        row["storage_kib_at_1k"] = round(predictor.storage_kib(), 2)
+    return {"rows": rows}
+
+
+def table5_listing1(outer_m: int = 24, inner_n: int = 16) -> dict:
+    """Table V: first predicted inner-loop load per outer iteration.
+
+    Runs each component predictor (functionally, 4K entries so aliasing
+    is nil -- the paper's "assuming no predictor aliasing") over the
+    Listing-1 loop nest and records, for selected outer iterations, the
+    first inner iteration whose scan load was predicted.  ``None``
+    means the predictor never predicted during that outer iteration.
+    """
+    from repro.branch.history import HistorySet
+    from repro.memory.image import MemoryImage
+    from repro.predictors.types import LoadOutcome, LoadProbe, PredictionKind
+
+    trace = listing1_trace(outer_m=outer_m, inner_n=inner_n)
+    scan_pc = trace.metadata["scan_load_pc"]
+    table: dict[str, list] = {}
+    for name in COMPONENT_NAMES:
+        predictor = make_component(name, 4096)
+        histories = HistorySet()
+        mem = trace.initial_memory.copy() if trace.initial_memory else MemoryImage()
+        first_predicted: list = [None] * outer_m
+        scan_count = 0
+        for inst in trace.instructions:
+            if inst.op.is_branch:
+                if inst.op.name == "BRANCH_COND":
+                    histories.push_branch(inst.pc, inst.taken)
+                else:
+                    histories.push_unconditional(inst.pc)
+                continue
+            if inst.op.is_store:
+                mem.write(inst.addr, inst.size, inst.value)
+                histories.push_memory(inst.pc)
+                continue
+            if not inst.is_load:
+                continue
+            probe = LoadProbe(
+                pc=inst.pc,
+                direction_history=histories.direction,
+                path_history=histories.path,
+                load_path_history=histories.load_path,
+            )
+            prediction = predictor.predict(probe)
+            if inst.pc == scan_pc:
+                outer, inner = divmod(scan_count, inner_n)
+                scan_count += 1
+                if prediction is not None and first_predicted[outer] is None:
+                    correct = (
+                        prediction.value == inst.value
+                        if prediction.kind is PredictionKind.VALUE
+                        else mem.read(prediction.addr, prediction.size) == inst.value
+                    )
+                    if correct:
+                        first_predicted[outer] = inner
+            predictor.train(LoadOutcome(
+                pc=inst.pc, addr=inst.addr, size=inst.size, value=inst.value,
+                direction_history=probe.direction_history,
+                path_history=probe.path_history,
+                load_path_history=probe.load_path_history,
+            ))
+            histories.push_memory(inst.pc)
+        table[name] = first_predicted
+    return {
+        "outer_m": outer_m,
+        "inner_n": inner_n,
+        "first_predicted_inner_iteration": table,
+    }
+
+
+def table6_heterogeneous(
+    scale: ExperimentScale = QUICK,
+    totals: tuple[int, ...] = (256, 512, 1024),
+    extra_candidates: int = 4,
+) -> dict:
+    """Table VI: best allocation per total-entry budget.
+
+    Evaluates the homogeneous split, the paper's winning allocation,
+    and a few alternative heterogeneous splits per budget, and reports
+    the best.  (The paper's exhaustive 0..1K sweep is available by
+    passing a longer candidate list; it is hours of pure-Python time.)
+    """
+    results = {}
+    for total in totals:
+        candidates = {(total // 4,) * 4}
+        if total in TABLE_VI_CONFIGS:
+            candidates.add(TABLE_VI_CONFIGS[total])
+        quarter = total // 4
+        alternates = [
+            (quarter // 2, quarter * 2, quarter, quarter // 2),
+            (quarter // 2, quarter, quarter * 2, quarter // 2),
+            (quarter * 2, quarter, quarter // 2, quarter // 2),
+            (quarter // 2, quarter // 2, quarter * 2, quarter),
+        ]
+        for alt in alternates[:extra_candidates]:
+            if all(x > 0 for x in alt) and sum(alt) == total:
+                candidates.add(alt)
+        rows = []
+        for allocation in sorted(candidates):
+            lvp, sap, cvp, cap = allocation
+            config = replace(
+                CompositeConfig(
+                    epoch_instructions=scale.epoch_instructions,
+                    seed=scale.seed,
+                ).with_entries(lvp, sap, cvp, cap),
+                table_fusion=False,
+            )
+            gains = [
+                speedup(wl, scale.trace_length, CompositePredictor(config),
+                        seed)[0]
+                for wl, seed in scale.runs()
+            ]
+            rows.append({
+                "allocation": allocation,
+                "storage_kib": round(storage_kib(*allocation), 2),
+                "speedup": _mean(gains),
+            })
+        rows.sort(key=lambda r: r["speedup"], reverse=True)
+        homogeneous = next(
+            r for r in rows if r["allocation"] == (total // 4,) * 4
+        )
+        best = rows[0]
+        results[total] = {
+            "best": best,
+            "homogeneous": homogeneous,
+            "all": rows,
+            "best_is_homogeneous": best["allocation"] == (total // 4,) * 4,
+            "speedup_per_kib": (
+                best["speedup"] / best["storage_kib"]
+                if best["storage_kib"] else 0.0
+            ),
+        }
+    return {"scale": scale.name, "budgets": results}
+
+
+# ----------------------------------------------------------------------
+# Figures
+# ----------------------------------------------------------------------
+
+def fig2_load_breakdown(scale: ExperimentScale = QUICK) -> dict:
+    """Figure 2: oracle load-pattern breakdown."""
+    per_workload = {}
+    totals = {p: 0 for p in LoadPattern}
+    grand_total = 0
+    for wl, seed in scale.runs():
+        result = classify_trace(workload_trace(wl, scale.trace_length, seed))
+        per_workload[wl] = result.as_dict()
+        for pattern in LoadPattern:
+            totals[pattern] += result.counts[pattern]
+        grand_total += result.total
+    return {
+        "scale": scale.name,
+        "per_workload": per_workload,
+        "average": {
+            p.value: totals[p] / grand_total if grand_total else 0.0
+            for p in LoadPattern
+        },
+    }
+
+
+def fig3_component_speedup(
+    scale: ExperimentScale = QUICK,
+    sizes: tuple[int, ...] = (64, 256, 1024, 4096),
+) -> dict:
+    """Figure 3: per-component speedup as table entries scale."""
+    curves: dict[str, dict[int, float]] = {n: {} for n in COMPONENT_NAMES}
+    for name in COMPONENT_NAMES:
+        for entries in sizes:
+            gains = []
+            for wl, seed in scale.runs():
+                adapter = SingleComponentAdapter(make_component(name, entries))
+                gains.append(
+                    speedup(wl, scale.trace_length, adapter, seed)[0]
+                )
+            curves[name][entries] = _mean(gains)
+    return {"scale": scale.name, "sizes": list(sizes), "speedup": curves}
+
+
+def fig4_overlap(scale: ExperimentScale = QUICK, per_component: int = 1024) -> dict:
+    """Figure 4: how many components cover each predicted load."""
+    histogram = [0] * 5
+    sole = dict.fromkeys(COMPONENT_NAMES, 0)
+    total_loads = 0
+    multi_confident = 0
+    disagreements = 0
+    for wl, seed in scale.runs():
+        config = _composite_config(scale, per_component).plain()
+        predictor = CompositePredictor(config)
+        functional = run_functional(
+            workload_trace(wl, scale.trace_length, seed), predictor
+        )
+        multi_confident += functional.multi_confident_loads
+        disagreements += functional.disagreements
+        stats = predictor.stats
+        for k in range(5):
+            histogram[k] += stats.confident_histogram[k]
+        for name in COMPONENT_NAMES:
+            sole[name] += stats.sole_predictor[name]
+        total_loads += stats.loads
+    predicted = sum(histogram[1:])
+    return {
+        "scale": scale.name,
+        "per_component_entries": per_component,
+        "fraction_predicted": predicted / total_loads if total_loads else 0.0,
+        "by_count": {
+            k: histogram[k] / predicted if predicted else 0.0
+            for k in range(1, 5)
+        },
+        "multiple_fraction": (
+            sum(histogram[2:]) / predicted if predicted else 0.0
+        ),
+        "sole_predictor": {
+            n: sole[n] / predicted if predicted else 0.0
+            for n in COMPONENT_NAMES
+        },
+        # The paper: "highly-confident predictors disagree less than
+        # 0.03% of the time".
+        "disagreement_fraction": (
+            disagreements / multi_confident if multi_confident else 0.0
+        ),
+    }
+
+
+def fig5_composite_vs_component(
+    scale: ExperimentScale = QUICK,
+    totals: tuple[int, ...] = (256, 1024, 4096),
+) -> dict:
+    """Figure 5: homogeneous composite vs best component, same budget."""
+    rows = {}
+    for total in totals:
+        per = total // 4
+        composite_gains = []
+        component_gains = {n: [] for n in COMPONENT_NAMES}
+        for wl, seed in scale.runs():
+            config = _composite_config(scale, per).plain()
+            composite_gains.append(
+                speedup(wl, scale.trace_length, CompositePredictor(config),
+                        seed)[0]
+            )
+            for name in COMPONENT_NAMES:
+                adapter = SingleComponentAdapter(make_component(name, total))
+                component_gains[name].append(
+                    speedup(wl, scale.trace_length, adapter, seed)[0]
+                )
+        best_name, best_gain = max(
+            ((n, _mean(g)) for n, g in component_gains.items()),
+            key=lambda item: item[1],
+        )
+        rows[total] = {
+            "composite": _mean(composite_gains),
+            "best_component": best_gain,
+            "best_component_name": best_name,
+            "advantage": _mean(composite_gains) - best_gain,
+        }
+    return {"scale": scale.name, "totals": rows}
+
+
+def fig6_accuracy_monitor(
+    scale: ExperimentScale = QUICK, per_component: int = 256
+) -> dict:
+    """Figure 6: speedup from M-AM / PC-AM(64) / PC-AM(infinite)."""
+    variants = {
+        "base": {"accuracy_monitor": "none"},
+        "m-am": {"accuracy_monitor": "m-am"},
+        "pc-am-64": {"accuracy_monitor": "pc-am", "pc_am_entries": 64},
+        "pc-am-infinite": {"accuracy_monitor": "pc-am-infinite"},
+    }
+    results = {}
+    for label, overrides in variants.items():
+        config = replace(
+            _composite_config(scale, per_component).plain(), **overrides
+        )
+        gains = [
+            speedup(wl, scale.trace_length, CompositePredictor(config),
+                    seed)[0]
+            for wl, seed in scale.runs()
+        ]
+        results[label] = _mean(gains)
+    return {
+        "scale": scale.name,
+        "per_component_entries": per_component,
+        "speedup": results,
+    }
+
+
+def fig7_smart_training(
+    scale: ExperimentScale = QUICK,
+    per_component_sizes: tuple[int, ...] = (64, 256, 1024),
+) -> dict:
+    """Figure 7: prediction-count breakdown and predictors trained."""
+    results = {}
+    for per in per_component_sizes:
+        row = {}
+        for label, smart in (("train_all", False), ("smart", True)):
+            config = replace(
+                _composite_config(scale, per).plain(), smart_training=smart
+            )
+            histogram = [0] * 5
+            train_ops = 0
+            train_events = 0
+            for wl, seed in scale.runs():
+                predictor = CompositePredictor(config)
+                run_functional(
+                    workload_trace(wl, scale.trace_length, seed), predictor
+                )
+                for k in range(5):
+                    histogram[k] += predictor.stats.confident_histogram[k]
+                train_ops += predictor.stats.train_operations
+                train_events += predictor.stats.train_events
+            predicted = sum(histogram[1:])
+            row[label] = {
+                "multiple_prediction_fraction": (
+                    sum(histogram[2:]) / predicted if predicted else 0.0
+                ),
+                "avg_predictors_trained": (
+                    train_ops / train_events if train_events else 0.0
+                ),
+            }
+        results[per] = row
+    return {"scale": scale.name, "sizes": results}
+
+
+def _optimization_speedup_sweep(
+    scale: ExperimentScale,
+    per_component_sizes: tuple[int, ...],
+    overrides: dict,
+) -> dict:
+    """Shared shape of Figures 8 and 9: base vs one optimization."""
+    results = {}
+    for per in per_component_sizes:
+        base_config = _composite_config(scale, per).plain()
+        opt_config = replace(base_config, **overrides)
+        base_gains, opt_gains = [], []
+        for wl, seed in scale.runs():
+            base_gains.append(
+                speedup(wl, scale.trace_length,
+                        CompositePredictor(base_config), seed)[0]
+            )
+            opt_gains.append(
+                speedup(wl, scale.trace_length,
+                        CompositePredictor(opt_config), seed)[0]
+            )
+        results[per] = {
+            "base": _mean(base_gains),
+            "optimized": _mean(opt_gains),
+            "delta": _mean(opt_gains) - _mean(base_gains),
+        }
+    return results
+
+
+def fig8_smart_training_speedup(
+    scale: ExperimentScale = QUICK,
+    per_component_sizes: tuple[int, ...] = (64, 256, 1024),
+) -> dict:
+    """Figure 8: speedup from smart training across sizes."""
+    return {
+        "scale": scale.name,
+        "sizes": _optimization_speedup_sweep(
+            scale, per_component_sizes, {"smart_training": True}
+        ),
+    }
+
+
+def fig9_table_fusion(
+    scale: ExperimentScale = QUICK,
+    per_component_sizes: tuple[int, ...] = (64, 256, 1024),
+) -> dict:
+    """Figure 9: speedup from table fusion across sizes."""
+    return {
+        "scale": scale.name,
+        "sizes": _optimization_speedup_sweep(
+            scale, per_component_sizes, {"table_fusion": True}
+        ),
+    }
+
+
+def fig10_combined(
+    scale: ExperimentScale = QUICK,
+    totals: tuple[int, ...] = (256, 512, 1024, 4096),
+) -> dict:
+    """Figure 10: MAX(composite) vs MAX(component) per storage budget.
+
+    The paper's Figure 10 plots the *maximum* benefit over its design
+    space at each budget ("MAX (Component)" / "MAX (Composite)").  We
+    therefore evaluate a small set of composite design points per
+    budget -- the Table VI winning allocation with all optimizations,
+    the homogeneous base composite, and the homogeneous composite with
+    the PC-AM filter -- and report the best, against the best of the
+    four components at the same total entry budget.
+    """
+    base = CompositeConfig(
+        epoch_instructions=scale.epoch_instructions, seed=scale.seed
+    )
+    rows = {}
+    for total in totals:
+        per = total // 4
+        candidates = {
+            "paper-all-opts": paper_config(total, base),
+            "homogeneous-plain": base.homogeneous(per).plain(),
+            "homogeneous-pcam": replace(
+                base.homogeneous(per).plain(), accuracy_monitor="pc-am"
+            ),
+        }
+        composite_results = {}
+        for label, config in candidates.items():
+            composite_results[label] = _mean(
+                speedup(wl, scale.trace_length, CompositePredictor(config),
+                        seed)[0]
+                for wl, seed in scale.runs()
+            )
+        best_composite_label, composite = max(
+            composite_results.items(), key=lambda item: item[1]
+        )
+        component_gains = {}
+        for name in COMPONENT_NAMES:
+            component_gains[name] = _mean(
+                speedup(
+                    wl, scale.trace_length,
+                    SingleComponentAdapter(make_component(name, total)),
+                    seed,
+                )[0]
+                for wl, seed in scale.runs()
+            )
+        best_name, best_gain = max(
+            component_gains.items(), key=lambda item: item[1]
+        )
+        winner = candidates[best_composite_label]
+        rows[total] = {
+            "storage_kib": round(storage_kib(*winner.entries().values()), 2),
+            "composite": composite,
+            "composite_config": best_composite_label,
+            "composite_all": composite_results,
+            "best_component": best_gain,
+            "best_component_name": best_name,
+            "improvement": (
+                composite / best_gain - 1.0 if best_gain > 0 else float("inf")
+            ),
+        }
+    return {"scale": scale.name, "totals": rows}
+
+
+def _eves_adapters() -> dict:
+    return {
+        "eves-8kb": lambda seed: EvesAdapter(eves_8kb(seed)),
+        "eves-32kb": lambda seed: EvesAdapter(eves_32kb(seed)),
+        "eves-infinite": lambda seed: EvesAdapter(eves_infinite(seed)),
+    }
+
+
+def _composite_for_budget(scale: ExperimentScale, total: int) -> CompositePredictor:
+    config = paper_config(
+        total,
+        CompositeConfig(
+            epoch_instructions=scale.epoch_instructions, seed=scale.seed
+        ),
+    )
+    return CompositePredictor(config)
+
+
+def fig11_vs_eves(scale: ExperimentScale = QUICK) -> dict:
+    """Figure 11: composite (small budgets) vs EVES (large budgets)."""
+    contenders: dict[str, dict] = {}
+    specs = {
+        "composite-4.8kb": lambda seed: _composite_for_budget(scale, 512),
+        "composite-9.6kb": lambda seed: _composite_for_budget(scale, 1024),
+        **_eves_adapters(),
+    }
+    for label, factory in specs.items():
+        gains, coverages = [], []
+        for wl, seed in scale.runs():
+            gain, result = speedup(
+                wl, scale.trace_length, factory(seed), seed
+            )
+            gains.append(gain)
+            coverages.append(result.coverage)
+        contenders[label] = {
+            "speedup": _mean(gains),
+            "coverage": _mean(coverages),
+        }
+    small = contenders["composite-9.6kb"]
+    eves = contenders["eves-32kb"]
+    return {
+        "scale": scale.name,
+        "contenders": contenders,
+        "composite96_vs_eves32": {
+            "speedup_increase": (
+                small["speedup"] / eves["speedup"] - 1.0
+                if eves["speedup"] > 0 else float("inf")
+            ),
+            "coverage_increase": (
+                small["coverage"] / eves["coverage"] - 1.0
+                if eves["coverage"] > 0 else float("inf")
+            ),
+        },
+    }
+
+
+def ablation_footnote1(scale: ExperimentScale = QUICK,
+                       per_component: int = 256) -> dict:
+    """Footnote 1: last-address and stride-value predictors are
+    redundant next to the chosen four.
+
+    Measures LAP and SVP standalone, then a six-component composite
+    (the four + LAP + SVP) against the paper's four-component
+    composite at the same per-component size.  The paper's finding is
+    that the extras add "limited or no benefit in the presence of the
+    four selected predictors" despite costing extra storage.
+    """
+    base = CompositeConfig(
+        epoch_instructions=scale.epoch_instructions, seed=scale.seed,
+        table_fusion=False,
+    ).homogeneous(per_component)
+    extended = replace(
+        base,
+        extra_components=(("lap", per_component), ("svp", per_component)),
+    )
+
+    standalone = {}
+    for name in ("lap", "svp"):
+        standalone[name] = _mean(
+            speedup(
+                wl, scale.trace_length,
+                SingleComponentAdapter(make_component(name, 4 * per_component)),
+                seed,
+            )[0]
+            for wl, seed in scale.runs()
+        )
+
+    def run(config):
+        gains, coverages = [], []
+        for wl, seed in scale.runs():
+            gain, result = speedup(
+                wl, scale.trace_length, CompositePredictor(config), seed
+            )
+            gains.append(gain)
+            coverages.append(result.coverage)
+        return {"speedup": _mean(gains), "coverage": _mean(coverages)}
+
+    four = run(base)
+    six = run(extended)
+    return {
+        "scale": scale.name,
+        "per_component_entries": per_component,
+        "standalone": standalone,
+        "composite_four": four,
+        "composite_six": six,
+        "speedup_benefit_of_extras": six["speedup"] - four["speedup"],
+        "coverage_benefit_of_extras": six["coverage"] - four["coverage"],
+    }
+
+
+def ablation_selection_policy(scale: ExperimentScale = QUICK,
+                              per_component: int = 256) -> dict:
+    """Section V-A's power point: value-first vs address-first selection.
+
+    The paper prefers value predictions because highly-confident
+    components almost never disagree, so the selection policy cannot
+    change outcomes -- only how often the speculative D-cache is
+    probed.  Measures speedup and PAQ probes under both policies, on
+    the Section V-A *base* composite (smart training would remove most
+    of the overlap the policy arbitrates).
+    """
+    results = {}
+    for label, prefer_value in (("value-first", True), ("address-first", False)):
+        config = replace(
+            _composite_config(scale, per_component).plain(),
+            prefer_value_predictions=prefer_value,
+        )
+        gains, probes, predictions = [], 0, 0
+        for wl, seed in scale.runs():
+            gain, result = speedup(
+                wl, scale.trace_length, CompositePredictor(config), seed
+            )
+            gains.append(gain)
+            probes += result.paq_probes
+            predictions += result.predicted_loads
+        results[label] = {
+            "speedup": _mean(gains),
+            "paq_probes": probes,
+            "predictions": predictions,
+            "probes_per_prediction": probes / predictions if predictions else 0.0,
+        }
+    return {
+        "scale": scale.name,
+        "per_component_entries": per_component,
+        "policies": results,
+        "speedup_delta": (
+            results["value-first"]["speedup"]
+            - results["address-first"]["speedup"]
+        ),
+        "probe_reduction": (
+            1.0 - results["value-first"]["paq_probes"]
+            / results["address-first"]["paq_probes"]
+            if results["address-first"]["paq_probes"] else 0.0
+        ),
+    }
+
+
+def ablation_confidence_tuning(
+    scale: ExperimentScale = QUICK,
+    per_component: int = 256,
+    deltas: tuple[int, ...] = (0, -1, -2),
+) -> dict:
+    """Section III-B's tuning rationale: lower confidence bars raise
+    coverage but cost accuracy, and the misprediction flushes eat the
+    gains ("lower accuracy tends to decrease performance gains").
+    """
+    rows = {}
+    for delta in deltas:
+        config = replace(
+            _composite_config(scale, per_component).plain(),
+            confidence_delta=delta,
+        )
+        gains, coverages, accuracies = [], [], []
+        for wl, seed in scale.runs():
+            gain, result = speedup(
+                wl, scale.trace_length, CompositePredictor(config), seed
+            )
+            gains.append(gain)
+            coverages.append(result.coverage)
+            accuracies.append(result.accuracy)
+        rows[delta] = {
+            "speedup": _mean(gains),
+            "coverage": _mean(coverages),
+            "accuracy": _mean(accuracies),
+        }
+    return {
+        "scale": scale.name,
+        "per_component_entries": per_component,
+        "deltas": rows,
+    }
+
+
+def fig12_per_workload(scale: ExperimentScale = QUICK) -> dict:
+    """Figure 12: per-workload composite (9.6KB) vs EVES (32KB)."""
+    per_workload = {}
+    composite_wins = 0
+    eves_wins = 0
+    for wl in scale.workloads:
+        composite_gains, eves_gains = [], []
+        composite_covs, eves_covs = [], []
+        for seed in scale.seeds:
+            composite_gain, composite_result = speedup(
+                wl, scale.trace_length, _composite_for_budget(scale, 1024),
+                seed,
+            )
+            eves_gain, eves_result = speedup(
+                wl, scale.trace_length, EvesAdapter(eves_32kb(seed)), seed
+            )
+            composite_gains.append(composite_gain)
+            eves_gains.append(eves_gain)
+            composite_covs.append(composite_result.coverage)
+            eves_covs.append(eves_result.coverage)
+        composite_gain = _mean(composite_gains)
+        eves_gain = _mean(eves_gains)
+        if composite_gain > eves_gain + 1e-9:
+            composite_wins += 1
+        elif eves_gain > composite_gain + 1e-9:
+            eves_wins += 1
+        per_workload[wl] = {
+            "composite_speedup": composite_gain,
+            "eves_speedup": eves_gain,
+            "composite_coverage": _mean(composite_covs),
+            "eves_coverage": _mean(eves_covs),
+        }
+    return {
+        "scale": scale.name,
+        "per_workload": per_workload,
+        "composite_wins": composite_wins,
+        "eves_wins": eves_wins,
+        "average": {
+            "composite_speedup": _mean(
+                r["composite_speedup"] for r in per_workload.values()
+            ),
+            "eves_speedup": _mean(
+                r["eves_speedup"] for r in per_workload.values()
+            ),
+            "composite_coverage": _mean(
+                r["composite_coverage"] for r in per_workload.values()
+            ),
+            "eves_coverage": _mean(
+                r["eves_coverage"] for r in per_workload.values()
+            ),
+        },
+    }

@@ -1,0 +1,132 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness and the CLI print these tables; they mirror the
+rows/series the paper reports so measured numbers can be placed next to
+the published ones (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def render_table(headers: list[str], rows: Iterable[Iterable]) -> str:
+    """Monospace table with per-column width fitting."""
+    materialized = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    rule = "  ".join("-" * w for w in widths)
+    out = [line(headers), rule]
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def pct(value: float) -> str:
+    """Format a fraction as a signed percentage."""
+    return f"{value * 100:+.2f}%"
+
+
+def frac(value: float) -> str:
+    """Format a fraction as an unsigned percentage."""
+    return f"{value * 100:.1f}%"
+
+
+def format_fig3(result: dict) -> str:
+    """Render the Figure 3 component-speedup sweep."""
+    sizes = result["sizes"]
+    rows = [
+        [name.upper()] + [pct(result["speedup"][name][s]) for s in sizes]
+        for name in result["speedup"]
+    ]
+    return "Figure 3 -- component speedup vs entries\n" + render_table(
+        ["predictor"] + [f"{s}e" for s in sizes], rows
+    )
+
+
+def format_fig5(result: dict) -> str:
+    """Render the Figure 5 composite-vs-component table."""
+    rows = [
+        [
+            total, pct(row["composite"]), pct(row["best_component"]),
+            row["best_component_name"].upper(), pct(row["advantage"]),
+        ]
+        for total, row in result["totals"].items()
+    ]
+    return "Figure 5 -- composite vs best component\n" + render_table(
+        ["total entries", "composite", "best component", "which", "advantage"],
+        rows,
+    )
+
+
+def format_fig10(result: dict) -> str:
+    """Render the Figure 10 MAX-composite comparison."""
+    rows = [
+        [
+            total, f'{row["storage_kib"]}KiB', pct(row["composite"]),
+            pct(row["best_component"]), row["best_component_name"].upper(),
+            f'{row["improvement"] * 100:+.0f}%',
+        ]
+        for total, row in result["totals"].items()
+    ]
+    return (
+        "Figure 10 -- best composite vs best component (paper: +54%..+74%)\n"
+        + render_table(
+            ["total", "storage", "composite", "component", "which",
+             "improvement"],
+            rows,
+        )
+    )
+
+
+def format_fig11(result: dict) -> str:
+    """Render the Figure 11 composite-vs-EVES table."""
+    rows = [
+        [label, pct(row["speedup"]), frac(row["coverage"])]
+        for label, row in result["contenders"].items()
+    ]
+    summary = result["composite96_vs_eves32"]
+    return (
+        "Figure 11 -- composite vs EVES\n"
+        + render_table(["predictor", "speedup", "coverage"], rows)
+        + "\ncomposite(9.6KB) vs EVES(32KB): "
+        + f"speedup {summary['speedup_increase'] * 100:+.0f}%, "
+        + f"coverage {summary['coverage_increase'] * 100:+.0f}% "
+        + "(paper: >+50% and +133%)"
+    )
+
+
+def format_table5(result: dict) -> str:
+    """Render the Table V warm-up matrix."""
+    table = result["first_predicted_inner_iteration"]
+    outer_m = result["outer_m"]
+    show = [o for o in (0, 1, 2, 4, 8, 16) if o < outer_m]
+    rows = [
+        [name.upper()] + [
+            "-" if table[name][o] is None else table[name][o] for o in show
+        ]
+        for name in table
+    ]
+    return (
+        "Table V -- first predicted inner iteration (None/'-' = never)\n"
+        + render_table(["predictor"] + [f"o={o}" for o in show], rows)
+    )
+
+
+def format_table6(result: dict) -> str:
+    """Render the Table VI best-allocation table."""
+    rows = []
+    for total, info in result["budgets"].items():
+        best = info["best"]
+        rows.append([
+            total, best["allocation"], f'{best["storage_kib"]}KiB',
+            pct(best["speedup"]),
+            "yes" if info["best_is_homogeneous"] else "no",
+        ])
+    return "Table VI -- best allocation per budget\n" + render_table(
+        ["total", "(LVP,SAP,CVP,CAP)", "storage", "speedup", "homogeneous?"],
+        rows,
+    )

@@ -1,0 +1,142 @@
+"""Fast program-order (functional) predictor evaluation.
+
+Runs a predictor assembly over a trace without the timing model:
+histories update in program order, stores apply to memory immediately,
+and each load is predicted, validated, and trained in sequence.  This
+measures coverage, accuracy, and overlap -- the quantities behind
+Figures 2, 4, 7, Table V, and the coverage columns of Figures 11/12 --
+at several times the speed of the cycle model.
+
+Functional mode has no in-flight window: address-prediction probes see
+all older stores (no conflicting-store mispredictions) and
+``inflight_same_pc`` is always zero.  Timing-sensitive effects need
+:func:`repro.pipeline.simulate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.branch.history import HistorySet
+from repro.isa.instruction import OpClass
+from repro.isa.trace import Trace
+from repro.memory.image import MemoryImage
+from repro.pipeline.vp import ValuePredictorHost
+from repro.predictors.types import LoadOutcome, LoadProbe, PredictionKind
+
+
+@dataclass
+class FunctionalResult:
+    """Counters from one functional run."""
+
+    workload: str
+    instructions: int
+    loads: int = 0
+    predicted_loads: int = 0
+    correct_predictions: int = 0
+    #: histogram[k] = predictable loads with exactly k confident components
+    confident_histogram: list[int] = field(default_factory=lambda: [0] * 5)
+    per_component_confident: dict = field(default_factory=dict)
+    per_component_correct: dict = field(default_factory=dict)
+    #: loads where >=2 components were confident (the overlap cases)
+    multi_confident_loads: int = 0
+    #: ...and among those, loads where their speculative values differed
+    #: (the paper: "highly-confident predictors disagree less than
+    #: 0.03% of the time")
+    disagreements: int = 0
+
+    @property
+    def coverage(self) -> float:
+        return self.predicted_loads / self.loads if self.loads else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predicted_loads:
+            return 1.0
+        return self.correct_predictions / self.predicted_loads
+
+    @property
+    def disagreement_fraction(self) -> float:
+        """Disagreements per multi-confident load."""
+        if not self.multi_confident_loads:
+            return 0.0
+        return self.disagreements / self.multi_confident_loads
+
+
+def run_functional(
+    trace: Trace,
+    predictor: ValuePredictorHost,
+    tick_epochs: bool = True,
+) -> FunctionalResult:
+    """Evaluate ``predictor`` over ``trace`` in program order."""
+    histories = HistorySet()
+    mem = (
+        trace.initial_memory.copy()
+        if isinstance(trace.initial_memory, MemoryImage)
+        else MemoryImage()
+    )
+    result = FunctionalResult(workload=trace.name, instructions=len(trace))
+
+    for inst in trace.instructions:
+        op = inst.op
+        if op.is_branch:
+            if op is OpClass.BRANCH_COND:
+                histories.push_branch(inst.pc, inst.taken)
+            else:
+                histories.push_unconditional(inst.pc)
+        elif op is OpClass.STORE:
+            mem.write(inst.addr, inst.size, inst.value)
+            histories.push_memory(inst.pc)
+        elif op is OpClass.LOAD:
+            if inst.predictable:
+                result.loads += 1
+                probe = LoadProbe(
+                    pc=inst.pc,
+                    direction_history=histories.direction,
+                    path_history=histories.path,
+                    load_path_history=histories.load_path,
+                    inflight_same_pc=0,
+                )
+                decision = predictor.predict(probe)
+                correctness = {}
+                speculative_values = []
+                for name, prediction in decision.confident.items():
+                    if prediction.kind is PredictionKind.VALUE:
+                        speculative = prediction.value
+                    else:
+                        speculative = mem.read(prediction.addr, prediction.size)
+                    speculative_values.append(speculative)
+                    correctness[name] = speculative == inst.value
+                if len(speculative_values) >= 2:
+                    result.multi_confident_loads += 1
+                    if len(set(speculative_values)) > 1:
+                        result.disagreements += 1
+                count = len(decision.confident)
+                result.confident_histogram[min(count, 4)] += 1
+                for name in decision.confident:
+                    result.per_component_confident[name] = (
+                        result.per_component_confident.get(name, 0) + 1
+                    )
+                    if correctness[name]:
+                        result.per_component_correct[name] = (
+                            result.per_component_correct.get(name, 0) + 1
+                        )
+                if decision.chosen is not None:
+                    result.predicted_loads += 1
+                    if correctness[decision.chosen.component]:
+                        result.correct_predictions += 1
+                predictor.validate_and_train(
+                    decision,
+                    LoadOutcome(
+                        pc=inst.pc, addr=inst.addr, size=inst.size,
+                        value=inst.value,
+                        direction_history=probe.direction_history,
+                        path_history=probe.path_history,
+                        load_path_history=probe.load_path_history,
+                    ),
+                    correctness,
+                )
+            histories.push_memory(inst.pc)
+        if tick_epochs:
+            predictor.tick_instructions(1)
+    return result

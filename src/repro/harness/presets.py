@@ -1,0 +1,112 @@
+"""Experiment scales.
+
+The paper simulates 100M-instruction SimPoints of 85 workloads on a
+compiled simulator; this library's cycle model is pure Python, so every
+experiment accepts a scale:
+
+* ``SMOKE``  -- seconds; CI-grade shape checks.
+* ``QUICK``  -- the default for `pytest benchmarks/`; minutes per
+  figure, representative workload subset.
+* ``FULL``   -- all 85 workloads at longer traces; use for the
+  Figure 12 per-workload plots (budget ~hours).
+
+Select via the ``REPRO_SCALE`` environment variable (``smoke`` /
+``quick`` / ``full``) or pass a scale explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.workloads.profiles import ALL_WORKLOADS, REPRESENTATIVE_WORKLOADS
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big an experiment should run.
+
+    ``seeds`` lists independent trace generations per workload;
+    experiment averages run over the full (workload x seed) cross
+    product.  Short pure-Python traces make single runs chaotic (one
+    flush shifts fetch alignment for the rest of the trace), so
+    multiple seeds buy back statistical stability the paper gets from
+    100M-instruction windows.
+    """
+
+    name: str
+    workloads: tuple[str, ...]
+    trace_length: int
+    seed: int = 0
+    extra_seeds: tuple[int, ...] = ()
+
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        return (self.seed, *self.extra_seeds)
+
+    def runs(self) -> tuple[tuple[str, int], ...]:
+        """The (workload, seed) cross product an experiment averages."""
+        return tuple(
+            (workload, seed)
+            for workload in self.workloads
+            for seed in self.seeds
+        )
+
+    @property
+    def epoch_instructions(self) -> int:
+        """Epoch for M-AM/fusion bookkeeping.
+
+        The paper uses 1M-instruction epochs within 100M-instruction
+        SimPoints, where predictor warm-up (tens of observations per
+        static load) is negligible next to an epoch.  Our traces are
+        4-5 orders of magnitude shorter, so epochs are scaled such that
+        the fusion observation window (N = 5 epochs) closes only after
+        warm-up: classifying donors while slow predictors are still
+        cold would donate their tables away permanently.
+        """
+        return max(1000, self.trace_length // 12)
+
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    workloads=("coremark", "mcf", "gcc2k", "sunspider", "mpeg2dec",
+               "linpack", "xalancbmk", "splay", "equake", "v8"),
+    trace_length=20_000,
+)
+
+QUICK = ExperimentScale(
+    name="quick",
+    workloads=(
+        "coremark", "gcc2k", "mcf", "leslie3d", "v8", "sunspider",
+        "mpeg2dec", "linpack",
+    ),
+    trace_length=25_000,
+)
+
+FULL = ExperimentScale(
+    name="full",
+    workloads=ALL_WORKLOADS,
+    trace_length=50_000,
+)
+
+#: A medium preset: every representative workload, QUICK trace length.
+REPRESENTATIVE = ExperimentScale(
+    name="representative",
+    workloads=REPRESENTATIVE_WORKLOADS,
+    trace_length=25_000,
+)
+
+_SCALES = {s.name: s for s in (SMOKE, QUICK, FULL, REPRESENTATIVE)}
+
+
+def scale_from_env(default: ExperimentScale = QUICK) -> ExperimentScale:
+    """Resolve the scale from ``REPRO_SCALE`` (default: quick)."""
+    name = os.environ.get("REPRO_SCALE", "").strip().lower()
+    if not name:
+        return default
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_SCALE={name!r} unknown; pick one of {sorted(_SCALES)}"
+        ) from None

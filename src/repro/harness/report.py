@@ -1,0 +1,85 @@
+"""Generate a full reproduction report (all tables and figures).
+
+``repro-lvp report --scale quick -o report.md`` runs every experiment
+and writes one markdown document with the formatted tables, suitable
+for diffing against EXPERIMENTS.md after model or workload changes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable
+
+from repro.harness import experiments as exp
+from repro.harness import formatting as fmt
+from repro.harness.presets import QUICK, ExperimentScale
+
+
+def _default_format(experiment_id: str) -> Callable[[dict], str]:
+    def render(result: dict) -> str:
+        return f"```json\n{json.dumps(result, indent=2, default=str)}\n```"
+
+    return render
+
+
+#: experiment id -> (function, takes_scale, formatter)
+REPORT_SECTIONS: dict[str, tuple] = {
+    "table1": (exp.table1_taxonomy, False, _default_format("table1")),
+    "table2": (exp.table2_workloads, False, _default_format("table2")),
+    "table3": (exp.table3_core_config, False, _default_format("table3")),
+    "table4": (exp.table4_parameters, False, _default_format("table4")),
+    "table5": (exp.table5_listing1, False, fmt.format_table5),
+    "table6": (exp.table6_heterogeneous, True, fmt.format_table6),
+    "fig2": (exp.fig2_load_breakdown, True, _default_format("fig2")),
+    "fig3": (exp.fig3_component_speedup, True, fmt.format_fig3),
+    "fig4": (exp.fig4_overlap, True, _default_format("fig4")),
+    "fig5": (exp.fig5_composite_vs_component, True, fmt.format_fig5),
+    "fig6": (exp.fig6_accuracy_monitor, True, _default_format("fig6")),
+    "fig7": (exp.fig7_smart_training, True, _default_format("fig7")),
+    "fig8": (exp.fig8_smart_training_speedup, True, _default_format("fig8")),
+    "fig9": (exp.fig9_table_fusion, True, _default_format("fig9")),
+    "fig10": (exp.fig10_combined, True, fmt.format_fig10),
+    "fig11": (exp.fig11_vs_eves, True, fmt.format_fig11),
+    "fig12": (exp.fig12_per_workload, True, _default_format("fig12")),
+    "ablation1": (exp.ablation_footnote1, True, _default_format("ablation1")),
+    "ablation2": (exp.ablation_selection_policy, True,
+                  _default_format("ablation2")),
+    "ablation3": (exp.ablation_confidence_tuning, True,
+                  _default_format("ablation3")),
+}
+
+
+def generate_report(
+    scale: ExperimentScale = QUICK,
+    sections: tuple[str, ...] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> str:
+    """Run the selected experiments and render one markdown report."""
+    chosen = sections or tuple(REPORT_SECTIONS)
+    unknown = set(chosen) - set(REPORT_SECTIONS)
+    if unknown:
+        raise ValueError(f"unknown report sections: {sorted(unknown)}")
+
+    lines = [
+        "# Reproduction report",
+        "",
+        f"scale: **{scale.name}** "
+        f"({len(scale.workloads)} workloads x {scale.trace_length} "
+        f"instructions, seed {scale.seed})",
+        "",
+    ]
+    for experiment_id in chosen:
+        function, takes_scale, formatter = REPORT_SECTIONS[experiment_id]
+        if progress:
+            progress(experiment_id)
+        started = time.time()
+        result = function(scale) if takes_scale else function()
+        elapsed = time.time() - started
+        lines.append(f"## {experiment_id}")
+        lines.append("")
+        lines.append(formatter(result))
+        lines.append("")
+        lines.append(f"_generated in {elapsed:.1f}s_")
+        lines.append("")
+    return "\n".join(lines)

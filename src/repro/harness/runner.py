@@ -1,0 +1,49 @@
+"""Cached workload/baseline plumbing shared by all experiments.
+
+Baseline (no-value-prediction) timing runs are pure functions of the
+(workload, length, seed) triple, and every figure compares dozens of
+predictor configurations against the same baselines, so both traces and
+baseline results are memoized per process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.isa.trace import Trace
+from repro.pipeline.core import simulate
+from repro.pipeline.result import SimResult
+from repro.pipeline.vp import ValuePredictorHost
+from repro.workloads.generator import generate_trace
+
+
+def workload_trace(name: str, length: int, seed: int = 0) -> Trace:
+    """The (memoized) trace for a named workload."""
+    return generate_trace(name, length, seed)
+
+
+@lru_cache(maxsize=1024)
+def baseline_result(name: str, length: int, seed: int = 0) -> SimResult:
+    """The no-VP baseline timing run (memoized)."""
+    return simulate(workload_trace(name, length, seed))
+
+
+def run_predictor(
+    name: str,
+    length: int,
+    predictor: ValuePredictorHost,
+    seed: int = 0,
+) -> SimResult:
+    """One timing run of a predictor assembly on one workload."""
+    return simulate(workload_trace(name, length, seed), predictor)
+
+
+def speedup(
+    name: str,
+    length: int,
+    predictor: ValuePredictorHost,
+    seed: int = 0,
+) -> tuple[float, SimResult]:
+    """Timing run plus relative speedup over the cached baseline."""
+    result = run_predictor(name, length, predictor, seed)
+    return result.speedup_over(baseline_result(name, length, seed)), result

@@ -1,0 +1,158 @@
+"""Summarize archived benchmark results (benchmarks/_results/*.json).
+
+``python -m repro.harness.summary [results_dir]`` prints a compact
+paper-vs-measured digest used to refresh EXPERIMENTS.md after a
+benchmark run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def _load(results_dir: Path, name: str) -> dict | None:
+    path = results_dir / f"{name}.json"
+    if not path.exists():
+        return None
+    with path.open() as fh:
+        return json.load(fh)
+
+
+def _pct(x: float) -> str:
+    return f"{x * 100:+.2f}%"
+
+
+def summarize(results_dir: str | Path = "benchmarks/_results") -> str:
+    """Render the measured-values digest for every archived artifact."""
+    results_dir = Path(results_dir)
+    lines: list[str] = []
+
+    def emit(line: str = "") -> None:
+        lines.append(line)
+
+    fig2 = _load(results_dir, "fig2")
+    if fig2:
+        parts = ", ".join(
+            f"{k.split(' ')[0]}={v:.0%}" for k, v in fig2["average"].items()
+        )
+        emit(f"- **F2** load breakdown: {parts} (paper: roughly even thirds)")
+
+    fig3 = _load(results_dir, "fig3")
+    if fig3:
+        best = {
+            n: max(c.values()) for n, c in fig3["speedup"].items()
+        }
+        parts = ", ".join(f"{n.upper()}={_pct(v)}" for n, v in best.items())
+        emit(f"- **F3** best per-component speedup: {parts}")
+
+    fig4 = _load(results_dir, "fig4")
+    if fig4:
+        emit(
+            f"- **F4** overlap: {fig4['multiple_fraction']:.0%} of covered "
+            f"loads multi-covered (paper 66%); confident components "
+            f"disagree on {fig4.get('disagreement_fraction', 0):.3%} of "
+            f"multi-covered loads (paper <0.03%)"
+        )
+
+    fig5 = _load(results_dir, "fig5")
+    if fig5:
+        parts = ", ".join(
+            f"{t}e: {_pct(r['composite'])} vs {_pct(r['best_component'])}"
+            f" ({r['best_component_name'].upper()})"
+            for t, r in fig5["totals"].items()
+        )
+        emit(f"- **F5** composite vs best component: {parts}")
+
+    fig6 = _load(results_dir, "fig6")
+    if fig6:
+        parts = ", ".join(
+            f"{k}={_pct(v)}" for k, v in fig6["speedup"].items()
+        )
+        emit(f"- **F6** accuracy monitors: {parts}")
+
+    for fig_id, label in (("fig8", "smart training"), ("fig9", "table fusion")):
+        data = _load(results_dir, fig_id)
+        if data:
+            parts = ", ".join(
+                f"{per}e: {_pct(row['delta'])}"
+                for per, row in data["sizes"].items()
+            )
+            emit(f"- **{fig_id.upper().replace('FIG', 'F')}** {label} delta: {parts}")
+
+    fig10 = _load(results_dir, "fig10")
+    if fig10:
+        parts = ", ".join(
+            f"{t}e: {row['improvement'] * 100:+.0f}%"
+            for t, row in fig10["totals"].items()
+        )
+        emit(f"- **F10** MAX composite over MAX component: {parts} "
+             f"(paper: +54%..+74%)")
+
+    fig11 = _load(results_dir, "fig11")
+    if fig11:
+        summary = fig11["composite96_vs_eves32"]
+        emit(
+            f"- **F11** composite(9.6KB) vs EVES(32KB): speedup "
+            f"{summary['speedup_increase'] * 100:+.0f}% (paper +55%), "
+            f"coverage {summary['coverage_increase'] * 100:+.0f}% "
+            f"(paper +133%)"
+        )
+
+    fig12 = _load(results_dir, "fig12")
+    if fig12:
+        avg = fig12["average"]
+        emit(
+            f"- **F12** per-workload wins: composite "
+            f"{fig12['composite_wins']} vs EVES {fig12['eves_wins']}; "
+            f"averages {_pct(avg['composite_speedup'])} vs "
+            f"{_pct(avg['eves_speedup'])} speedup, "
+            f"{avg['composite_coverage']:.0%} vs "
+            f"{avg['eves_coverage']:.0%} coverage"
+        )
+
+    table6 = _load(results_dir, "table6")
+    if table6:
+        parts = ", ".join(
+            f"{t}e: {tuple(info['best']['allocation'])}"
+            for t, info in table6["budgets"].items()
+        )
+        emit(f"- **T6** best allocations: {parts}")
+
+    ablation1 = _load(results_dir, "ablation_footnote1")
+    if ablation1:
+        emit(
+            f"- **footnote 1**: adding LAP+SVP changes speedup by "
+            f"{_pct(ablation1['speedup_benefit_of_extras'])} and coverage "
+            f"by {ablation1['coverage_benefit_of_extras']:+.1%} "
+            f"(paper: 'limited or no benefit')"
+        )
+
+    ablation2 = _load(results_dir, "ablation_selection_policy")
+    if ablation2:
+        emit(
+            f"- **§V-A power**: value-first selection changes speedup by "
+            f"{_pct(ablation2['speedup_delta'])} while cutting speculative "
+            f"D-cache probes by {ablation2['probe_reduction']:.0%}"
+        )
+
+    ablation3 = _load(results_dir, "ablation_confidence")
+    if ablation3:
+        rows = ablation3["deltas"]
+        paper = rows.get("0") or rows.get(0)
+        loosest = rows[sorted(rows, key=lambda k: int(k))[0]]
+        emit(
+            f"- **§III-B tuning**: paper thresholds "
+            f"{paper['coverage']:.0%} cov @ {paper['accuracy']:.1%} acc -> "
+            f"{_pct(paper['speedup'])}; loosened thresholds "
+            f"{loosest['coverage']:.0%} cov @ {loosest['accuracy']:.1%} acc "
+            f"-> {_pct(loosest['speedup'])} (accuracy matters more than "
+            f"coverage, as the paper tuned for)"
+        )
+
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(summarize(*sys.argv[1:]))

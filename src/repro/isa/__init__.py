@@ -1,0 +1,13 @@
+"""Instruction and trace model.
+
+The evaluation is trace driven: workload generators (or external tools)
+produce a sequence of :class:`~repro.isa.instruction.Instruction` records
+carrying everything the timing model needs -- PC, operation class,
+register dependencies, memory address/size/value for loads and stores,
+and direction/target for branches.
+"""
+
+from repro.isa.instruction import Instruction, OpClass, REG_NONE
+from repro.isa.trace import Trace, TraceStats
+
+__all__ = ["Instruction", "OpClass", "REG_NONE", "Trace", "TraceStats"]

@@ -1,0 +1,130 @@
+"""The dynamic instruction record consumed by the timing model.
+
+The record is ARM-flavoured without being a decoder: 31 integer registers
+(x0..x30), 4-byte instruction alignment, loads/stores of 1/2/4/8 bytes,
+and a relaxed memory model in which only dependent loads are ordered
+(Section III of the paper).  Atomic/exclusive/ordering operations carry
+``no_predict`` and are never value- or address-predicted, matching the
+paper's exclusion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: Sentinel register id meaning "no register".
+REG_NONE = -1
+
+#: Number of architectural integer registers (ARM x0..x30).
+NUM_ARCH_REGS = 31
+
+
+class OpClass(enum.IntEnum):
+    """Operation classes with distinct scheduling behaviour.
+
+    The class determines execution latency (see
+    :data:`repro.pipeline.config.DEFAULT_LATENCIES`) and which execution
+    lanes may issue the instruction (loads/stores are restricted to the
+    two load-store lanes of the Skylake-like baseline).
+    """
+
+    INT_ALU = 0
+    INT_MUL = 1
+    INT_DIV = 2
+    FP_ALU = 3
+    FP_MUL = 4
+    FP_DIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH_COND = 8
+    BRANCH_DIRECT = 9
+    BRANCH_INDIRECT = 10
+    BRANCH_RETURN = 11
+    NOP = 12
+
+    @property
+    def is_load(self) -> bool:
+        return self is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self is OpClass.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        return OpClass.BRANCH_COND <= self <= OpClass.BRANCH_RETURN
+
+    @property
+    def is_indirect_branch(self) -> bool:
+        return self in (OpClass.BRANCH_INDIRECT, OpClass.BRANCH_RETURN)
+
+
+#: Load/store sizes the ISA supports, in bytes.
+VALID_ACCESS_SIZES = (1, 2, 4, 8)
+
+
+@dataclass(slots=True)
+class Instruction:
+    """One dynamic instruction.
+
+    ``value`` is the architecturally correct result for loads (what the
+    load returns) and the data written for stores; the timing model uses
+    it to validate speculative values.  Addresses are virtual, 49-bit
+    (the width SAP/CAP tables store).
+    """
+
+    pc: int
+    op: OpClass
+    dest: int = REG_NONE
+    srcs: tuple[int, ...] = ()
+    addr: int = 0
+    size: int = 0
+    value: int = 0
+    taken: bool = False
+    target: int = 0
+    no_predict: bool = False
+    is_call: bool = False
+    #: Set by generators for oracle experiments: which synthesis kernel
+    #: produced this instruction (e.g. "memset_scan").  Not visible to
+    #: any predictor; used only for analysis and debugging.
+    kernel: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.pc < 0 or self.pc & 0b11:
+            raise ValueError(f"PC must be non-negative and 4-byte aligned: {self.pc:#x}")
+        if self.dest != REG_NONE and not 0 <= self.dest < NUM_ARCH_REGS:
+            raise ValueError(f"bad destination register {self.dest}")
+        for reg in self.srcs:
+            if not 0 <= reg < NUM_ARCH_REGS:
+                raise ValueError(f"bad source register {reg}")
+        if self.op.is_memory:
+            if self.size not in VALID_ACCESS_SIZES:
+                raise ValueError(
+                    f"memory op size must be one of {VALID_ACCESS_SIZES}, got {self.size}"
+                )
+            if self.addr < 0:
+                raise ValueError(f"negative address {self.addr:#x}")
+        if self.op.is_load and self.dest == REG_NONE:
+            raise ValueError("loads must have a destination register")
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op.is_branch
+
+    @property
+    def predictable(self) -> bool:
+        """Whether the load is eligible for value/address prediction."""
+        return self.is_load and not self.no_predict

@@ -1,0 +1,182 @@
+"""Trace container with summary statistics and (de)serialization.
+
+A :class:`Trace` is an immutable-by-convention list of dynamic
+instructions plus provenance metadata (workload name, generator seed).
+Traces can be saved to and restored from a compact JSON-lines format so
+expensive generations can be cached on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.isa.instruction import Instruction, OpClass, REG_NONE
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate operation counts for a trace."""
+
+    instructions: int
+    loads: int
+    stores: int
+    branches: int
+    conditional_branches: int
+    taken_branches: int
+    predictable_loads: int
+    unique_load_pcs: int
+
+    @property
+    def load_fraction(self) -> float:
+        return self.loads / self.instructions if self.instructions else 0.0
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.branches / self.instructions if self.instructions else 0.0
+
+
+@dataclass
+class Trace:
+    """A dynamic instruction stream plus provenance.
+
+    ``initial_memory`` is a snapshot of memory contents *before* the
+    first traced instruction (generators populate arrays and tables up
+    front).  The timing model uses it to resolve predicted-address
+    D-cache probes exactly, including wrong-address coincidences and
+    conflicting in-flight stores.  :meth:`save` persists it by default
+    (pass ``include_memory=False`` for a smaller file).
+    """
+
+    name: str
+    instructions: list[Instruction]
+    seed: int = 0
+    metadata: dict = field(default_factory=dict)
+    initial_memory: object | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, idx: int) -> Instruction:
+        return self.instructions[idx]
+
+    def loads(self) -> Iterator[Instruction]:
+        """Iterate over just the load instructions, in program order."""
+        return (inst for inst in self.instructions if inst.is_load)
+
+    def stats(self) -> TraceStats:
+        ops = Counter(inst.op for inst in self.instructions)
+        branches = sum(
+            count for op, count in ops.items() if OpClass(op).is_branch
+        )
+        return TraceStats(
+            instructions=len(self.instructions),
+            loads=ops.get(OpClass.LOAD, 0),
+            stores=ops.get(OpClass.STORE, 0),
+            branches=branches,
+            conditional_branches=ops.get(OpClass.BRANCH_COND, 0),
+            taken_branches=sum(
+                1 for inst in self.instructions if inst.is_branch and inst.taken
+            ),
+            predictable_loads=sum(
+                1 for inst in self.instructions if inst.predictable
+            ),
+            unique_load_pcs=len(
+                {inst.pc for inst in self.instructions if inst.is_load}
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path, include_memory: bool = True) -> None:
+        """Write the trace as JSON lines.
+
+        Layout: a header line, an optional initial-memory line (sparse
+        hex word map -- needed for exact PAQ-probe resolution when the
+        trace is replayed), then one line per instruction.
+        """
+        path = Path(path)
+        memory_map = None
+        if include_memory and self.initial_memory is not None:
+            memory_map = self.initial_memory.to_word_map()
+        with path.open("w", encoding="utf-8") as fh:
+            header = {
+                "name": self.name,
+                "seed": self.seed,
+                "metadata": self.metadata,
+                "count": len(self.instructions),
+                "has_memory": memory_map is not None,
+            }
+            fh.write(json.dumps(header) + "\n")
+            if memory_map is not None:
+                fh.write(json.dumps(memory_map) + "\n")
+            for inst in self.instructions:
+                fh.write(json.dumps(_encode(inst)) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        from repro.memory.image import MemoryImage
+
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as fh:
+            header = json.loads(fh.readline())
+            initial_memory = None
+            if header.get("has_memory"):
+                initial_memory = MemoryImage.from_word_map(
+                    json.loads(fh.readline())
+                )
+            instructions = [_decode(json.loads(line)) for line in fh]
+        if len(instructions) != header["count"]:
+            raise ValueError(
+                f"trace {path} is truncated: header says {header['count']} "
+                f"instructions, file holds {len(instructions)}"
+            )
+        return cls(
+            name=header["name"],
+            instructions=instructions,
+            seed=header["seed"],
+            metadata=header.get("metadata", {}),
+            initial_memory=initial_memory,
+        )
+
+    @classmethod
+    def from_instructions(
+        cls, name: str, instructions: Iterable[Instruction], seed: int = 0
+    ) -> "Trace":
+        return cls(name=name, instructions=list(instructions), seed=seed)
+
+
+_DEFAULTS = {
+    "dest": REG_NONE, "srcs": (), "addr": 0, "size": 0, "value": 0,
+    "taken": False, "target": 0, "no_predict": False, "is_call": False,
+    "kernel": "",
+}
+
+
+def _encode(inst: Instruction) -> dict:
+    """Encode one instruction, omitting default-valued fields."""
+    record: dict = {"pc": inst.pc, "op": int(inst.op)}
+    for name, default in _DEFAULTS.items():
+        value = getattr(inst, name)
+        if name == "srcs":
+            value = tuple(value)
+        if value != default:
+            record[name] = list(value) if name == "srcs" else value
+    return record
+
+
+def _decode(record: dict) -> Instruction:
+    kwargs = dict(record)
+    kwargs["op"] = OpClass(kwargs["op"])
+    if "srcs" in kwargs:
+        kwargs["srcs"] = tuple(kwargs["srcs"])
+    return Instruction(**kwargs)

@@ -1,0 +1,120 @@
+"""A set-associative cache timing model with LRU replacement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bits import bit_length_for
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    block_bytes: int
+    hit_latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.block_bytes):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"assoc*block ({self.associativity}*{self.block_bytes})"
+            )
+        sets = self.num_sets
+        if sets & (sets - 1):
+            raise ValueError(f"{self.name}: set count {sets} not a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.block_bytes)
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    prefetch_fills: int = 0
+    writebacks: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 1.0
+
+
+class Cache:
+    """Tag/replacement state for one level.
+
+    Each set is a list of ``[tag, dirty]`` ways ordered most-recently-used
+    first, which makes LRU a list rotation -- fast enough in Python for
+    the trace sizes we simulate.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._offset_bits = bit_length_for(config.block_bytes)
+        self._index_bits = bit_length_for(config.num_sets)
+        self._index_mask = config.num_sets - 1
+        self._sets: list[list[list[int]]] = [
+            [] for _ in range(config.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    def _split(self, addr: int) -> tuple[int, int]:
+        block = addr >> self._offset_bits
+        return block & self._index_mask, block >> self._index_bits
+
+    def lookup(self, addr: int) -> bool:
+        """Non-allocating probe; does not update LRU or statistics."""
+        index, tag = self._split(addr)
+        return any(way[0] == tag for way in self._sets[index])
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Allocating access; returns True on hit.
+
+        On a miss the block is filled (the caller is responsible for
+        charging next-level latency).  Write misses allocate
+        (write-allocate, write-back policy).
+        """
+        self.stats.accesses += 1
+        index, tag = self._split(addr)
+        ways = self._sets[index]
+        for pos, way in enumerate(ways):
+            if way[0] == tag:
+                self.stats.hits += 1
+                if pos:
+                    ways.insert(0, ways.pop(pos))
+                if is_write:
+                    ways[0][1] = 1
+                return True
+        self._fill(index, tag, dirty=int(is_write))
+        return False
+
+    def fill(self, addr: int, from_prefetch: bool = False) -> None:
+        """Install a block without it counting as a demand access."""
+        index, tag = self._split(addr)
+        ways = self._sets[index]
+        for pos, way in enumerate(ways):
+            if way[0] == tag:
+                return  # already present; leave LRU order untouched
+        self._fill(index, tag, dirty=0)
+        if from_prefetch:
+            self.stats.prefetch_fills += 1
+
+    def _fill(self, index: int, tag: int, dirty: int) -> None:
+        ways = self._sets[index]
+        if len(ways) >= self.config.associativity:
+            victim = ways.pop()
+            if victim[1]:
+                self.stats.writebacks += 1
+        ways.insert(0, [tag, dirty])
+
+    def invalidate_all(self) -> None:
+        for ways in self._sets:
+            ways.clear()

@@ -1,0 +1,77 @@
+"""A functional memory image for resolving predicted-address probes.
+
+Address predictors (SAP, CAP) return a *value* by probing the data
+cache at a predicted address.  To decide whether that speculative value
+matches what the load eventually returns, the pipeline needs to know
+what memory held at the predicted address *at probe time* -- which may
+differ from the load's architectural value if an in-flight store later
+changes the location (the "conflicting stores" problem DLVP targets).
+
+The image stores 64-bit aligned words sparsely and supports sub-word
+reads/writes of 1/2/4/8 bytes, little-endian.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import mask
+
+
+class MemoryImage:
+    """Sparse byte-accurate memory contents."""
+
+    __slots__ = ("_words",)
+
+    _WORD_SHIFT = 3  # 8-byte words
+
+    def __init__(self) -> None:
+        self._words: dict[int, int] = {}
+
+    def read(self, addr: int, size: int) -> int:
+        """Little-endian read of ``size`` bytes at ``addr`` (zero default)."""
+        if size == 8 and not addr & 0b111:
+            return self._words.get(addr >> self._WORD_SHIFT, 0)
+        value = 0
+        for i in range(size):
+            byte_addr = addr + i
+            word = self._words.get(byte_addr >> self._WORD_SHIFT, 0)
+            byte = (word >> ((byte_addr & 0b111) * 8)) & 0xFF
+            value |= byte << (i * 8)
+        return value
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        """Little-endian write of ``size`` bytes at ``addr``."""
+        value &= mask(size * 8)
+        if size == 8 and not addr & 0b111:
+            self._words[addr >> self._WORD_SHIFT] = value
+            return
+        for i in range(size):
+            byte_addr = addr + i
+            word_key = byte_addr >> self._WORD_SHIFT
+            shift = (byte_addr & 0b111) * 8
+            word = self._words.get(word_key, 0)
+            word &= ~(0xFF << shift)
+            word |= ((value >> (i * 8)) & 0xFF) << shift
+            self._words[word_key] = word
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def copy(self) -> "MemoryImage":
+        clone = MemoryImage()
+        clone._words = dict(self._words)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Serialization (trace files persist the initial image)
+    # ------------------------------------------------------------------
+
+    def to_word_map(self) -> dict[str, str]:
+        """Sparse word map with hex keys/values, for JSON embedding."""
+        return {hex(k): hex(v) for k, v in self._words.items() if v}
+
+    @classmethod
+    def from_word_map(cls, word_map: dict[str, str]) -> "MemoryImage":
+        """Inverse of :meth:`to_word_map`."""
+        image = cls()
+        image._words = {int(k, 16): int(v, 16) for k, v in word_map.items()}
+        return image

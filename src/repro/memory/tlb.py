@@ -1,0 +1,57 @@
+"""A unified set-associative TLB (512-entry, 8-way in the baseline)."""
+
+from __future__ import annotations
+
+from repro.common.bits import bit_length_for
+
+#: 4KB pages, the common ARM configuration.
+PAGE_BITS = 12
+
+
+class Tlb:
+    """Translation lookaside buffer timing model.
+
+    A miss triggers a page walk with a fixed latency penalty.  There is
+    no page table model -- translations always succeed -- because the
+    synthetic workloads run in a flat virtual address space.
+    """
+
+    def __init__(
+        self,
+        entries: int = 512,
+        associativity: int = 8,
+        walk_latency: int = 20,
+    ) -> None:
+        if entries % associativity:
+            raise ValueError(
+                f"TLB entries {entries} not divisible by associativity {associativity}"
+            )
+        self._sets: list[list[int]] = [[] for _ in range(entries // associativity)]
+        self._index_bits = bit_length_for(entries // associativity)
+        self._index_mask = len(self._sets) - 1
+        self._associativity = associativity
+        self.walk_latency = walk_latency
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> int:
+        """Translate; return the added latency (0 on hit)."""
+        self.accesses += 1
+        page = addr >> PAGE_BITS
+        index = page & self._index_mask
+        tag = page >> self._index_bits
+        ways = self._sets[index]
+        for pos, existing in enumerate(ways):
+            if existing == tag:
+                if pos:
+                    ways.insert(0, ways.pop(pos))
+                return 0
+        self.misses += 1
+        if len(ways) >= self._associativity:
+            ways.pop()
+        ways.insert(0, tag)
+        return self.walk_latency
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.misses / self.accesses if self.accesses else 1.0

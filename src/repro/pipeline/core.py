@@ -1,0 +1,549 @@
+"""The trace-driven out-of-order core model.
+
+One program-order pass computes, for every instruction, the cycles at
+which it is fetched, dispatched, issued, completed, and committed,
+under the constraints listed in the package docstring.  Squashed
+wrong-path work is charged as front-end redirect delay (standard for
+trace-driven models: wrong-path instructions are never simulated).
+
+Value-prediction flow per predictable load (Figure 1 of the paper):
+
+1. at fetch, the predictor assembly is probed with the speculative
+   histories and the in-flight count for this PC;
+2. a chosen VALUE prediction is available in the VPE at dispatch; a
+   chosen ADDRESS prediction waits ``paq_queue_delay`` cycles in the
+   PAQ, probes the L1D (non-allocating), and, on a hit, delivers the
+   probed value to the VPE;
+3. consumers read the VPE instead of waiting for the load's register;
+4. when the load executes, the speculative value is validated against
+   the architectural value.  A used-and-wrong prediction flushes the
+   pipeline: fetch restarts after the load completes;
+5. the predictor assembly trains with the load's outcome and the
+   per-component correctness verdicts (address predictions are judged
+   by the *value* the probe returned, so a conflicting in-flight store
+   or a wrong-but-coincidentally-equal address is decided exactly).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.branch.ittage import IttageConfig
+from repro.branch.tage import TageConfig
+from repro.branch.unit import BranchUnit
+from repro.common.rng import DeterministicRng
+from repro.isa.instruction import NUM_ARCH_REGS, OpClass, REG_NONE
+from repro.isa.trace import Trace
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.image import MemoryImage
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.memdep import StoreSetPredictor
+from repro.pipeline.resources import LaneScheduler, WindowTracker
+from repro.pipeline.result import SimResult
+from repro.pipeline.vp import NoPredictor, ValuePredictorHost
+from repro.predictors.types import LoadOutcome, LoadProbe, PredictionKind
+
+
+class CoreModel:
+    """A single-core timing model bound to one predictor assembly."""
+
+    def __init__(
+        self,
+        config: CoreConfig | None = None,
+        predictor: ValuePredictorHost | None = None,
+        tage_config: TageConfig | None = None,
+        ittage_config: IttageConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or CoreConfig()
+        self.predictor = predictor if predictor is not None else NoPredictor()
+        rng = DeterministicRng(seed, "core")
+        self.branch_unit = BranchUnit(
+            tage_config, ittage_config, self.config.ras_entries, rng
+        )
+        self.hierarchy = MemoryHierarchy(self.config.hierarchy)
+        self._last_correctness: dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Trace) -> SimResult:
+        cfg = self.config
+        predictor = self.predictor
+        branch_unit = self.branch_unit
+        hierarchy = self.hierarchy
+        histories = branch_unit.histories
+        l1d_hit = cfg.hierarchy.l1d.hit_latency
+        depth = cfg.frontend_depth
+        fetch_width = cfg.fetch_width
+        commit_width = cfg.commit_width
+
+        ls_lanes = LaneScheduler(cfg.ls_lanes)
+        generic_lanes = LaneScheduler(cfg.generic_lanes)
+        rob = WindowTracker(cfg.rob_entries)
+        iq = WindowTracker(cfg.iq_entries)
+        ldq = WindowTracker(cfg.ldq_entries)
+        stq = WindowTracker(cfg.stq_entries)
+        # Value-prediction structures (Figure 1): finite, drop-on-full.
+        paq = WindowTracker(cfg.paq_entries)
+        vpe = WindowTracker(cfg.vpe_entries)
+
+        reg_avail = [0] * NUM_ARCH_REGS
+
+        # Fetch state.
+        fetch_cycle = 0
+        fetched_in_cycle = 0
+        next_fetch_allowed = 0
+        current_block = -1
+
+        # Commit state.
+        last_commit = 0
+        committed_in_cycle = 0
+
+        # Probe-time memory: the initial image plus every older store
+        # whose data existed by probe time.  A PAQ probe CAMs the store
+        # queue as well as the D-cache (as DLVP does), so visibility is
+        # keyed on store *data-ready* time; stores are applied strictly
+        # in program order, which under-approximates STQ visibility when
+        # a younger ready store hides behind a slow older one -- the
+        # conservative direction.
+        mem = (
+            trace.initial_memory.copy()
+            if isinstance(trace.initial_memory, MemoryImage)
+            else MemoryImage()
+        )
+        pending_stores: deque[tuple[int, int, int, int]] = deque()
+
+        # Store tracking per 8-byte word: (issue_cycle, data_ready, pc)
+        # of the most recent older store covering it.  Used for
+        # store-to-load forwarding, memory dependence speculation, and
+        # PAQ conflict detection (a probe drops its prediction when it
+        # CAMs a pending store whose address is already known -- DLVP's
+        # conflicting-store filter; a store whose address resolves later
+        # is invisible and the probe forwards stale data, the genuine
+        # misprediction case).
+        store_info: dict[int, tuple[int, int, int]] = {}
+
+        memdep = (
+            StoreSetPredictor(cfg.ssit_entries, cfg.lfst_entries)
+            if cfg.memory_dependence == "store-sets"
+            else None
+        )
+
+        # Per-PC in-flight loads (for SAP's inflight compensation).
+        inflight_loads: dict[int, deque[int]] = {}
+
+        # Deferred predictor updates: a load's validation/training takes
+        # effect only once fetch time passes the load's completion
+        # (the real prediction-to-update latency; Section IV-C of the
+        # paper shows why this delay matters).  Heap of
+        # (complete_cycle, seq, decision, outcome, correctness).
+        pending_updates: list = []
+        update_seq = 0
+
+        result = SimResult(workload=trace.name, instructions=len(trace), cycles=0)
+        result.predictor_storage_bits = predictor.storage_bits()
+
+        if cfg.warm_l3:
+            self._warm_l3(trace)
+
+        for inst in trace.instructions:
+            op = inst.op
+
+            # ----------------------------------------------------------
+            # Fetch
+            # ----------------------------------------------------------
+            floor = next_fetch_allowed
+            window_floor = max(
+                rob.earliest_allocation() - depth,
+                iq.earliest_allocation() - depth,
+            )
+            if op is OpClass.LOAD:
+                window_floor = max(
+                    window_floor, ldq.earliest_allocation() - depth
+                )
+            elif op is OpClass.STORE:
+                window_floor = max(
+                    window_floor, stq.earliest_allocation() - depth
+                )
+            floor = max(floor, window_floor)
+            if fetch_cycle < floor:
+                fetch_cycle = floor
+                fetched_in_cycle = 0
+            elif fetched_in_cycle >= fetch_width:
+                fetch_cycle += 1
+                fetched_in_cycle = 0
+            block = inst.pc >> 6
+            if block != current_block:
+                current_block = block
+                extra = hierarchy.fetch_latency(inst.pc) - cfg.hierarchy.l1i.hit_latency
+                if extra > 0:
+                    fetch_cycle += extra
+                    fetched_in_cycle = 0
+            fetch = fetch_cycle
+            fetched_in_cycle += 1
+
+            # ----------------------------------------------------------
+            # Branch prediction / histories / value-predictor probe
+            # ----------------------------------------------------------
+            branch_outcome = None
+            decision = None
+            snap_direction = snap_path = snap_load_path = 0
+            if op.is_branch:
+                branch_outcome = branch_unit.fetch_branch(inst)
+                if branch_outcome.fetch_bubble:
+                    # Taken branch missed the BTB: decode redirect.
+                    fetch_cycle += branch_outcome.fetch_bubble
+                    fetched_in_cycle = 0
+                elif inst.taken:
+                    # Can't fetch past a taken branch this cycle.
+                    fetched_in_cycle = fetch_width
+            elif op is OpClass.LOAD:
+                # Apply predictor updates from loads that have completed
+                # by now -- the predictor state a fetch-time probe sees.
+                while pending_updates and pending_updates[0][0] <= fetch:
+                    _, _, d, o, c = heapq.heappop(pending_updates)
+                    predictor.validate_and_train(d, o, c)
+                snap_direction = histories.direction
+                snap_path = histories.path
+                snap_load_path = histories.load_path
+                if inst.predictable:
+                    flights = inflight_loads.get(inst.pc)
+                    inflight = 0
+                    if flights:
+                        while flights and flights[0] <= fetch:
+                            flights.popleft()
+                        inflight = len(flights)
+                    decision = predictor.predict(LoadProbe(
+                        pc=inst.pc,
+                        direction_history=snap_direction,
+                        path_history=snap_path,
+                        load_path_history=snap_load_path,
+                        inflight_same_pc=inflight,
+                    ))
+                branch_unit.note_memory_op(inst.pc)
+            elif op is OpClass.STORE:
+                branch_unit.note_memory_op(inst.pc)
+
+            dispatch = fetch + depth
+
+            # ----------------------------------------------------------
+            # Issue and execute
+            # ----------------------------------------------------------
+            ready = dispatch + 1
+            for src in inst.srcs:
+                avail = reg_avail[src]
+                if avail > ready:
+                    ready = avail
+            if op is OpClass.LOAD and memdep is not None:
+                # Predicted-dependent loads wait for their store set.
+                wait_until = memdep.load_wait_until(inst.pc)
+                if wait_until > ready:
+                    ready = wait_until
+            if op.is_memory:
+                issue = ls_lanes.acquire(ready)
+            else:
+                issue = generic_lanes.acquire(ready)
+
+            if op is OpClass.LOAD:
+                complete, violation_store_pc, violation_ready = (
+                    self._load_complete(inst, issue, hierarchy, store_info,
+                                        memdep, cfg)
+                )
+                if violation_store_pc is not None:
+                    # Memory-order violation: the load speculated past a
+                    # store whose data was not ready.  Flush younger
+                    # work and teach the store-set predictor.
+                    result.memory_order_violations += 1
+                    memdep.record_violation(inst.pc, violation_store_pc)
+                    redirect = violation_ready + cfg.redirect_penalty
+                    if redirect > next_fetch_allowed:
+                        next_fetch_allowed = redirect
+                    current_block = -1
+                flights = inflight_loads.get(inst.pc)
+                if flights is None:
+                    flights = inflight_loads[inst.pc] = deque(maxlen=cfg.ldq_entries)
+                flights.append(complete)
+                result.loads += 1
+                if inst.predictable:
+                    result.predictable_loads += 1
+            elif op is OpClass.STORE:
+                complete = issue + cfg.latencies[OpClass.STORE]
+                word_lo = inst.addr >> 3
+                word_hi = (inst.addr + inst.size - 1) >> 3
+                for word in range(word_lo, word_hi + 1):
+                    store_info[word] = (issue, complete, inst.pc)
+                if memdep is not None:
+                    memdep.note_store(inst.pc, complete)
+            else:
+                complete = issue + cfg.latencies[op]
+
+            # ----------------------------------------------------------
+            # Branch resolution
+            # ----------------------------------------------------------
+            if branch_outcome is not None:
+                branch_unit.resolve(inst, branch_outcome)
+                if branch_outcome.mispredicted:
+                    result.branch_mispredictions += 1
+                    redirect = complete + cfg.redirect_penalty
+                    if redirect > next_fetch_allowed:
+                        next_fetch_allowed = redirect
+                    current_block = -1
+
+            # ----------------------------------------------------------
+            # Value-prediction validation and training
+            # ----------------------------------------------------------
+            if op is OpClass.LOAD:
+                writeback = complete
+                if decision is not None:
+                    self._last_correctness = {}
+                    if decision.confident:
+                        writeback = self._validate_load(
+                            inst, decision, dispatch, complete,
+                            mem, pending_stores, store_info, hierarchy,
+                            l1d_hit, cfg, result, fetch, paq, vpe,
+                        )
+                        if writeback < 0:  # flush sentinel
+                            writeback = complete
+                            redirect = complete + cfg.redirect_penalty
+                            if redirect > next_fetch_allowed:
+                                next_fetch_allowed = redirect
+                            current_block = -1
+                    outcome = LoadOutcome(
+                        pc=inst.pc, addr=inst.addr, size=inst.size,
+                        value=inst.value,
+                        direction_history=snap_direction,
+                        path_history=snap_path,
+                        load_path_history=snap_load_path,
+                    )
+                    heapq.heappush(pending_updates, (
+                        complete, update_seq, decision, outcome,
+                        self._last_correctness,
+                    ))
+                    update_seq += 1
+                if inst.dest != REG_NONE:
+                    reg_avail[inst.dest] = writeback
+            elif inst.dest != REG_NONE:
+                reg_avail[inst.dest] = complete
+
+            # ----------------------------------------------------------
+            # Commit (in order, commit_width per cycle)
+            # ----------------------------------------------------------
+            commit = complete + 1
+            if commit < last_commit:
+                commit = last_commit
+            if commit == last_commit:
+                if committed_in_cycle >= commit_width:
+                    commit += 1
+                    committed_in_cycle = 1
+                else:
+                    committed_in_cycle += 1
+            else:
+                committed_in_cycle = 1
+            last_commit = commit
+
+            if op is OpClass.STORE:
+                pending_stores.append((complete, inst.addr, inst.size, inst.value))
+                hierarchy.store_latency(inst.addr)
+                stq.admit(commit)
+            elif op is OpClass.LOAD:
+                ldq.admit(commit)
+            rob.admit(commit)
+            iq.admit(issue + 1)
+            predictor.tick_instructions(1)
+
+        # Drain the remaining deferred predictor updates so predictor
+        # statistics cover every predicted load in the trace.
+        while pending_updates:
+            _, _, d, o, c = heapq.heappop(pending_updates)
+            predictor.validate_and_train(d, o, c)
+
+        result.cycles = last_commit
+        l1d = hierarchy.l1d.stats
+        result.l1d_miss_rate = 1.0 - l1d.hit_rate
+        result.extra = {
+            "branch": {
+                "conditional_predictions": branch_unit.conditional_predictions,
+                "conditional_mispredictions":
+                    branch_unit.conditional_mispredictions,
+                "indirect_mispredictions":
+                    branch_unit.indirect_mispredictions,
+                "return_mispredictions": branch_unit.return_mispredictions,
+                "btb_hit_rate": branch_unit.btb.hit_rate,
+                "accuracy": branch_unit.accuracy(),
+            },
+            "caches": {
+                level: {
+                    "accesses": cache.stats.accesses,
+                    "hit_rate": cache.stats.hit_rate,
+                    "prefetch_fills": cache.stats.prefetch_fills,
+                    "writebacks": cache.stats.writebacks,
+                }
+                for level, cache in (
+                    ("l1i", hierarchy.l1i), ("l1d", hierarchy.l1d),
+                    ("l2", hierarchy.l2), ("l3", hierarchy.l3),
+                )
+            },
+            "tlb_hit_rate": hierarchy.tlb.hit_rate,
+            "prefetches_issued": hierarchy.prefetcher.issued
+            + hierarchy.l2_prefetcher.issued,
+            "memdep": (
+                {
+                    "violations": memdep.violations,
+                    "waits_enforced": memdep.waits_enforced,
+                }
+                if memdep is not None else None
+            ),
+        }
+        return result
+
+    def _warm_l3(self, trace: Trace) -> None:
+        """Install every referenced data block into the L3 (warm-up)."""
+        l3 = self.hierarchy.l3
+        block = self.hierarchy.config.l3.block_bytes
+        seen: set[int] = set()
+        for inst in trace.instructions:
+            if inst.op.is_memory:
+                blk = inst.addr // block
+                if blk not in seen:
+                    seen.add(blk)
+                    l3.fill(inst.addr)
+
+    # ------------------------------------------------------------------
+    # Load helpers
+    # ------------------------------------------------------------------
+
+    def _load_complete(self, inst, issue, hierarchy, store_info, memdep,
+                       cfg) -> tuple[int, int | None, int]:
+        """Execution of a demand load.
+
+        Returns ``(complete, violating_store_pc, store_data_ready)``.
+        The store PC is non-None when the load issued past an older
+        in-flight store to its address whose data was not ready -- a
+        memory-order violation under store-set speculation.  With the
+        perfect-disambiguation oracle the load silently waits instead.
+        """
+        word_lo = inst.addr >> 3
+        word_hi = (inst.addr + inst.size - 1) >> 3
+        forward_from = -1
+        forward_pc = None
+        for word in range(word_lo, word_hi + 1):
+            info = store_info.get(word)
+            if info is not None and info[1] > forward_from:
+                forward_from = info[1]
+                forward_pc = info[2]
+        if forward_from >= 0:
+            if forward_from > issue and memdep is not None:
+                # Speculated past the store: violation, re-executed
+                # after the store's data arrives.
+                return (
+                    forward_from + cfg.store_forward_latency,
+                    forward_pc,
+                    forward_from,
+                )
+            # Store-to-load forwarding out of the STQ (data ready by
+            # issue, or the oracle made the load wait).
+            begin = issue if issue > forward_from else forward_from
+            return begin + cfg.store_forward_latency, None, 0
+        return issue + hierarchy.load_latency(inst.pc, inst.addr), None, 0
+
+    def _validate_load(
+        self, inst, decision, dispatch, complete,
+        mem, pending_stores, store_info, hierarchy, l1d_hit, cfg, result,
+        fetch, paq, vpe,
+    ) -> int:
+        """Resolve predictions for one load.
+
+        Returns the cycle at which the load's destination register is
+        available to consumers, or a negative sentinel if a value
+        misprediction flushed the pipeline (the caller applies the
+        redirect).  Also leaves the per-component correctness verdicts
+        in ``self._last_correctness`` for the training call.
+
+        The PAQ probe launches from the front end (the predictor is
+        probed at fetch; Figure 1 step 2), so predicted-address data can
+        beat the load's own execution by most of the pipeline depth.
+        """
+        t_probe = dispatch - cfg.frontend_depth + cfg.paq_queue_delay
+        # Apply stores committed by probe time (commit cycles are
+        # monotonic, so a single pointer sweep is exact).
+        while pending_stores and pending_stores[0][0] <= t_probe:
+            _, addr, size, value = pending_stores.popleft()
+            mem.write(addr, size, value)
+
+        correctness: dict[str, bool] = {}
+        probe_hit = False
+        chosen = decision.chosen
+        for name, prediction in decision.confident.items():
+            if prediction.kind is PredictionKind.VALUE:
+                correctness[name] = prediction.value == inst.value
+            else:
+                probe_value = mem.read(prediction.addr, prediction.size)
+                correctness[name] = probe_value == inst.value
+                if chosen is not None and name == chosen.component:
+                    probe_hit, _ = hierarchy.probe_l1d(prediction.addr)
+        self._last_correctness = correctness
+
+        if chosen is None:
+            return complete
+
+        # A chosen prediction needs a VPE slot from fetch until the
+        # load validates; full VPE -> prediction dropped.
+        if vpe.earliest_allocation() > fetch:
+            result.dropped_queue_full += 1
+            return complete
+        vpe.admit(complete)
+
+        if chosen.kind is PredictionKind.VALUE:
+            # The predictor is probed at fetch and the value sits in the
+            # VPE a couple of cycles later -- before any consumer can
+            # reach rename, making the load appear zero-cycle.
+            vpe_ready = dispatch - cfg.frontend_depth + 2
+        else:
+            # An address prediction additionally occupies a PAQ entry
+            # from fetch until the probe returns.
+            if paq.earliest_allocation() > fetch:
+                result.dropped_queue_full += 1
+                return complete
+            paq.admit(t_probe + l1d_hit)
+            result.paq_probes += 1
+            if not probe_hit:
+                # Probe missed: prediction dropped, no value forwarded.
+                result.dropped_probe_misses += 1
+                if cfg.paq_prefetch_on_miss:
+                    hierarchy.l1d.fill(chosen.addr, from_prefetch=True)
+                return complete
+            # PAQ store-queue CAM (DLVP's conflicting-store filter): an
+            # older in-flight store to the predicted address whose
+            # *address is already known* (issued by probe time) makes
+            # the probe drop the prediction rather than forward stale
+            # data.  A store whose address resolves after the probe is
+            # invisible to the CAM -- the stale forward proceeds and is
+            # caught at validation (the genuine misprediction case).
+            word_lo = chosen.addr >> 3
+            word_hi = (chosen.addr + max(chosen.size, 1) - 1) >> 3
+            for word in range(word_lo, word_hi + 1):
+                info = store_info.get(word)
+                if info is not None and info[1] > t_probe >= info[0]:
+                    result.dropped_store_conflicts += 1
+                    return complete
+            vpe_ready = t_probe + l1d_hit
+
+        result.predicted_loads += 1
+        if correctness[chosen.component]:
+            result.correct_predictions += 1
+            return vpe_ready if vpe_ready < complete else complete
+        result.value_mispredictions += 1
+        return -1  # flush sentinel
+
+
+def simulate(
+    trace: Trace,
+    predictor: ValuePredictorHost | None = None,
+    config: CoreConfig | None = None,
+    seed: int = 0,
+) -> SimResult:
+    """Convenience wrapper: build a core and run one trace."""
+    return CoreModel(config=config, predictor=predictor, seed=seed).run(trace)

@@ -1,0 +1,62 @@
+"""Resource schedulers used by the core model."""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+
+class LaneScheduler:
+    """``k`` pipelined execution lanes.
+
+    Each lane accepts one instruction per cycle.  ``acquire(ready)``
+    returns the earliest cycle >= ``ready`` at which a lane can accept
+    the instruction and books that slot.  Implemented as a min-heap of
+    per-lane next-free cycles, the classic k-server model.
+    """
+
+    def __init__(self, lanes: int) -> None:
+        if lanes <= 0:
+            raise ValueError(f"need at least one lane, got {lanes}")
+        self._free = [0] * lanes
+
+    def acquire(self, ready: int) -> int:
+        earliest = heapq.heappop(self._free)
+        begin = max(ready, earliest)
+        heapq.heappush(self._free, begin + 1)
+        return begin
+
+
+class WindowTracker:
+    """Occupancy constraint for a fixed-size in-order window.
+
+    Models structures such as the ROB and the load/store queues: entry
+    ``i`` cannot be allocated before entry ``i - capacity`` has been
+    released.  ``admit(when_released)`` records a new entry's release
+    cycle and returns the earliest cycle allocation may happen given the
+    window was full.
+
+    The caller allocates entries in program order, which matches how
+    these structures fill.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"window capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._releases: deque[int] = deque()
+
+    def earliest_allocation(self) -> int:
+        """Cycle at which the next allocation has a free slot."""
+        if len(self._releases) < self.capacity:
+            return 0
+        return self._releases[0]
+
+    def admit(self, release_cycle: int) -> None:
+        """Record a newly allocated entry's (future) release cycle."""
+        if len(self._releases) >= self.capacity:
+            self._releases.popleft()
+        self._releases.append(release_cycle)
+
+    def __len__(self) -> int:
+        return len(self._releases)

@@ -1,0 +1,150 @@
+"""Abstract base class shared by the four component predictors."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.common.fpc import FpcVector
+from repro.common.rng import DeterministicRng
+from repro.predictors.types import LoadOutcome, LoadProbe, Prediction, PredictionKind
+
+
+class ComponentPredictor(abc.ABC):
+    """One component of the composite load value predictor.
+
+    Subclasses define the class attributes below and implement
+    ``predict`` / ``train``.  The base class owns FPC confidence
+    arithmetic, storage accounting, and the capacity hooks that table
+    fusion uses.
+
+    The prediction/training contract mirrors the hardware: ``predict``
+    is called at fetch with fetch-time histories, ``train`` at execute
+    with the *same* histories (the pipeline snapshots them), so both
+    operations index the same table entries.
+    """
+
+    #: Short name used in reports ("lvp", "sap", "cvp", "cap", ...).
+    name: str
+    #: Tie-break rank among components with equal (kind, context)
+    #: class; lower is earlier in selection/training orders.
+    rank: int = 0
+    #: VALUE predictors produce values directly; ADDRESS predictors
+    #: produce an address that the PAQ resolves against the D-cache.
+    kind: PredictionKind
+    #: Whether the predictor consumes program (branch/load path) history.
+    context_aware: bool
+    #: Storage cost of one table entry, from Table IV.
+    bits_per_entry: int
+    #: FPC confidence vector and high-confidence threshold, Table IV.
+    fpc_vector: FpcVector
+    confidence_threshold: int
+
+    def __init__(self, entries: int, rng: DeterministicRng | None = None,
+                 confidence_threshold: int | None = None) -> None:
+        if entries <= 0:
+            raise ValueError(f"{type(self).__name__} needs entries > 0, got {entries}")
+        self.base_entries = entries
+        self._rng = (rng or DeterministicRng(0)).derive(self.name)
+        self._float_probs = tuple(float(p) for p in self.fpc_vector.probabilities)
+        self._conf_max = self.fpc_vector.maximum
+        if confidence_threshold is not None:
+            # Instance-level override of the Table IV tuning, for the
+            # accuracy-vs-coverage sensitivity ablation.  The paper
+            # "tuned each predictor to achieve 99% accuracy (thereby
+            # sacrificing coverage)"; lowering the bar trades the other
+            # way.
+            if not 1 <= confidence_threshold <= self._conf_max:
+                raise ValueError(
+                    f"confidence threshold {confidence_threshold} outside "
+                    f"[1, {self._conf_max}]"
+                )
+            self.confidence_threshold = confidence_threshold
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def predict(self, probe: LoadProbe) -> Prediction | None:
+        """Return a high-confidence prediction for a fetched load, or None."""
+
+    @abc.abstractmethod
+    def train(self, outcome: LoadOutcome) -> None:
+        """Learn from an executed load."""
+
+    def invalidate(self, outcome: LoadOutcome) -> None:
+        """Drop state for this load (smart training uses this on SAP)."""
+
+    def penalize(self, outcome: LoadOutcome) -> None:
+        """Reset confidence after this predictor's prediction proved wrong.
+
+        For value predictors ordinary training already resets confidence
+        (the stored value mismatches), so the default is a no-op.
+        Address predictors override this: their training compares
+        *addresses*, which may still match when the speculative value
+        was wrong (a conflicting in-flight store), so the misprediction
+        feedback must reset confidence explicitly -- the paper's smart
+        training relies on "a trained misprediction resets confidence".
+        """
+
+    @abc.abstractmethod
+    def _tables(self) -> list:
+        """The predictor's :class:`BankedTable` instances, for fusion."""
+
+    # ------------------------------------------------------------------
+    # Confidence arithmetic
+    # ------------------------------------------------------------------
+
+    def _bump_confidence(self, entry) -> None:
+        """Probabilistic (FPC) confidence increment on one entry."""
+        level = entry.confidence
+        if level >= self._conf_max:
+            return
+        p = self._float_probs[level]
+        if p >= 1.0 or self._rng.coin(p):
+            entry.confidence = level + 1
+
+    def _is_confident(self, entry) -> bool:
+        return entry.confidence >= self.confidence_threshold
+
+    # ------------------------------------------------------------------
+    # Capacity management (composite table fusion)
+    # ------------------------------------------------------------------
+
+    def grant_extra_banks(self, banks: int) -> None:
+        """Receiver side of fusion: add ``banks`` donated table copies."""
+        for table in self._tables():
+            table.add_banks(banks)
+
+    def revoke_extra_banks(self) -> None:
+        """Unfusion: drop donated banks, keep original contents."""
+        for table in self._tables():
+            table.remove_extra_banks()
+
+    def flush(self) -> None:
+        """Invalidate all state (donor side of fusion)."""
+        for table in self._tables():
+            table.flush()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def total_entries(self) -> int:
+        """Current entry count, including any donated banks."""
+        return sum(table.total_entries for table in self._tables())
+
+    def storage_bits(self) -> int:
+        """Storage of the predictor's *own* allocation (donated banks
+        are accounted to their original owner)."""
+        return self.base_entries * self.bits_per_entry
+
+    def storage_kib(self) -> float:
+        return self.storage_bits() / 8 / 1024
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(entries={self.base_entries}, "
+            f"storage={self.storage_kib():.2f}KiB)"
+        )

@@ -1,0 +1,99 @@
+"""CAP -- Context (aware) Address Prediction (Section III-B.2).
+
+The DLVP reference design: one tagged table indexed by a hash of the
+load PC and the *load path* history.  Entry: 14-bit tag, 49-bit virtual
+address, 2-bit FPC confidence, 2-bit load size -- 67 bits, the
+cheapest of the four.  Confidence needs only 4 effective observations,
+the lowest bar of all components, because a (path, PC) pair pins the
+address very precisely.
+
+Training on load completion writes tag/address/size; confidence climbs
+only when all of them match the existing entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bits import fold_bits, mask
+from repro.common.hashing import mix64
+from repro.common.rng import DeterministicRng
+from repro.predictors.base import ComponentPredictor
+from repro.predictors.fpc_vectors import CAP_CONFIDENCE_THRESHOLD, CAP_FPC
+from repro.predictors.table import INVALID_TAG, BankedTable
+from repro.predictors.types import LoadOutcome, LoadProbe, Prediction, PredictionKind
+
+_TAG_BITS = 14
+_ADDR_BITS = 49
+_ADDR_MASK = mask(_ADDR_BITS)
+
+
+@dataclass(slots=True)
+class _CapEntry:
+    tag: int = INVALID_TAG
+    addr: int = 0
+    size_log2: int = 0
+    confidence: int = 0
+
+
+class CapPredictor(ComponentPredictor):
+    """Context-aware address predictor (DLVP)."""
+
+    name = "cap"
+    kind = PredictionKind.ADDRESS
+    context_aware = True
+    bits_per_entry = 67  # 14 tag + 49 addr + 2 conf + 2 size
+    fpc_vector = CAP_FPC
+    confidence_threshold = CAP_CONFIDENCE_THRESHOLD
+
+    def __init__(self, entries: int, rng: DeterministicRng | None = None,
+                 confidence_threshold: int | None = None) -> None:
+        super().__init__(entries, rng, confidence_threshold)
+        self._table: BankedTable[_CapEntry] = BankedTable(entries, _CapEntry)
+
+    def _tables(self) -> list:
+        return [self._table]
+
+    def _index(self, pc: int, load_path: int) -> int:
+        bits = self._table.index_bits
+        value = (pc >> 2) ^ (pc >> (2 + bits)) ^ fold_bits(load_path, bits)
+        return fold_bits(value, bits)
+
+    def _tag(self, pc: int, load_path: int) -> int:
+        return fold_bits((pc >> 2) ^ mix64(load_path + 0x9E37), _TAG_BITS)
+
+    def predict(self, probe: LoadProbe) -> Prediction | None:
+        index = self._index(probe.pc, probe.load_path_history)
+        entry = self._table.find(index, self._tag(probe.pc, probe.load_path_history))
+        if entry is None or not self._is_confident(entry):
+            return None
+        return Prediction(
+            component=self.name,
+            kind=self.kind,
+            addr=entry.addr,
+            size=1 << entry.size_log2,
+        )
+
+    def penalize(self, outcome: LoadOutcome) -> None:
+        """Reset confidence after a wrong speculative value (the
+        address may still match when an in-flight store conflicted)."""
+        index = self._index(outcome.pc, outcome.load_path_history)
+        entry = self._table.find(
+            index, self._tag(outcome.pc, outcome.load_path_history)
+        )
+        if entry is not None:
+            entry.confidence = 0
+
+    def train(self, outcome: LoadOutcome) -> None:
+        index = self._index(outcome.pc, outcome.load_path_history)
+        tag = self._tag(outcome.pc, outcome.load_path_history)
+        addr = outcome.addr & _ADDR_MASK
+        size_log2 = outcome.size.bit_length() - 1
+        entry, hit = self._table.find_or_victim(index, tag)
+        if hit and entry.addr == addr and entry.size_log2 == size_log2:
+            self._bump_confidence(entry)
+            return
+        entry.tag = tag
+        entry.addr = addr
+        entry.size_log2 = size_log2
+        entry.confidence = 0

@@ -1,0 +1,140 @@
+"""CVP -- Context (aware) Value Prediction (Section III-B.2).
+
+A VTAGE-style predictor *without* the untagged last-value base table
+(the paper removes it because LVP is a separate component).  Three
+tagged tables are indexed by a hash of the load PC and a geometric
+sample of the branch path/direction history; entries are LVP-shaped
+(14-bit tag, 64-bit value, 3-bit FPC confidence, 81 bits).
+
+All three tables train in parallel, LVP-style (per the paper's text);
+prediction comes from the longest-history table that is tag-matched
+and confident.  Effective confidence is 16 observations -- context
+splits a load's behaviour into per-path streams, so each stream is more
+stable and needs less hysteresis than LVP's 64.
+
+The shortest history is 5 branches, matching the paper's Listing-1
+walkthrough ("enough iterations to fill the branch history register of
+the smallest CVP table (e.g., 5 iterations)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bits import fold_bits, mask
+from repro.common.hashing import mix64
+from repro.common.rng import DeterministicRng
+from repro.predictors.base import ComponentPredictor
+from repro.predictors.fpc_vectors import CVP_CONFIDENCE_THRESHOLD, CVP_FPC
+from repro.predictors.table import INVALID_TAG, BankedTable
+from repro.predictors.types import LoadOutcome, LoadProbe, Prediction, PredictionKind
+
+_TAG_BITS = 14
+_VALUE_MASK = mask(64)
+
+#: Geometric history lengths (in conditional-branch outcomes) of the
+#: three tables, shortest first.
+HISTORY_LENGTHS = (5, 13, 32)
+
+
+@dataclass(slots=True)
+class _CvpEntry:
+    tag: int = INVALID_TAG
+    value: int = 0
+    confidence: int = 0
+
+
+def split_entries(total: int) -> tuple[int, int, int]:
+    """Split a total entry budget across the three tables.
+
+    The paper counts CVP size as the *sum* of its three tables
+    (footnote 3).  We give the short-history table half the budget and
+    the two longer tables a quarter each, keeping every table a power
+    of two: 1024 -> (512, 256, 256).
+    """
+    if total < 4 or total & (total - 1):
+        raise ValueError(
+            f"CVP total entries must be a power of two >= 4, got {total}"
+        )
+    return total // 2, total // 4, total // 4
+
+
+class CvpPredictor(ComponentPredictor):
+    """Context-aware value predictor (VTAGE minus the base table)."""
+
+    name = "cvp"
+    kind = PredictionKind.VALUE
+    context_aware = True
+    bits_per_entry = 81  # same shape as LVP
+    fpc_vector = CVP_FPC
+    confidence_threshold = CVP_CONFIDENCE_THRESHOLD
+
+    def __init__(self, entries: int, rng: DeterministicRng | None = None,
+                 confidence_threshold: int | None = None) -> None:
+        super().__init__(entries, rng, confidence_threshold)
+        self._banked: list[BankedTable[_CvpEntry]] = [
+            BankedTable(size, _CvpEntry) for size in split_entries(entries)
+        ]
+        # Hot-path constants (fixed rewiring in hardware).
+        self._history_masks = tuple(mask(L) for L in HISTORY_LENGTHS)
+        self._index_salts = tuple(
+            mix64(t + 3) & mask(self._banked[t].index_bits)
+            for t in range(len(self._banked))
+        )
+        self._tag_salts = tuple(
+            mix64((t + 1) << 7) for t in range(len(self._banked))
+        )
+
+    def _tables(self) -> list:
+        return self._banked
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+
+    def _index(self, pc: int, table: int, direction: int, path: int) -> int:
+        bits = self._banked[table].index_bits
+        history = direction & self._history_masks[table]
+        value = (pc >> 2) ^ (pc >> (2 + bits))
+        value ^= fold_bits(history, bits) ^ fold_bits(path, bits)
+        value ^= self._index_salts[table]
+        return fold_bits(value, bits)
+
+    def _tag(self, pc: int, table: int, direction: int) -> int:
+        history = direction & self._history_masks[table]
+        scrambled = ((history ^ self._tag_salts[table])
+                     * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+        return fold_bits((pc >> 2) ^ scrambled, _TAG_BITS)
+
+    # ------------------------------------------------------------------
+    # Prediction / training
+    # ------------------------------------------------------------------
+
+    def predict(self, probe: LoadProbe) -> Prediction | None:
+        for table in range(len(self._banked) - 1, -1, -1):
+            index = self._index(
+                probe.pc, table, probe.direction_history, probe.path_history
+            )
+            tag = self._tag(probe.pc, table, probe.direction_history)
+            entry = self._banked[table].find(index, tag)
+            if entry is not None and self._is_confident(entry):
+                return Prediction(
+                    component=self.name, kind=self.kind, value=entry.value
+                )
+        return None
+
+    def train(self, outcome: LoadOutcome) -> None:
+        value = outcome.value & _VALUE_MASK
+        for table in range(len(self._banked)):
+            index = self._index(
+                outcome.pc, table, outcome.direction_history,
+                outcome.path_history,
+            )
+            tag = self._tag(outcome.pc, table, outcome.direction_history)
+            entry, hit = self._banked[table].find_or_victim(index, tag)
+            if hit and entry.value == value:
+                self._bump_confidence(entry)
+                continue
+            entry.tag = tag
+            entry.value = value
+            entry.confidence = 0

@@ -1,0 +1,93 @@
+"""LAP -- Last Address Prediction (paper footnote 1).
+
+The paper's authors "analyzed several other predictors, like last
+address and stride value predictors", and found they showed "limited
+or no benefit in the presence of the four selected predictors".  LAP
+is implemented here so that finding can be reproduced (see
+``benchmarks/test_ablation_footnote1.py``).
+
+LAP predicts that a static load repeats its previous *address* and
+resolves the value through the D-cache probe, exactly like SAP with the
+stride forced to zero -- which is why it is redundant: every load LAP
+can cover, SAP covers with a learned zero stride, and SAP additionally
+covers non-zero strides.  Entry: 14-bit tag, 49-bit address, 2-bit FPC
+confidence, 2-bit size (67 bits, like CAP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bits import mask
+from repro.common.fpc import FpcVector
+from repro.common.hashing import pc_index, pc_tag
+from repro.common.rng import DeterministicRng
+from repro.predictors.base import ComponentPredictor
+from repro.predictors.table import INVALID_TAG, BankedTable
+from repro.predictors.types import LoadOutcome, LoadProbe, Prediction, PredictionKind
+
+_TAG_BITS = 14
+_ADDR_MASK = mask(49)
+
+#: Same effective confidence as SAP (9 observations): the pattern class
+#: is the same (address stability), only the stride freedom differs.
+LAP_FPC = FpcVector.from_ratios(["1", "1/4", "1/4"])
+LAP_CONFIDENCE_THRESHOLD = 3
+
+
+@dataclass(slots=True)
+class _LapEntry:
+    tag: int = INVALID_TAG
+    addr: int = 0
+    size_log2: int = 0
+    confidence: int = 0
+
+
+class LapPredictor(ComponentPredictor):
+    """Last address predictor (SAP restricted to stride zero)."""
+
+    name = "lap"
+    kind = PredictionKind.ADDRESS
+    context_aware = False
+    bits_per_entry = 67
+    fpc_vector = LAP_FPC
+    confidence_threshold = LAP_CONFIDENCE_THRESHOLD
+    rank = 1  # behind SAP among context-agnostic address predictors
+
+    def __init__(self, entries: int, rng: DeterministicRng | None = None,
+                 confidence_threshold: int | None = None) -> None:
+        super().__init__(entries, rng, confidence_threshold)
+        self._table: BankedTable[_LapEntry] = BankedTable(entries, _LapEntry)
+
+    def _tables(self) -> list:
+        return [self._table]
+
+    def predict(self, probe: LoadProbe) -> Prediction | None:
+        index = pc_index(probe.pc, self._table.index_bits)
+        entry = self._table.find(index, pc_tag(probe.pc, _TAG_BITS))
+        if entry is None or not self._is_confident(entry):
+            return None
+        return Prediction(
+            component=self.name, kind=self.kind,
+            addr=entry.addr, size=1 << entry.size_log2,
+        )
+
+    def train(self, outcome: LoadOutcome) -> None:
+        index = pc_index(outcome.pc, self._table.index_bits)
+        tag = pc_tag(outcome.pc, _TAG_BITS)
+        addr = outcome.addr & _ADDR_MASK
+        size_log2 = outcome.size.bit_length() - 1
+        entry, hit = self._table.find_or_victim(index, tag)
+        if hit and entry.addr == addr and entry.size_log2 == size_log2:
+            self._bump_confidence(entry)
+            return
+        entry.tag = tag
+        entry.addr = addr
+        entry.size_log2 = size_log2
+        entry.confidence = 0
+
+    def penalize(self, outcome: LoadOutcome) -> None:
+        index = pc_index(outcome.pc, self._table.index_bits)
+        entry = self._table.find(index, pc_tag(outcome.pc, _TAG_BITS))
+        if entry is not None:
+            entry.confidence = 0

@@ -1,0 +1,72 @@
+"""LVP -- Last Value Prediction (Section III-B.1 of the paper).
+
+A PC-indexed, tagged table.  Each entry: 14-bit tag, 64-bit value,
+3-bit FPC confidence (81 bits total).  Training writes the tag/value
+unconditionally; confidence climbs (probabilistically) only while the
+observed value matches the stored one and resets to zero otherwise.
+High confidence requires 64 effective consecutive observations --
+LVP mispredictions are expensive, so the bar is the highest of the
+four components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bits import mask
+from repro.common.hashing import pc_index, pc_tag
+from repro.common.rng import DeterministicRng
+from repro.predictors.base import ComponentPredictor
+from repro.predictors.fpc_vectors import LVP_CONFIDENCE_THRESHOLD, LVP_FPC
+from repro.predictors.table import INVALID_TAG, BankedTable
+from repro.predictors.types import LoadOutcome, LoadProbe, Prediction, PredictionKind
+
+_TAG_BITS = 14
+_VALUE_MASK = mask(64)
+
+
+@dataclass(slots=True)
+class _LvpEntry:
+    tag: int = INVALID_TAG
+    value: int = 0
+    confidence: int = 0
+
+
+class LvpPredictor(ComponentPredictor):
+    """Last value predictor."""
+
+    name = "lvp"
+    kind = PredictionKind.VALUE
+    context_aware = False
+    bits_per_entry = 81  # 14 tag + 64 value + 3 confidence
+    fpc_vector = LVP_FPC
+    confidence_threshold = LVP_CONFIDENCE_THRESHOLD
+
+    def __init__(self, entries: int, rng: DeterministicRng | None = None,
+                 confidence_threshold: int | None = None) -> None:
+        super().__init__(entries, rng, confidence_threshold)
+        self._table: BankedTable[_LvpEntry] = BankedTable(entries, _LvpEntry)
+
+    def _tables(self) -> list:
+        return [self._table]
+
+    def predict(self, probe: LoadProbe) -> Prediction | None:
+        index = pc_index(probe.pc, self._table.index_bits)
+        entry = self._table.find(index, pc_tag(probe.pc, _TAG_BITS))
+        if entry is None or not self._is_confident(entry):
+            return None
+        return Prediction(
+            component=self.name, kind=self.kind, value=entry.value
+        )
+
+    def train(self, outcome: LoadOutcome) -> None:
+        index = pc_index(outcome.pc, self._table.index_bits)
+        tag = pc_tag(outcome.pc, _TAG_BITS)
+        value = outcome.value & _VALUE_MASK
+        entry, hit = self._table.find_or_victim(index, tag)
+        if hit and entry.value == value:
+            self._bump_confidence(entry)
+            return
+        entry.tag = tag
+        entry.value = value
+        entry.confidence = 0

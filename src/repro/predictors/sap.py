@@ -1,0 +1,125 @@
+"""SAP -- Stride Address Prediction (Section III-B.1 of the paper).
+
+A PC-indexed, tagged table whose entries track the last load address
+and the address delta (stride, possibly zero) between consecutive
+dynamic instances.  Entry: 14-bit tag, 49-bit last virtual address,
+2-bit FPC confidence, 10-bit signed stride, 2-bit load size
+(log2 bytes) -- 77 bits total.
+
+Once confident (9 effective observations), SAP predicts the next
+address as ``last_address + stride * (1 + inflight)``, where
+``inflight`` counts older in-flight instances of the same static load
+-- the EVES-style enhancement the paper adopts, compensating for the
+training lag of a pipelined machine.  The predicted address goes to the
+PAQ, which probes the D-cache for the speculative value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bits import mask, sign_extend, truncate
+from repro.common.hashing import pc_index, pc_tag
+from repro.common.rng import DeterministicRng
+from repro.predictors.base import ComponentPredictor
+from repro.predictors.fpc_vectors import SAP_CONFIDENCE_THRESHOLD, SAP_FPC
+from repro.predictors.table import INVALID_TAG, BankedTable
+from repro.predictors.types import LoadOutcome, LoadProbe, Prediction, PredictionKind
+
+_TAG_BITS = 14
+_ADDR_BITS = 49
+_STRIDE_BITS = 10
+_ADDR_MASK = mask(_ADDR_BITS)
+
+
+@dataclass(slots=True)
+class _SapEntry:
+    tag: int = INVALID_TAG
+    last_addr: int = 0
+    stride: int = 0  # stored as 10-bit two's complement
+    size_log2: int = 0
+    confidence: int = 0
+
+
+class SapPredictor(ComponentPredictor):
+    """Stride address predictor."""
+
+    name = "sap"
+    kind = PredictionKind.ADDRESS
+    context_aware = False
+    bits_per_entry = 77  # 14 tag + 49 addr + 2 conf + 10 stride + 2 size
+    fpc_vector = SAP_FPC
+    confidence_threshold = SAP_CONFIDENCE_THRESHOLD
+
+    def __init__(self, entries: int, rng: DeterministicRng | None = None,
+                 confidence_threshold: int | None = None) -> None:
+        super().__init__(entries, rng, confidence_threshold)
+        self._table: BankedTable[_SapEntry] = BankedTable(entries, _SapEntry)
+
+    def _tables(self) -> list:
+        return [self._table]
+
+    def predict(self, probe: LoadProbe) -> Prediction | None:
+        index = pc_index(probe.pc, self._table.index_bits)
+        entry = self._table.find(index, pc_tag(probe.pc, _TAG_BITS))
+        if entry is None or not self._is_confident(entry):
+            return None
+        stride = sign_extend(entry.stride, _STRIDE_BITS)
+        addr = (
+            entry.last_addr + stride * (1 + probe.inflight_same_pc)
+        ) & _ADDR_MASK
+        return Prediction(
+            component=self.name,
+            kind=self.kind,
+            addr=addr,
+            size=1 << entry.size_log2,
+        )
+
+    def train(self, outcome: LoadOutcome) -> None:
+        index = pc_index(outcome.pc, self._table.index_bits)
+        tag = pc_tag(outcome.pc, _TAG_BITS)
+        addr = outcome.addr & _ADDR_MASK
+        entry, hit = self._table.find_or_victim(index, tag)
+        if hit:
+            # Hardware compares in the 10-bit stride domain: the stored
+            # field against the new delta's low bits.
+            new_stride = truncate(addr - entry.last_addr, _STRIDE_BITS)
+            if new_stride == entry.stride:
+                self._bump_confidence(entry)
+            else:
+                entry.stride = new_stride
+                entry.confidence = 0
+            entry.last_addr = addr
+            entry.size_log2 = _size_log2(outcome.size)
+            return
+        entry.tag = tag
+        entry.last_addr = addr
+        entry.stride = 0
+        entry.size_log2 = _size_log2(outcome.size)
+        entry.confidence = 0
+
+    def penalize(self, outcome: LoadOutcome) -> None:
+        """Reset confidence after a wrong speculative value.
+
+        The address may have matched (conflicting store), so training
+        alone would keep the entry confident and re-flush next time.
+        """
+        index = pc_index(outcome.pc, self._table.index_bits)
+        entry = self._table.find(index, pc_tag(outcome.pc, _TAG_BITS))
+        if entry is not None:
+            entry.confidence = 0
+
+    def invalidate(self, outcome: LoadOutcome) -> None:
+        """Drop the entry for this load (smart-training rule: a correct
+        SAP prediction that is not chosen for training would have a
+        broken stride anyway, so the composite invalidates it)."""
+        index = pc_index(outcome.pc, self._table.index_bits)
+        entry = self._table.find(index, pc_tag(outcome.pc, _TAG_BITS))
+        if entry is not None:
+            entry.tag = INVALID_TAG
+            entry.confidence = 0
+
+
+def _size_log2(size: int) -> int:
+    """Encode a 1/2/4/8-byte access size into the 2-bit field."""
+    return size.bit_length() - 1

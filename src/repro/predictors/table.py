@@ -1,0 +1,114 @@
+"""Banked, tagged prediction tables.
+
+Every component predictor stores its state in one or more
+:class:`BankedTable` instances.  A table starts with a single
+direct-mapped bank; the composite layer's *table fusion* optimization
+(Section V-E of the paper) can attach extra banks donated by
+under-performing predictors, at which point lookups search all banks
+set-associatively -- exactly the "donor tables are added as if they
+were additional cache ways" design the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, Protocol, TypeVar
+
+from repro.common.bits import bit_length_for
+
+
+class TableEntry(Protocol):
+    """Minimal interface the table requires of entries."""
+
+    tag: int  # -1 marks an invalid (never written) entry
+    confidence: int
+
+
+E = TypeVar("E", bound=TableEntry)
+
+#: Tag value marking an invalid entry.
+INVALID_TAG = -1
+
+
+class BankedTable(Generic[E]):
+    """A direct-mapped table that can grow extra associative banks."""
+
+    def __init__(self, sets: int, entry_factory: Callable[[], E]) -> None:
+        self.sets = sets
+        self.index_bits = bit_length_for(sets)
+        self._entry_factory = entry_factory
+        self._banks: list[list[E]] = [self._new_bank()]
+
+    def _new_bank(self) -> list[E]:
+        return [self._entry_factory() for _ in range(self.sets)]
+
+    # ------------------------------------------------------------------
+    # Capacity management (fusion support)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_banks(self) -> int:
+        return len(self._banks)
+
+    @property
+    def total_entries(self) -> int:
+        return self.sets * len(self._banks)
+
+    def add_banks(self, count: int) -> None:
+        """Attach ``count`` fresh banks (receiver side of fusion)."""
+        if count < 0:
+            raise ValueError(f"bank count must be non-negative, got {count}")
+        for _ in range(count):
+            self._banks.append(self._new_bank())
+
+    def remove_extra_banks(self) -> None:
+        """Drop all donated banks, keeping the original one (unfusion)."""
+        del self._banks[1:]
+
+    def flush(self) -> None:
+        """Invalidate every entry in every bank."""
+        for bank in self._banks:
+            for entry in bank:
+                entry.tag = INVALID_TAG
+                entry.confidence = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / allocation
+    # ------------------------------------------------------------------
+
+    def find(self, index: int, tag: int) -> E | None:
+        """Return the matching entry across banks, or None."""
+        for bank in self._banks:
+            entry = bank[index]
+            if entry.tag == tag:
+                return entry
+        return None
+
+    def find_or_victim(self, index: int, tag: int) -> tuple[E, bool]:
+        """Return ``(entry, hit)``.
+
+        On a miss the returned entry is the replacement victim at this
+        index: an invalid entry if one exists, otherwise the entry with
+        the lowest confidence (low-confidence entries are the cheapest
+        to sacrifice; a confident entry is presumably still earning).
+        The caller is responsible for rewriting the victim's fields.
+        """
+        victim: E | None = None
+        for bank in self._banks:
+            entry = bank[index]
+            if entry.tag == tag:
+                return entry, True
+            if entry.tag == INVALID_TAG:
+                if victim is None or victim.tag != INVALID_TAG:
+                    victim = entry
+            elif victim is None or (
+                victim.tag != INVALID_TAG
+                and entry.confidence < victim.confidence
+            ):
+                victim = entry
+        assert victim is not None  # there is always at least one bank
+        return victim, False
+
+    def entries(self) -> Iterator[E]:
+        """Iterate over every entry in every bank."""
+        for bank in self._banks:
+            yield from bank

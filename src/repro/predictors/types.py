@@ -1,0 +1,66 @@
+"""Probe/outcome/prediction records shared by all predictors.
+
+The pipeline probes predictors at *fetch* with a :class:`LoadProbe`
+(carrying the speculative histories captured at that moment) and trains
+them at *execute* with a :class:`LoadOutcome` (carrying the same
+histories, so training indexes the same table entries prediction used).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PredictionKind(enum.Enum):
+    """Whether a component predicts the load's value or its address."""
+
+    VALUE = "value"
+    ADDRESS = "address"
+
+
+@dataclass(frozen=True, slots=True)
+class LoadProbe:
+    """Everything a predictor may look at when a load is fetched."""
+
+    pc: int
+    direction_history: int = 0
+    path_history: int = 0
+    load_path_history: int = 0
+    #: Number of older in-flight (fetched, not yet executed) dynamic
+    #: instances of the same static load.  SAP advances its stride by
+    #: this count, the enhancement the paper borrows from EVES.
+    inflight_same_pc: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class LoadOutcome:
+    """Training record produced when a load executes."""
+
+    pc: int
+    addr: int
+    size: int
+    value: int
+    direction_history: int = 0
+    path_history: int = 0
+    load_path_history: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Prediction:
+    """A single high-confidence prediction from one component.
+
+    ``kind`` decides interpretation: VALUE predictions carry ``value``;
+    ADDRESS predictions carry ``addr``/``size`` and must be resolved
+    against the data cache (PAQ probe) to produce a speculative value.
+    """
+
+    component: str
+    kind: PredictionKind
+    value: int = 0
+    addr: int = 0
+    size: int = 0
+
+    def resolves_immediately(self) -> bool:
+        """True when no cache probe is needed (a VALUE prediction)."""
+        return self.kind is PredictionKind.VALUE

@@ -1,0 +1,85 @@
+"""Trace generation: turn a workload profile into a dynamic trace."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.common.rng import DeterministicRng
+from repro.isa.trace import Trace
+from repro.workloads.builder import ProgramBuilder
+from repro.workloads.kernels import KERNEL_CLASSES
+from repro.workloads.profiles import profile_for
+
+
+def generate_trace(name: str, length: int = 50_000, seed: int = 0) -> Trace:
+    """Generate (and memoize) the trace for one named workload.
+
+    Kernels are interleaved burst-by-burst according to the profile's
+    weights, modelling phase-interleaved program behaviour.  The result
+    is deterministic in ``(name, length, seed)`` and cached per process
+    because experiments re-run the same workload against many predictor
+    configurations.
+    """
+    return _generate_cached(name, length, seed)
+
+
+@lru_cache(maxsize=256)
+def _generate_cached(name: str, length: int, seed: int) -> Trace:
+    profile = profile_for(name, seed)
+    rng = DeterministicRng(seed, f"trace/{name}")
+    builder = ProgramBuilder(rng.derive("builder"))
+
+    # Each kernel type is instantiated as several static *copies*
+    # (distinct PCs, registers, and data regions), proportional to its
+    # weight.  Real programs have thousands of static loads; the copies
+    # give predictor tables realistic pressure, which is what makes the
+    # paper's size-dependent effects (Figure 3's knee, smart training,
+    # table fusion) observable.
+    kernels = []
+    weights = []
+    for kernel_name, weight in profile.kernel_weights.items():
+        if weight <= 0:
+            continue
+        cls = KERNEL_CLASSES[kernel_name]
+        params = profile.kernel_params.get(kernel_name, {})
+        copies = min(1 + round(weight * 12), cls.max_copies)
+        for _ in range(copies):
+            kernels.append(cls(builder, **params))
+            weights.append(weight / copies)
+    # Snapshot memory after kernel construction (pre-population) but
+    # before any dynamic emission: this is the machine's initial memory.
+    initial_memory = builder.memory.copy()
+    # Deficit scheduling: kernels emit bursts of very different sizes
+    # (a Listing-1 outer iteration is inherently one burst), so picking
+    # by weight alone would skew instruction shares.  Instead, always
+    # pick among the kernels furthest *below* their weight share, with
+    # a little randomness so the interleaving is not periodic.
+    instructions: list = []
+    pick = rng.derive("mix")
+    emitted = [0] * len(kernels)
+    while len(instructions) < length:
+        order = sorted(
+            range(len(kernels)), key=lambda i: emitted[i] / weights[i]
+        )
+        candidates = order[: min(3, len(order))]
+        chosen = candidates[pick.randint(0, len(candidates))]
+        budget = pick.randint(80, 400)
+        before = len(instructions)
+        kernels[chosen].emit(instructions, budget)
+        emitted[chosen] += len(instructions) - before
+
+    del instructions[length:]
+    return Trace(
+        name=name,
+        instructions=instructions,
+        seed=seed,
+        metadata={"family": profile.family, "length": length},
+        initial_memory=initial_memory,
+    )
+
+
+def generate_suite(
+    names, length: int = 50_000, seed: int = 0
+) -> dict[str, Trace]:
+    """Generate traces for several workloads, keyed by name."""
+    return {name: generate_trace(name, length, seed) for name in names}

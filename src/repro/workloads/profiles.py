@@ -1,0 +1,237 @@
+"""Workload profiles: the 85-benchmark population of Table II / Figure 12.
+
+Each named workload belongs to a *family* (SPEC-integer-like,
+SPEC-FP-like, EEMBC-like, JavaScript/browser-like, media-like,
+HPC-numeric-like).  A family fixes the kernel mix (which load patterns
+dominate) and parameter ranges; the workload's name seeds the RNG that
+samples concrete parameters, so every benchmark is a distinct but
+reproducible individual.
+
+The mixes are chosen so the *suite-level* aggregates match the paper's
+analysis: roughly a third of dynamic loads fall in each of Pattern-1 /
+Pattern-2 / Pattern-3 (Figure 2), with heavy overlap between component
+predictors (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Recipe for one named workload."""
+
+    name: str
+    family: str
+    #: kernel name -> selection weight (need not sum to 1).
+    kernel_weights: dict[str, float] = field(default_factory=dict)
+    #: kernel name -> constructor kwargs (sampled per workload).
+    kernel_params: dict[str, dict] = field(default_factory=dict)
+
+
+#: Family kernel mixes.  Weights are relative selection frequencies of
+#: each kernel per burst.
+FAMILIES: dict[str, dict[str, float]] = {
+    # Control-heavy integer codes: everything in moderation, a real
+    # pointer-chasing and random component (mcf, omnetpp, xalancbmk...).
+    "spec_int": {
+        "constant_pool": 0.09, "memset_scan": 0.06,
+        "strided_sum": 0.064, "periodic_pattern": 0.09,
+        "context_address": 0.127, "stack_frames": 0.14,
+        "gather_indirect": 0.092, "pointer_chase": 0.192,
+        "random_loads": 0.09, "miss_constants": 0.043,
+        "chained_stride": 0.195, "hot_flag": 0.04,
+        "branchy_alu": 0.08,
+    },
+    # Loop-regular FP codes: strides dominate, little pointer chasing.
+    "spec_fp": {
+        "constant_pool": 0.09, "memset_scan": 0.09,
+        "strided_sum": 0.144, "periodic_pattern": 0.06,
+        "context_address": 0.046, "stack_frames": 0.083,
+        "gather_indirect": 0.138, "pointer_chase": 0.064,
+        "random_loads": 0.075, "miss_constants": 0.072,
+        "chained_stride": 0.234, "hot_flag": 0.04,
+        "branchy_alu": 0.06,
+    },
+    # Small embedded kernels: highly regular, small working sets.
+    "eembc": {
+        "constant_pool": 0.144, "memset_scan": 0.12,
+        "strided_sum": 0.112, "periodic_pattern": 0.1,
+        "context_address": 0.057, "stack_frames": 0.118,
+        "gather_indirect": 0.069, "pointer_chase": 0.064,
+        "random_loads": 0.045, "miss_constants": 0.022,
+        "chained_stride": 0.312, "hot_flag": 0.03,
+        "branchy_alu": 0.04,
+    },
+    # JS/browser engines: pointer-heavy, context-dependent dispatch.
+    "js": {
+        "constant_pool": 0.09, "memset_scan": 0.03,
+        "strided_sum": 0.032, "periodic_pattern": 0.13,
+        "context_address": 0.172, "stack_frames": 0.14,
+        "gather_indirect": 0.069, "pointer_chase": 0.24,
+        "random_loads": 0.105, "miss_constants": 0.036,
+        "chained_stride": 0.195, "hot_flag": 0.04,
+        "branchy_alu": 0.06,
+    },
+    # Codecs: streaming strides + table lookups + bit-twiddling.
+    "media": {
+        "constant_pool": 0.099, "memset_scan": 0.07,
+        "strided_sum": 0.112, "periodic_pattern": 0.09,
+        "context_address": 0.057, "stack_frames": 0.094,
+        "gather_indirect": 0.138, "pointer_chase": 0.064,
+        "random_loads": 0.075, "miss_constants": 0.058,
+        "chained_stride": 0.234, "hot_flag": 0.04,
+        "branchy_alu": 0.06,
+    },
+    # Dense numeric kernels (linpack/scimark/matrix): nearly all stride.
+    "hpc": {
+        "constant_pool": 0.072, "memset_scan": 0.12,
+        "strided_sum": 0.176, "periodic_pattern": 0.04,
+        "context_address": 0.023, "stack_frames": 0.059,
+        "gather_indirect": 0.138, "pointer_chase": 0.048,
+        "random_loads": 0.06, "miss_constants": 0.072,
+        "chained_stride": 0.312, "hot_flag": 0.04,
+        "branchy_alu": 0.05,
+    },
+}
+
+#: Every workload of the paper's Figure 12, mapped to its family.
+WORKLOAD_FAMILY: dict[str, str] = {
+    # EEMBC
+    "a2time": "eembc", "aifirf": "eembc", "basefp": "eembc",
+    "bezier": "eembc", "canrdr": "eembc", "cjpeg": "eembc",
+    "coremark": "eembc", "dither": "eembc", "djpeg": "eembc",
+    "fbital": "eembc", "filecycler": "eembc", "huffde": "eembc",
+    "iirflt": "eembc", "matrix": "eembc", "nat": "eembc",
+    "pktcheck": "eembc", "pntrch": "eembc", "rotate": "eembc",
+    "routelookup": "eembc", "rspeed": "eembc",
+    # SPEC2K / SPEC2K6 integer
+    "astar": "spec_int", "bzip2k": "spec_int", "bzip2k6": "spec_int",
+    "crafty": "spec_int", "eon": "spec_int", "gap": "spec_int",
+    "gcc2k": "spec_int", "gcc2k6": "spec_int", "gobmk": "spec_int",
+    "gzip": "spec_int", "h264ref": "spec_int", "hmmer": "spec_int",
+    "mcf": "spec_int", "omnetpp": "spec_int", "parser": "spec_int",
+    "perlbench": "spec_int", "perlbmk": "spec_int", "sjeng": "spec_int",
+    "twolf": "spec_int", "vortex": "spec_int", "vpr": "spec_int",
+    "xalancbmk": "spec_int",
+    # SPEC2K / SPEC2K6 floating point
+    "apsi": "spec_fp", "calculix": "spec_fp", "dealII": "spec_fp",
+    "equake": "spec_fp", "facerec": "spec_fp", "fma3d": "spec_fp",
+    "gamess": "spec_fp", "gromacs": "spec_fp", "leslie3d": "spec_fp",
+    "lucas": "spec_fp", "mesa": "spec_fp", "namd": "spec_fp",
+    "povray": "spec_fp", "soplex": "spec_fp", "sphinx3": "spec_fp",
+    "tonto": "spec_fp", "wrf": "spec_fp", "wupwise": "spec_fp",
+    "zeusmp": "spec_fp",
+    # JavaScript / browser
+    "avmshell": "js", "browsermark": "js", "codeload": "js",
+    "dromaeo": "js", "earleyboyer": "js", "gbemu": "js", "ibench": "js",
+    "mandreel": "js", "pdfjs": "js", "regexp": "js", "splay": "js",
+    "sunspider": "js", "typescript": "js", "v8": "js", "v8shell": "js",
+    "zlib": "js",
+    # Media
+    "mp3player": "media", "mp4dec": "media", "mp4enc": "media",
+    "mpeg2dec": "media", "mpeg2enc": "media", "mplayer": "media",
+    # HPC numeric
+    "linpack": "hpc", "scimark": "hpc",
+}
+
+#: Sorted tuple of every workload name (the paper's Figure 12 x-axis).
+ALL_WORKLOADS: tuple[str, ...] = tuple(sorted(WORKLOAD_FAMILY))
+
+#: A cross-family subset used by the sweep figures, where running all
+#: 85 workloads per design point would be prohibitively slow in pure
+#: Python (the paper's simulator is compiled; see DESIGN.md).
+REPRESENTATIVE_WORKLOADS: tuple[str, ...] = (
+    "coremark", "matrix", "routelookup",          # eembc
+    "gcc2k", "mcf", "crafty", "xalancbmk",        # spec_int
+    "equake", "leslie3d", "namd",                 # spec_fp
+    "v8", "splay", "sunspider",                   # js
+    "mpeg2dec", "mp4enc",                         # media
+    "linpack",                                    # hpc
+)
+
+
+def profile_for(name: str, seed: int = 0) -> WorkloadProfile:
+    """Build the (deterministic) profile for one workload name."""
+    try:
+        family = WORKLOAD_FAMILY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; see repro.workloads.ALL_WORKLOADS"
+        ) from None
+    rng = DeterministicRng(seed, f"profile/{name}")
+    weights = _jitter_weights(FAMILIES[family], rng)
+    params = _sample_params(rng)
+    return WorkloadProfile(
+        name=name, family=family, kernel_weights=weights,
+        kernel_params=params,
+    )
+
+
+def _jitter_weights(base: dict[str, float], rng: DeterministicRng) -> dict[str, float]:
+    """Perturb family weights +-40% so siblings differ."""
+    return {
+        kernel: weight * (0.6 + 0.8 * rng.random())
+        for kernel, weight in base.items()
+    }
+
+
+def _sample_params(rng: DeterministicRng) -> dict[str, dict]:
+    """Sample concrete kernel parameters for one workload."""
+    return {
+        "constant_pool": {
+            "n_constants": rng.randint(2, 9),
+            "iters_per_burst": rng.randint(8, 33),
+        },
+        "memset_scan": {
+            "inner_n": rng.randint(32, 129),
+            "elem_size": rng.choice([4, 8]),
+        },
+        "strided_sum": {
+            "n_elems": rng.randint(256, 1025),
+            "stride_elems": rng.randint(1, 5),
+            "elem_size": rng.choice([4, 8]),
+        },
+        "periodic_pattern": {
+            "period": rng.randint(3, 6),
+            "iters_per_burst": rng.randint(32, 65),
+        },
+        "context_address": {
+            "n_sites": rng.randint(2, 5),
+            "drift_period": rng.randint(24, 65),
+        },
+        "stack_frames": {
+            "n_locals": rng.randint(2, 5),
+            "body_alu": rng.randint(24, 97),
+        },
+        "gather_indirect": {
+            "n": rng.randint(32, 129),
+            "table_elems": rng.choice([256, 512, 1024]),
+        },
+        "pointer_chase": {
+            "n_nodes": rng.randint(32, 129),
+        },
+        "random_loads": {
+            "region_bytes": rng.choice([96, 128, 192, 256]) * 1024,
+            "constant_fraction": 0.15,
+        },
+        "miss_constants": {
+            "region_bytes": rng.choice([256, 512, 1024]) * 1024,
+            "sentinel": rng.choice([0, 0, 0x5A5A5A5A]),
+        },
+        "chained_stride": {
+            "n_elems": rng.randint(128, 513),
+            "encoded_fraction": 1.0,
+        },
+        "hot_flag": {
+            "gap_alu": rng.randint(2, 7),
+            "atomic_fraction": 0.3,
+        },
+        "branchy_alu": {
+            "taken_bias": 0.7 + 0.25 * rng.random(),
+            "chain_length": rng.randint(2, 6),
+        },
+    }

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.predictors.types import LoadOutcome, LoadProbe
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(1234, "tests")
+
+
+def make_outcome(
+    pc: int = 0x1000,
+    addr: int = 0x8000,
+    size: int = 8,
+    value: int = 42,
+    direction: int = 0,
+    path: int = 0,
+    load_path: int = 0,
+) -> LoadOutcome:
+    return LoadOutcome(
+        pc=pc, addr=addr, size=size, value=value,
+        direction_history=direction, path_history=path,
+        load_path_history=load_path,
+    )
+
+
+def make_probe(
+    pc: int = 0x1000,
+    direction: int = 0,
+    path: int = 0,
+    load_path: int = 0,
+    inflight: int = 0,
+) -> LoadProbe:
+    return LoadProbe(
+        pc=pc, direction_history=direction, path_history=path,
+        load_path_history=load_path, inflight_same_pc=inflight,
+    )
+
+
+def train_constant(predictor, pc: int, value: int, times: int,
+                   addr: int = 0x9000, **histories) -> None:
+    """Feed ``times`` identical outcomes (same pc/addr/value)."""
+    for _ in range(times):
+        predictor.train(make_outcome(pc=pc, addr=addr, value=value, **histories))
+
+
+def train_strided(predictor, pc: int, base: int, stride: int, times: int,
+                  value_fn=None, **histories) -> None:
+    """Feed ``times`` outcomes with a strided address pattern."""
+    for i in range(times):
+        value = value_fn(i) if value_fn else 7
+        predictor.train(make_outcome(
+            pc=pc, addr=base + i * stride, value=value, **histories
+        ))

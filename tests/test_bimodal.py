@@ -1,0 +1,31 @@
+"""Tests for the bimodal fallback predictor."""
+
+from repro.branch.bimodal import BimodalPredictor
+
+
+class TestBimodal:
+    def test_learns_taken(self):
+        predictor = BimodalPredictor(1024)
+        for _ in range(4):
+            predictor.train(0x1000, True)
+        assert predictor.predict(0x1000) is True
+
+    def test_learns_not_taken(self):
+        predictor = BimodalPredictor(1024)
+        for _ in range(4):
+            predictor.train(0x1000, False)
+        assert predictor.predict(0x1000) is False
+
+    def test_hysteresis(self):
+        """A single contrary outcome does not flip a saturated counter."""
+        predictor = BimodalPredictor(1024)
+        for _ in range(4):
+            predictor.train(0x1000, True)
+        predictor.train(0x1000, False)
+        assert predictor.predict(0x1000) is True
+
+    def test_storage(self):
+        assert BimodalPredictor(8192).storage_bits() == 16384
+
+    def test_entries(self):
+        assert BimodalPredictor(512).entries == 512

@@ -1,0 +1,67 @@
+"""Tests for the program builder (PC/data/register allocation)."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.workloads.builder import CODE_BASE, DATA_BASE, ProgramBuilder
+
+
+@pytest.fixture
+def builder():
+    return ProgramBuilder(DeterministicRng(0))
+
+
+class TestCodeAllocation:
+    def test_blocks_are_cache_line_separated(self, builder):
+        a = builder.alloc_code(3)
+        b = builder.alloc_code(3)
+        assert a == CODE_BASE
+        assert b - a >= 64
+        assert b % 64 == 0
+
+    def test_instruction_pcs_are_aligned(self, builder):
+        base = builder.alloc_code(10)
+        assert base % 4 == 0
+
+    def test_rejects_empty(self, builder):
+        with pytest.raises(ValueError):
+            builder.alloc_code(0)
+
+
+class TestDataAllocation:
+    def test_regions_do_not_overlap(self, builder):
+        a = builder.alloc_data(100)
+        b = builder.alloc_data(100)
+        assert a >= DATA_BASE
+        assert b >= a + 100
+
+    def test_alignment(self, builder):
+        builder.alloc_data(7)
+        b = builder.alloc_data(8, align=64)
+        assert b % 64 == 0
+
+    def test_rejects_empty(self, builder):
+        with pytest.raises(ValueError):
+            builder.alloc_data(0)
+
+    def test_populate(self, builder):
+        base = builder.alloc_data(4 * 8)
+        builder.populate(base, 4, 8, lambda i: i * 10)
+        assert builder.memory.read(base + 16, 8) == 20
+
+
+class TestRegisters:
+    def test_round_robin(self, builder):
+        regs = builder.alloc_regs(5)
+        assert regs == [0, 1, 2, 3, 4]
+
+    def test_wraps_at_31(self, builder):
+        builder.alloc_regs(30)
+        regs = builder.alloc_regs(3)
+        assert regs == [30, 0, 1]
+
+
+class TestKernelIds:
+    def test_monotonic_unique(self, builder):
+        ids = [builder.next_kernel_id() for _ in range(5)]
+        assert ids == sorted(set(ids))

@@ -1,0 +1,112 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache, CacheConfig
+
+
+def _small_cache(assoc=2, sets=4, block=64):
+    return Cache(CacheConfig("T", sets * assoc * block, assoc, block, 1))
+
+
+class TestConfigValidation:
+    def test_valid(self):
+        cfg = CacheConfig("L1", 64 * 1024, 4, 64, 2)
+        assert cfg.num_sets == 256
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 1000, 3, 64, 1)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 3 * 64 * 2, 2, 64, 1)
+
+
+class TestAccessBehaviour:
+    def test_miss_then_hit(self):
+        cache = _small_cache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.access(0x1004) is True  # same block
+
+    def test_lru_eviction(self):
+        cache = _small_cache(assoc=2, sets=1, block=64)
+        cache.access(0 * 64)
+        cache.access(1 * 64)
+        cache.access(0 * 64)        # refresh block 0
+        cache.access(2 * 64)        # evicts block 1 (LRU)
+        assert cache.access(0 * 64) is True
+        assert cache.access(1 * 64) is False
+
+    def test_write_marks_dirty_and_writeback_counted(self):
+        cache = _small_cache(assoc=1, sets=1, block=64)
+        cache.access(0x0, is_write=True)
+        cache.access(0x40)  # evicts the dirty block
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = _small_cache(assoc=1, sets=1, block=64)
+        cache.access(0x0)
+        cache.access(0x40)
+        assert cache.stats.writebacks == 0
+
+    def test_stats(self):
+        cache = _small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestLookupAndFill:
+    def test_lookup_does_not_allocate(self):
+        cache = _small_cache()
+        assert cache.lookup(0x2000) is False
+        assert cache.lookup(0x2000) is False  # still absent
+        assert cache.stats.accesses == 0
+
+    def test_fill_installs_without_demand_stats(self):
+        cache = _small_cache()
+        cache.fill(0x3000, from_prefetch=True)
+        assert cache.lookup(0x3000) is True
+        assert cache.stats.accesses == 0
+        assert cache.stats.prefetch_fills == 1
+
+    def test_fill_idempotent(self):
+        cache = _small_cache()
+        cache.fill(0x3000)
+        cache.fill(0x3000)
+        assert cache.lookup(0x3000)
+
+    def test_invalidate_all(self):
+        cache = _small_cache()
+        cache.access(0x1000)
+        cache.invalidate_all()
+        assert cache.lookup(0x1000) is False
+
+
+class TestAgainstReferenceModel:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=200))
+    def test_matches_lru_reference(self, block_ids):
+        """Hit/miss sequence must match a straightforward LRU model."""
+        assoc, sets, block = 2, 2, 64
+        cache = _small_cache(assoc=assoc, sets=sets, block=block)
+        reference: dict[int, list[int]] = {s: [] for s in range(sets)}
+        for block_id in block_ids:
+            addr = block_id * block
+            set_idx = block_id % sets
+            tag = block_id // sets
+            ways = reference[set_idx]
+            expect_hit = tag in ways
+            if expect_hit:
+                ways.remove(tag)
+            elif len(ways) >= assoc:
+                ways.pop()
+            ways.insert(0, tag)
+            assert cache.access(addr) is expect_hit

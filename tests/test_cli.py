@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments_and_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+        assert "table6" in out
+        assert "coremark" in out
+
+
+class TestRun:
+    def test_run_static_table(self, capsys):
+        assert main(["run", "table1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["rows"]) == 4
+
+    def test_run_writes_json(self, tmp_path, capsys):
+        out_file = tmp_path / "result.json"
+        assert main(["run", "table4", "--json", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert len(payload["rows"]) == 4
+        capsys.readouterr()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig2", "--scale", "galactic"])
+
+
+class TestReportCommand:
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main([
+            "report", "--sections", "table1", "table4", "-o", str(out),
+        ]) == 0
+        text = out.read_text()
+        assert "# Reproduction report" in text
+        assert "## table4" in text
+        capsys.readouterr()
+
+
+class TestSimulateCommand:
+    def _saved_trace(self, tmp_path):
+        from repro.workloads import generate_trace
+
+        path = tmp_path / "trace.jsonl"
+        generate_trace("coremark", 4000).save(path)
+        return path
+
+    def test_baseline_simulation(self, tmp_path, capsys):
+        path = self._saved_trace(tmp_path)
+        assert main(["simulate", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["instructions"] == 4000
+        assert payload["cycles"] > 0
+        assert payload["predicted_loads"] == 0
+
+    def test_composite_simulation(self, tmp_path, capsys):
+        path = self._saved_trace(tmp_path)
+        assert main([
+            "simulate", str(path), "--predictor", "composite",
+            "--entries", "256",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["predicted_loads"] > 0
+        assert 0 <= payload["coverage"] <= 1
+
+    def test_single_component_simulation(self, tmp_path, capsys):
+        path = self._saved_trace(tmp_path)
+        assert main([
+            "simulate", str(path), "--predictor", "sap",
+            "--entries", "1024",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["predicted_loads"] > 0
+
+    def test_unknown_predictor_rejected(self, tmp_path, capsys):
+        import pytest
+
+        path = self._saved_trace(tmp_path)
+        with pytest.raises(ValueError, match="unknown predictor"):
+            main(["simulate", str(path), "--predictor", "bogus"])
+        capsys.readouterr()
+
+
+class TestScaleResolution:
+    def test_scale_from_env(self, monkeypatch):
+        from repro.harness.presets import QUICK, SMOKE, scale_from_env
+
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_from_env() is QUICK
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert scale_from_env() is SMOKE
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            scale_from_env()

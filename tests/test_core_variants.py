@@ -1,0 +1,74 @@
+"""Sensitivity tests: the core model must respond sanely to its knobs."""
+
+import pytest
+
+from repro.memory.hierarchy import HierarchyConfig
+from repro.pipeline import CoreConfig, simulate
+from repro.workloads import generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace("coremark", 8000)
+
+
+class TestWidthSensitivity:
+    def test_narrow_fetch_is_slower(self, trace):
+        wide = simulate(trace, config=CoreConfig(fetch_width=4))
+        narrow = simulate(trace, config=CoreConfig(fetch_width=1))
+        assert narrow.cycles > wide.cycles
+
+    def test_tiny_rob_is_slower(self, trace):
+        big = simulate(trace)
+        small = simulate(trace, config=CoreConfig(rob_entries=16))
+        assert small.cycles > big.cycles
+
+    def test_single_ls_lane_hurts_loads(self, trace):
+        base = simulate(trace)
+        starved = simulate(trace, config=CoreConfig(ls_lanes=1))
+        assert starved.cycles >= base.cycles
+
+
+class TestMemorySensitivity:
+    def test_slow_memory_is_slower(self, trace):
+        fast = simulate(trace)
+        slow = simulate(trace, config=CoreConfig(
+            hierarchy=HierarchyConfig(memory_latency=800)
+        ))
+        assert slow.cycles >= fast.cycles
+
+    def test_no_prefetch_not_faster(self, trace):
+        with_pf = simulate(trace)
+        without = simulate(trace, config=CoreConfig(
+            hierarchy=HierarchyConfig(prefetch_enabled=False)
+        ))
+        assert without.cycles >= with_pf.cycles
+
+
+class TestPipelineDepth:
+    def test_deeper_frontend_raises_branch_cost(self, trace):
+        shallow = simulate(trace, config=CoreConfig(fetch_to_execute=8))
+        deep = simulate(trace, config=CoreConfig(fetch_to_execute=24))
+        assert deep.cycles > shallow.cycles
+
+    def test_memdep_perfect_at_least_as_fast(self, trace):
+        store_sets = simulate(trace)
+        perfect = simulate(
+            trace, config=CoreConfig(memory_dependence="perfect")
+        )
+        assert perfect.cycles <= store_sets.cycles
+
+
+class TestQueueSizing:
+    def test_tiny_vpe_drops_predictions(self):
+        from repro.composite import CompositeConfig, CompositePredictor
+
+        trace = generate_trace("linpack", 8000)
+        def composite():
+            return CompositePredictor(
+                CompositeConfig(epoch_instructions=1000).homogeneous(256)
+            )
+        roomy = simulate(trace, composite())
+        tight = simulate(trace, composite(), config=CoreConfig(vpe_entries=2))
+        assert tight.dropped_queue_full > roomy.dropped_queue_full
+        assert tight.predicted_loads < roomy.predicted_loads

@@ -1,0 +1,48 @@
+"""Tests for the plain saturating counter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.counters import SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_increment_saturates(self):
+        counter = SaturatingCounter(maximum=2)
+        assert counter.increment() == 1
+        assert counter.increment() == 2
+        assert counter.increment() == 2
+
+    def test_decrement_floors_at_zero(self):
+        counter = SaturatingCounter(maximum=3, value=1)
+        assert counter.decrement() == 0
+        assert counter.decrement() == 0
+
+    def test_reset_returns_to_initial(self):
+        counter = SaturatingCounter(maximum=3, value=2)
+        counter.increment()
+        counter.reset()
+        assert counter.value == 2
+
+    def test_is_saturated_and_at_least(self):
+        counter = SaturatingCounter(maximum=2, value=2)
+        assert counter.is_saturated()
+        assert counter.at_least(2)
+        assert not counter.at_least(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(maximum=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(maximum=2, value=5)
+        with pytest.raises(ValueError):
+            SaturatingCounter(maximum=2, value=-1)
+
+    @given(st.integers(min_value=1, max_value=16),
+           st.lists(st.booleans(), max_size=100))
+    def test_stays_in_bounds(self, maximum, operations):
+        counter = SaturatingCounter(maximum=maximum)
+        for up in operations:
+            counter.increment() if up else counter.decrement()
+            assert 0 <= counter.value <= maximum

@@ -1,0 +1,48 @@
+"""Tests for the detailed substrate statistics in SimResult.extra."""
+
+import pytest
+
+from repro.pipeline import CoreConfig, simulate
+from repro.workloads import generate_trace
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate(generate_trace("gcc2k", 8000))
+
+
+class TestExtraStats:
+    def test_branch_section(self, result):
+        branch = result.extra["branch"]
+        assert branch["conditional_predictions"] > 0
+        assert 0.5 <= branch["accuracy"] <= 1.0
+        assert 0.0 <= branch["btb_hit_rate"] <= 1.0
+
+    def test_cache_sections(self, result):
+        caches = result.extra["caches"]
+        assert set(caches) == {"l1i", "l1d", "l2", "l3"}
+        for level, stats in caches.items():
+            assert 0.0 <= stats["hit_rate"] <= 1.0, level
+        assert caches["l1d"]["accesses"] >= result.loads * 0.5
+
+    def test_inclusive_access_ordering(self, result):
+        caches = result.extra["caches"]
+        # L2 only sees L1 misses and fills.
+        assert caches["l2"]["accesses"] <= caches["l1d"]["accesses"] + \
+            caches["l1i"]["accesses"]
+
+    def test_tlb_and_prefetch(self, result):
+        assert 0.0 <= result.extra["tlb_hit_rate"] <= 1.0
+        assert result.extra["prefetches_issued"] >= 0
+
+    def test_memdep_section_present_by_default(self, result):
+        memdep = result.extra["memdep"]
+        assert memdep is not None
+        assert memdep["violations"] == result.memory_order_violations
+
+    def test_memdep_none_with_perfect_oracle(self):
+        result = simulate(
+            generate_trace("coremark", 3000),
+            config=CoreConfig(memory_dependence="perfect"),
+        )
+        assert result.extra["memdep"] is None

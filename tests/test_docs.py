@@ -1,0 +1,54 @@
+"""Documentation-contract tests: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+EXEMPT_MODULES = {"repro.__main__"}
+
+
+def _public_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in EXEMPT_MODULES:
+            continue
+        if any(part.startswith("_") for part in info.name.split(".")):
+            continue
+        yield importlib.import_module(info.name)
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            module.__name__ for module in _public_modules()
+            if not (module.__doc__ or "").strip()
+        ]
+        assert not undocumented
+
+    def test_every_public_class_documented(self):
+        undocumented = []
+        for module in _public_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isclass(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue  # re-export
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented
+
+    def test_every_public_function_documented(self):
+        undocumented = []
+        for module in _public_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isfunction(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented
+
+    def test_version_exported(self):
+        assert repro.__version__

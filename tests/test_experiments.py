@@ -1,0 +1,135 @@
+"""Smoke/shape tests for every experiment entry point.
+
+Each experiment runs at a tiny scale here; the benchmark harness runs
+them at QUICK/FULL scale.  These tests assert structure plus the
+paper's qualitative claims that are robust even at tiny scale.
+"""
+
+import pytest
+
+from repro.harness import experiments as exp
+from repro.harness.presets import ExperimentScale
+
+TINY = ExperimentScale(
+    name="tiny", workloads=("coremark", "mcf"), trace_length=6000
+)
+
+
+class TestStaticTables:
+    def test_table1(self):
+        rows = exp.table1_taxonomy()["rows"]
+        assert len(rows) == 4
+        assert {r["predictor"] for r in rows} == {"LVP", "SAP", "CVP", "CAP"}
+
+    def test_table2(self):
+        result = exp.table2_workloads()
+        assert result["total"] == 85
+        assert sum(len(v) for v in result["families"].values()) == 85
+
+    def test_table3(self):
+        result = exp.table3_core_config()
+        assert result["rob/iq/ldq/stq"] == (224, 97, 72, 56)
+        assert result["fetch_to_execute"] == 13
+
+    def test_table4(self):
+        rows = exp.table4_parameters()["rows"]
+        assert [r["effective_confidence"] for r in rows] == [64, 9, 16, 4]
+        # 1K-entry storage close to the paper's 8-10KB figure.
+        for row in rows:
+            assert 8 <= row["storage_kib_at_1k"] <= 10.2
+
+
+class TestTable5:
+    def test_listing1_shape(self):
+        result = exp.table5_listing1(outer_m=24, inner_n=16)
+        table = result["first_predicted_inner_iteration"]
+        # SAP predicts within the very first outer iteration, after
+        # roughly its 9-observation warm-up.
+        assert table["sap"][0] is not None and 8 <= table["sap"][0] <= 13
+        # SAP retrains every outer iteration (never predicts from i=0).
+        assert all(v is None or v > 0 for v in table["sap"])
+        # LVP needs ~64 instances (4 outer iterations of 16) but then
+        # predicts from the first inner iteration.
+        assert table["lvp"][0] is None
+        late_lvp = [v for v in table["lvp"][6:] if v is not None]
+        assert late_lvp and min(late_lvp) == 0
+        # CAP establishes per-iteration contexts after a few outer laps.
+        assert table["cap"][0] is None
+        assert any(v is not None for v in table["cap"][4:])
+
+
+class TestFigure2:
+    def test_breakdown_fractions(self):
+        result = exp.fig2_load_breakdown(TINY)
+        average = result["average"]
+        assert abs(sum(average.values()) - 1.0) < 1e-9
+        # All three patterns present in the mix.
+        assert all(fraction > 0.05 for fraction in average.values())
+
+
+class TestFigure4:
+    def test_overlap_structure(self):
+        result = exp.fig4_overlap(TINY, per_component=256)
+        assert 0.2 < result["fraction_predicted"] <= 1.0
+        assert abs(sum(result["by_count"].values()) - 1.0) < 1e-9
+        # Significant overlap: the paper reports 66% multi-covered.
+        assert result["multiple_fraction"] > 0.3
+
+
+class TestFigure7:
+    def test_smart_training_reduces_multiplicity(self):
+        result = exp.fig7_smart_training(TINY, per_component_sizes=(256,))
+        row = result["sizes"][256]
+        assert row["smart"]["multiple_prediction_fraction"] < \
+            row["train_all"]["multiple_prediction_fraction"]
+        assert row["smart"]["avg_predictors_trained"] < \
+            row["train_all"]["avg_predictors_trained"]
+        # Smart training updates far fewer predictors than train-all's 4
+        # (the paper reports ~1; unpredicted loads still train all four,
+        # so the average tracks coverage -- at this tiny scale coverage
+        # is low, keeping the average higher).
+        assert row["smart"]["avg_predictors_trained"] < 2.8
+
+
+@pytest.mark.slow
+class TestTimingExperiments:
+    def test_fig3_structure(self):
+        result = exp.fig3_component_speedup(TINY, sizes=(256, 1024))
+        assert set(result["speedup"]) == {"lvp", "sap", "cvp", "cap"}
+        for curve in result["speedup"].values():
+            assert set(curve) == {256, 1024}
+
+    def test_fig5_composite_wins(self):
+        """Structural smoke test: at this tiny scale single flushes move
+        results by ~+-1pp, so only gross divergence fails here; the
+        benchmark suite asserts the paper's claim at averaging scale."""
+        result = exp.fig5_composite_vs_component(TINY, totals=(1024,))
+        row = result["totals"][1024]
+        assert row["composite"] >= row["best_component"] - 0.01
+        assert row["composite"] > -0.005  # composite itself never harmful
+
+    def test_fig6_structure(self):
+        result = exp.fig6_accuracy_monitor(TINY, per_component=256)
+        assert set(result["speedup"]) == {
+            "base", "m-am", "pc-am-64", "pc-am-infinite"
+        }
+
+    def test_fig10_reports_improvement(self):
+        result = exp.fig10_combined(TINY, totals=(1024,))
+        row = result["totals"][1024]
+        assert "improvement" in row
+        assert row["storage_kib"] == pytest.approx(9.56, abs=0.01)
+
+    def test_fig11_composite_beats_eves_coverage(self):
+        result = exp.fig11_vs_eves(TINY)
+        summary = result["composite96_vs_eves32"]
+        # At full scale the paper reports +133%; even at tiny scale the
+        # composite's coverage advantage must be clearly positive.
+        assert summary["coverage_increase"] > 0.1
+
+    def test_fig12_per_workload_records(self):
+        result = exp.fig12_per_workload(TINY)
+        assert set(result["per_workload"]) == set(TINY.workloads)
+        assert result["composite_wins"] + result["eves_wins"] <= len(
+            TINY.workloads
+        )

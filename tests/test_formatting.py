@@ -1,0 +1,58 @@
+"""Tests for result formatting."""
+
+from repro.harness.formatting import frac, pct, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "------" in lines[1]
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+
+class TestNumbers:
+    def test_pct_signed(self):
+        assert pct(0.054) == "+5.40%"
+        assert pct(-0.01) == "-1.00%"
+
+    def test_frac(self):
+        assert frac(0.425) == "42.5%"
+
+
+class TestExperimentFormatters:
+    def test_fig10_formatter(self):
+        from repro.harness.formatting import format_fig10
+
+        result = {
+            "totals": {
+                1024: {
+                    "storage_kib": 9.56, "composite": 0.02,
+                    "best_component": 0.012, "best_component_name": "sap",
+                    "improvement": 0.66,
+                }
+            }
+        }
+        text = format_fig10(result)
+        assert "SAP" in text and "+66%" in text
+
+    def test_fig11_formatter(self):
+        from repro.harness.formatting import format_fig11
+
+        result = {
+            "contenders": {
+                "composite-9.6kb": {"speedup": 0.049, "coverage": 0.48},
+                "eves-32kb": {"speedup": 0.031, "coverage": 0.206},
+            },
+            "composite96_vs_eves32": {
+                "speedup_increase": 0.55, "coverage_increase": 1.33,
+            },
+        }
+        text = format_fig11(result)
+        assert "eves-32kb" in text
+        assert "+55%" in text and "+133%" in text

@@ -1,0 +1,131 @@
+"""Tests for forward probabilistic counters."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.fpc import ForwardProbabilisticCounter, FpcVector
+from repro.common.rng import DeterministicRng
+
+
+class TestFpcVector:
+    def test_from_ratios(self):
+        vector = FpcVector.from_ratios(["1", "1/4", "1/4"])
+        assert vector.maximum == 3
+        assert vector.effective_confidence() == 9
+
+    def test_effective_confidence_partial(self):
+        vector = FpcVector.from_ratios(["1", "1/2", "1/4"])
+        assert vector.effective_confidence(1) == 1
+        assert vector.effective_confidence(2) == 3
+        assert vector.effective_confidence(3) == 7
+
+    def test_probability_at_saturation_is_zero(self):
+        vector = FpcVector.from_ratios(["1", "1/2"])
+        assert vector.probability_at(2) == 0
+        assert vector.probability_at(0) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FpcVector(())
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(ValueError):
+            FpcVector.from_ratios(["1", "2"])
+        with pytest.raises(ValueError):
+            FpcVector.from_ratios(["0"])
+
+    def test_threshold_out_of_range(self):
+        vector = FpcVector.from_ratios(["1", "1/2"])
+        with pytest.raises(ValueError):
+            vector.effective_confidence(3)
+
+    @given(st.lists(
+        st.sampled_from(["1", "1/2", "1/4", "1/8"]), min_size=1, max_size=8
+    ))
+    def test_effective_confidence_at_least_levels(self, ratios):
+        # Each level takes at least one observation.
+        vector = FpcVector.from_ratios(ratios)
+        assert vector.effective_confidence() >= len(ratios)
+
+
+class TestForwardProbabilisticCounter:
+    def test_deterministic_increments(self):
+        vector = FpcVector.from_ratios(["1", "1", "1"])
+        counter = ForwardProbabilisticCounter(vector, DeterministicRng(0))
+        assert counter.increment() == 1
+        assert counter.increment() == 2
+        assert counter.increment() == 3
+        assert counter.increment() == 3  # saturates
+
+    def test_reset(self):
+        vector = FpcVector.from_ratios(["1", "1"])
+        counter = ForwardProbabilisticCounter(vector, DeterministicRng(0))
+        counter.increment()
+        counter.reset()
+        assert counter.value == 0
+
+    def test_at_least(self):
+        vector = FpcVector.from_ratios(["1", "1"])
+        counter = ForwardProbabilisticCounter(vector, DeterministicRng(0))
+        counter.increment()
+        assert counter.at_least(1)
+        assert not counter.at_least(2)
+
+    def test_value_validation(self):
+        vector = FpcVector.from_ratios(["1"])
+        with pytest.raises(ValueError):
+            ForwardProbabilisticCounter(vector, DeterministicRng(0), value=5)
+
+    def test_expected_observations_statistics(self):
+        """Mean observations to saturate tracks the analytic expectation."""
+        vector = FpcVector.from_ratios(["1", "1/2", "1/4"])
+        expected = float(vector.effective_confidence())  # 7
+        rng = DeterministicRng(7, "fpc-stats")
+        trials = []
+        for _ in range(400):
+            counter = ForwardProbabilisticCounter(vector, rng)
+            observations = 0
+            while counter.value < vector.maximum:
+                counter.increment()
+                observations += 1
+            trials.append(observations)
+        mean = sum(trials) / len(trials)
+        assert expected * 0.8 < mean < expected * 1.2
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_never_exceeds_maximum(self, seed):
+        vector = FpcVector.from_ratios(["1/2", "1/2"])
+        counter = ForwardProbabilisticCounter(vector, DeterministicRng(seed))
+        for _ in range(50):
+            counter.increment()
+            assert 0 <= counter.value <= vector.maximum
+
+
+class TestTableIvVectors:
+    def test_paper_effective_confidences(self):
+        from repro.predictors.fpc_vectors import (
+            CAP_FPC, CVP_FPC, LVP_FPC, SAP_FPC,
+        )
+        assert LVP_FPC.effective_confidence() == 64
+        assert SAP_FPC.effective_confidence() == 9
+        assert CVP_FPC.effective_confidence() == 16
+        assert CAP_FPC.effective_confidence() == 4
+
+    def test_table_iv_rows_complete(self):
+        from repro.predictors.fpc_vectors import table_iv_rows
+
+        rows = table_iv_rows()
+        assert [r["predictor"] for r in rows] == ["LVP", "SAP", "CVP", "CAP"]
+        assert [r["bits_per_entry"] for r in rows] == [81, 77, 81, 67]
+        for row in rows:
+            assert sum(row["fields"].values()) <= row["bits_per_entry"]
+
+    def test_fields_sum_to_entry_bits(self):
+        from repro.predictors.fpc_vectors import table_iv_rows
+
+        for row in table_iv_rows():
+            assert sum(row["fields"].values()) == row["bits_per_entry"]

@@ -1,0 +1,63 @@
+"""Structural tests for the trace generator (copies, mixing, limits)."""
+
+from collections import Counter
+
+from repro.workloads.generator import generate_trace
+from repro.workloads.kernels import KERNEL_CLASSES
+from repro.workloads.profiles import profile_for
+
+
+class TestCopies:
+    def test_max_copies_declared_sane(self):
+        for name, cls in KERNEL_CLASSES.items():
+            assert 1 <= cls.max_copies <= 8, name
+
+    def test_context_patterns_capped(self):
+        """Context-aware patterns keep few static copies so their
+        per-context warm-up fits the trace (docs/workloads.md)."""
+        assert KERNEL_CLASSES["context_address"].max_copies == 1
+        assert KERNEL_CLASSES["periodic_pattern"].max_copies == 1
+        assert KERNEL_CLASSES["hot_flag"].max_copies == 1
+
+    def test_static_footprint_scales_with_kernels(self):
+        trace = generate_trace("gcc2k", 20_000)
+        stats = trace.stats()
+        # Multiple copies of multiple kernels: a real static footprint.
+        assert stats.unique_load_pcs >= 15
+
+
+class TestMixing:
+    def test_every_weighted_kernel_appears(self):
+        """Each kernel with meaningful weight shows up in a big trace."""
+        profile = profile_for("gcc2k")
+        trace = generate_trace("gcc2k", 40_000)
+        present = {inst.kernel for inst in trace if inst.kernel}
+        expected = {
+            name for name, weight in profile.kernel_weights.items()
+            if weight >= 0.05
+        }
+        missing = expected - present
+        assert not missing
+
+    def test_kernel_shares_roughly_track_weights(self):
+        """Instruction share per kernel correlates with its weight."""
+        profile = profile_for("equake")
+        trace = generate_trace("equake", 40_000)
+        counts = Counter(inst.kernel for inst in trace if inst.kernel)
+        total_weight = sum(profile.kernel_weights.values())
+        strided_share = counts.get("strided_sum", 0) / len(trace)
+        strided_weight = profile.kernel_weights["strided_sum"] / total_weight
+        # Kernels emit different burst sizes, so allow a wide band.
+        assert 0.3 * strided_weight < strided_share < 4.0 * strided_weight
+
+    def test_atomics_present_in_suite(self):
+        """Some hot_flag copies use atomic (no-predict) loads."""
+        total = no_predict = 0
+        for name in ("gcc2k", "mcf", "v8", "splay", "equake", "mpeg2dec",
+                     "coremark", "linpack"):
+            for inst in generate_trace(name, 20_000):
+                if inst.is_load:
+                    total += 1
+                    no_predict += inst.no_predict
+        assert no_predict > 0
+        assert no_predict < 0.05 * total  # rare, as in real code

@@ -1,0 +1,67 @@
+"""Tests for heterogeneous sizing presets (Table VI)."""
+
+import pytest
+
+from repro.composite.config import CompositeConfig
+from repro.composite.heterogeneous import (
+    TABLE_VI_CONFIGS,
+    candidate_allocations,
+    paper_config,
+    storage_kib,
+)
+
+
+class TestTableViConfigs:
+    def test_every_budget_sums(self):
+        for total, allocation in TABLE_VI_CONFIGS.items():
+            assert sum(allocation) == total
+
+    def test_paper_storage_matches(self):
+        """Paper reports 9.56KB for the 1024-entry homogeneous config."""
+        assert storage_kib(256, 256, 256, 256) == pytest.approx(9.56, abs=0.01)
+
+    def test_paper_storage_4096(self):
+        assert storage_kib(1024, 1024, 1024, 1024) == pytest.approx(
+            38.25, abs=0.1
+        )  # paper prints 38.21KB with slightly different rounding
+
+    def test_homogeneous_budgets(self):
+        assert TABLE_VI_CONFIGS[4096] == (1024,) * 4
+        assert TABLE_VI_CONFIGS[1024] == (256,) * 4
+
+
+class TestPaperConfig:
+    def test_heterogeneous_disables_fusion(self):
+        config = paper_config(512)
+        assert not config.is_homogeneous
+        assert not config.table_fusion
+
+    def test_homogeneous_keeps_fusion(self):
+        config = paper_config(1024)
+        assert config.is_homogeneous
+        assert config.table_fusion
+
+    def test_unknown_budget_rejected(self):
+        with pytest.raises(ValueError):
+            paper_config(333)
+
+    def test_respects_base_config(self):
+        base = CompositeConfig(epoch_instructions=777)
+        assert paper_config(1024, base).epoch_instructions == 777
+
+
+class TestCandidates:
+    def test_all_sum_to_budget(self):
+        for allocation in candidate_allocations(512):
+            assert sum(allocation) == 512
+
+    def test_includes_homogeneous(self):
+        assert (128, 128, 128, 128) in candidate_allocations(512)
+
+    def test_zero_means_component_left_out(self):
+        candidates = candidate_allocations(512)
+        assert any(0 in c for c in candidates)
+
+    def test_cvp_minimum_respected(self):
+        for allocation in candidate_allocations(512, sizes=(0, 2, 510, 512)):
+            assert allocation[2] == 0 or allocation[2] >= 4

@@ -1,0 +1,74 @@
+"""Tests for the three-level memory hierarchy."""
+
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+class TestLoadPath:
+    def test_cold_miss_charges_full_path(self):
+        h = MemoryHierarchy()
+        cfg = h.config
+        latency = h.load_latency(0x1000, 0x20_0000)
+        expected = (
+            cfg.tlb_walk_latency + cfg.l1d.hit_latency + cfg.l2.hit_latency
+            + cfg.l3.hit_latency + cfg.memory_latency
+        )
+        assert latency == expected
+
+    def test_warm_hit_is_l1_latency(self):
+        h = MemoryHierarchy()
+        h.load_latency(0x1000, 0x20_0000)
+        assert h.load_latency(0x1004, 0x20_0000) == h.config.l1d.hit_latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = MemoryHierarchy(HierarchyConfig(prefetch_enabled=False))
+        h.load_latency(0x1000, 0x0)
+        # Evict block 0 from L1D (64KB 4-way, 256 sets): 4 conflicting blocks.
+        for i in range(1, 6):
+            h.load_latency(0x1000, i * 64 * 256)
+        latency = h.load_latency(0x1000, 0x0)
+        assert latency == h.config.l1d.hit_latency + h.config.l2.hit_latency
+
+
+class TestProbe:
+    def test_probe_does_not_allocate(self):
+        h = MemoryHierarchy()
+        hit, latency = h.probe_l1d(0x30_0000)
+        assert hit is False
+        assert latency == h.config.l1d.hit_latency
+        hit, _ = h.probe_l1d(0x30_0000)
+        assert hit is False  # still absent: probes never fill
+
+    def test_probe_sees_demand_fills(self):
+        h = MemoryHierarchy()
+        h.load_latency(0x1000, 0x40_0000)
+        hit, _ = h.probe_l1d(0x40_0000)
+        assert hit is True
+
+
+class TestPrefetch:
+    def test_stride_stream_gets_prefetch_hits(self):
+        h = MemoryHierarchy()
+        misses_with = 0
+        for i in range(64):
+            latency = h.load_latency(0x1000, 0x100_0000 + i * 64)
+            if latency > h.config.l1d.hit_latency:
+                misses_with += 1
+        h2 = MemoryHierarchy(HierarchyConfig(prefetch_enabled=False))
+        misses_without = 0
+        for i in range(64):
+            latency = h2.load_latency(0x1000, 0x100_0000 + i * 64)
+            if latency > h2.config.l1d.hit_latency:
+                misses_without += 1
+        assert misses_with < misses_without
+
+
+class TestStoresAndFetch:
+    def test_store_allocates(self):
+        h = MemoryHierarchy()
+        h.store_latency(0x50_0000)
+        assert h.l1d.lookup(0x50_0000)
+
+    def test_fetch_latency_warm(self):
+        h = MemoryHierarchy()
+        h.fetch_latency(0x40_0000)
+        assert h.fetch_latency(0x40_0004) == h.config.l1i.hit_latency

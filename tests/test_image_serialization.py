@@ -1,0 +1,39 @@
+"""Tests for memory-image word-map serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.image import MemoryImage
+
+
+class TestWordMap:
+    def test_roundtrip(self):
+        image = MemoryImage()
+        image.write(0x100, 8, 0xDEADBEEF)
+        image.write(0x1000, 4, 7)
+        restored = MemoryImage.from_word_map(image.to_word_map())
+        assert restored.read(0x100, 8) == 0xDEADBEEF
+        assert restored.read(0x1000, 4) == 7
+
+    def test_zero_words_omitted(self):
+        image = MemoryImage()
+        image.write(0x100, 8, 5)
+        image.write(0x100, 8, 0)  # back to zero
+        assert image.to_word_map() == {}
+
+    def test_empty(self):
+        assert MemoryImage.from_word_map({}).read(0, 8) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.dictionaries(
+        st.integers(min_value=0, max_value=1 << 20),
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        max_size=30,
+    ))
+    def test_roundtrip_property(self, words):
+        image = MemoryImage()
+        for word_addr, value in words.items():
+            image.write(word_addr * 8, 8, value)
+        restored = MemoryImage.from_word_map(image.to_word_map())
+        for word_addr, value in words.items():
+            assert restored.read(word_addr * 8, 8) == value

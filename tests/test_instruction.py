@@ -1,0 +1,73 @@
+"""Tests for the instruction model."""
+
+import pytest
+
+from repro.isa.instruction import Instruction, OpClass, REG_NONE
+
+
+class TestOpClass:
+    def test_memory_classification(self):
+        assert OpClass.LOAD.is_load and OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_store and OpClass.STORE.is_memory
+        assert not OpClass.INT_ALU.is_memory
+
+    def test_branch_classification(self):
+        for op in (OpClass.BRANCH_COND, OpClass.BRANCH_DIRECT,
+                   OpClass.BRANCH_INDIRECT, OpClass.BRANCH_RETURN):
+            assert op.is_branch
+        assert not OpClass.LOAD.is_branch
+        assert OpClass.BRANCH_INDIRECT.is_indirect_branch
+        assert OpClass.BRANCH_RETURN.is_indirect_branch
+        assert not OpClass.BRANCH_COND.is_indirect_branch
+
+
+class TestInstructionValidation:
+    def test_minimal_alu(self):
+        inst = Instruction(pc=0x1000, op=OpClass.INT_ALU, dest=3, srcs=(1, 2))
+        assert inst.dest == 3 and not inst.is_load
+
+    def test_unaligned_pc_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0x1001, op=OpClass.INT_ALU)
+
+    def test_negative_pc_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=-4, op=OpClass.INT_ALU)
+
+    def test_bad_registers_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0x1000, op=OpClass.INT_ALU, dest=31)
+        with pytest.raises(ValueError):
+            Instruction(pc=0x1000, op=OpClass.INT_ALU, srcs=(40,))
+
+    def test_load_requires_dest_and_size(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0x1000, op=OpClass.LOAD, addr=0x10, size=8)
+        with pytest.raises(ValueError):
+            Instruction(pc=0x1000, op=OpClass.LOAD, dest=1, addr=0x10, size=3)
+
+    def test_store_size_validated(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0x1000, op=OpClass.STORE, addr=0x10, size=16)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0x1000, op=OpClass.LOAD, dest=1, addr=-8, size=8)
+
+    def test_predictable_excludes_no_predict(self):
+        load = Instruction(pc=0x1000, op=OpClass.LOAD, dest=1, addr=0, size=8)
+        atomic = Instruction(
+            pc=0x1000, op=OpClass.LOAD, dest=1, addr=0, size=8,
+            no_predict=True,
+        )
+        assert load.predictable
+        assert not atomic.predictable
+
+    def test_store_is_not_predictable(self):
+        store = Instruction(pc=0x1000, op=OpClass.STORE, addr=0, size=8)
+        assert not store.predictable
+
+    def test_kernel_tag_not_compared(self):
+        a = Instruction(pc=0x1000, op=OpClass.NOP, kernel="x")
+        b = Instruction(pc=0x1000, op=OpClass.NOP, kernel="y")
+        assert a == b

@@ -1,0 +1,49 @@
+"""Tests for the ITTAGE indirect-target predictor."""
+
+from repro.branch.history import HistorySet
+from repro.branch.ittage import IttageConfig, IttagePredictor
+from repro.common.rng import DeterministicRng
+
+
+class TestConfig:
+    def test_history_lengths_increasing(self):
+        lengths = IttageConfig().history_lengths()
+        assert all(b > a for a, b in zip(lengths, lengths[1:]))
+
+    def test_storage_positive(self):
+        assert IttagePredictor().storage_bits() > 0
+
+
+class TestLearning:
+    def test_monomorphic_target(self):
+        predictor = IttagePredictor(rng=DeterministicRng(0))
+        histories = HistorySet()
+        pc, target = 0x3000, 0x7000
+        for _ in range(10):
+            ctx = predictor.predict(pc, histories.snapshot())
+            predictor.train(pc, target, ctx)
+        assert predictor.predict(pc, histories.snapshot()).target == target
+
+    def test_history_correlated_targets(self):
+        """Target alternates with the preceding branch direction; with
+        history the predictor should converge to high accuracy."""
+        predictor = IttagePredictor(rng=DeterministicRng(0))
+        histories = HistorySet()
+        pc = 0x3000
+        correct = 0
+        total = 0
+        for i in range(600):
+            direction = (i % 2) == 0
+            histories.push_branch(0x2000, direction)
+            target = 0x7000 if direction else 0x8000
+            ctx = predictor.predict(pc, histories.snapshot())
+            if i > 300:
+                total += 1
+                correct += ctx.target == target
+            predictor.train(pc, target, ctx)
+        assert correct / total > 0.85
+
+    def test_prediction_is_pure(self):
+        predictor = IttagePredictor(rng=DeterministicRng(0))
+        snap = HistorySet().snapshot()
+        assert predictor.predict(0x10, snap) == predictor.predict(0x10, snap)

@@ -1,0 +1,37 @@
+"""Tests for the Listing-1 trace generator."""
+
+from repro.isa.instruction import OpClass
+from repro.workloads.listing1 import listing1_trace
+
+
+class TestListing1:
+    def test_structure(self):
+        trace = listing1_trace(outer_m=3, inner_n=8)
+        stores = [i for i in trace if i.op is OpClass.STORE]
+        scan_pc = trace.metadata["scan_load_pc"]
+        scans = [i for i in trace if i.is_load and i.pc == scan_pc]
+        assert len(stores) == 3 * 8     # one memset store per element
+        assert len(scans) == 3 * 8      # one scan load per element
+
+    def test_scan_loads_return_zero(self):
+        trace = listing1_trace(outer_m=2, inner_n=8)
+        scan_pc = trace.metadata["scan_load_pc"]
+        assert all(
+            i.value == 0 for i in trace if i.is_load and i.pc == scan_pc
+        )
+
+    def test_scan_addresses_strided(self):
+        trace = listing1_trace(outer_m=1, inner_n=8, elem_size=8)
+        scan_pc = trace.metadata["scan_load_pc"]
+        addrs = [i.addr for i in trace if i.is_load and i.pc == scan_pc]
+        assert [b - a for a, b in zip(addrs, addrs[1:])] == [8] * 7
+
+    def test_metadata(self):
+        trace = listing1_trace(outer_m=4, inner_n=16)
+        assert trace.metadata["outer_m"] == 4
+        assert trace.metadata["inner_n"] == 16
+        assert trace.initial_memory is not None
+
+    def test_deterministic(self):
+        assert listing1_trace(2, 8).instructions == \
+            listing1_trace(2, 8).instructions

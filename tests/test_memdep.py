@@ -1,0 +1,94 @@
+"""Tests for the store-set memory dependence predictor."""
+
+from repro.pipeline.memdep import StoreSetPredictor
+
+
+class TestStoreSets:
+    def test_cold_load_is_unconstrained(self):
+        predictor = StoreSetPredictor()
+        assert predictor.load_wait_until(0x1000) == -1
+
+    def test_violation_creates_store_set(self):
+        predictor = StoreSetPredictor()
+        predictor.record_violation(0x1000, 0x2000)
+        predictor.note_store(0x2000, data_ready=500)
+        assert predictor.load_wait_until(0x1000) == 500
+
+    def test_unrelated_store_does_not_throttle(self):
+        predictor = StoreSetPredictor()
+        predictor.record_violation(0x1000, 0x2000)
+        predictor.note_store(0x3000, data_ready=500)  # different set
+        assert predictor.load_wait_until(0x1000) == -1
+
+    def test_set_merging(self):
+        predictor = StoreSetPredictor()
+        predictor.record_violation(0x1000, 0x2000)
+        predictor.record_violation(0x1000, 0x3000)  # second store joins
+        predictor.note_store(0x3000, data_ready=900)
+        assert predictor.load_wait_until(0x1000) == 900
+
+    def test_merge_existing_sets(self):
+        predictor = StoreSetPredictor()
+        predictor.record_violation(0x1000, 0x2000)
+        predictor.record_violation(0x5000, 0x6000)
+        predictor.record_violation(0x1000, 0x6000)  # bridges both sets
+        predictor.note_store(0x6000, data_ready=700)
+        assert predictor.load_wait_until(0x1000) == 700
+
+    def test_flash_clear(self):
+        predictor = StoreSetPredictor(clear_interval=3)
+        predictor.record_violation(0x1000, 0x2000)
+        for _ in range(4):
+            predictor.note_store(0x2000, data_ready=100)
+        assert predictor.load_wait_until(0x1000) == -1  # cleared
+
+    def test_counters(self):
+        predictor = StoreSetPredictor()
+        predictor.record_violation(0x1000, 0x2000)
+        predictor.note_store(0x2000, 5)
+        predictor.load_wait_until(0x1000)
+        assert predictor.violations == 1
+        assert predictor.waits_enforced == 1
+
+    def test_storage_positive(self):
+        assert StoreSetPredictor().storage_bits() > 0
+
+
+class TestPipelineIntegration:
+    def test_violations_detected_and_learned(self):
+        """A tight store->load pair first violates, then waits."""
+        from repro.isa.instruction import Instruction, OpClass
+        from repro.isa.trace import Trace
+        from repro.memory.image import MemoryImage
+        from repro.pipeline import simulate
+
+        instructions = []
+        for i in range(100):
+            instructions.append(Instruction(
+                pc=0x1000, op=OpClass.STORE, srcs=(1,), addr=0x8000,
+                size=8, value=i,
+            ))
+            instructions.append(Instruction(
+                pc=0x1004, op=OpClass.LOAD, dest=2, addr=0x8000, size=8,
+                value=i,
+            ))
+        trace = Trace("dep", instructions)
+        trace.initial_memory = MemoryImage()
+        result = simulate(trace)
+        assert 1 <= result.memory_order_violations < 10  # learned quickly
+
+    def test_perfect_oracle_has_no_violations(self):
+        from repro.pipeline import CoreConfig, simulate
+        from repro.workloads import generate_trace
+
+        config = CoreConfig(memory_dependence="perfect")
+        result = simulate(generate_trace("v8", 8000), config=config)
+        assert result.memory_order_violations == 0
+
+    def test_store_sets_converge_on_real_workloads(self):
+        from repro.pipeline import simulate
+        from repro.workloads import generate_trace
+
+        result = simulate(generate_trace("v8", 8000))
+        # Violations happen but the predictor keeps them rare.
+        assert result.memory_order_violations < result.loads * 0.02

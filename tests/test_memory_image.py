@@ -1,0 +1,72 @@
+"""Tests for the sparse functional memory image."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.image import MemoryImage
+
+
+class TestBasicReadWrite:
+    def test_default_zero(self):
+        assert MemoryImage().read(0x1234, 8) == 0
+
+    def test_aligned_word(self):
+        img = MemoryImage()
+        img.write(0x100, 8, 0xDEADBEEFCAFEF00D)
+        assert img.read(0x100, 8) == 0xDEADBEEFCAFEF00D
+
+    def test_sub_word_little_endian(self):
+        img = MemoryImage()
+        img.write(0x100, 8, 0x1122334455667788)
+        assert img.read(0x100, 1) == 0x88
+        assert img.read(0x100, 2) == 0x7788
+        assert img.read(0x102, 2) == 0x5566
+
+    def test_unaligned_crossing_words(self):
+        img = MemoryImage()
+        img.write(0x105, 8, 0xAABBCCDDEEFF0011)
+        assert img.read(0x105, 8) == 0xAABBCCDDEEFF0011
+
+    def test_write_masks_to_size(self):
+        img = MemoryImage()
+        img.write(0x0, 2, 0x12345)
+        assert img.read(0x0, 2) == 0x2345
+
+    def test_partial_overwrite(self):
+        img = MemoryImage()
+        img.write(0x0, 8, 0xFFFFFFFFFFFFFFFF)
+        img.write(0x2, 2, 0)
+        assert img.read(0x0, 8) == 0xFFFFFFFF0000FFFF
+
+    def test_copy_is_independent(self):
+        img = MemoryImage()
+        img.write(0x0, 8, 1)
+        clone = img.copy()
+        clone.write(0x0, 8, 2)
+        assert img.read(0x0, 8) == 1
+        assert clone.read(0x0, 8) == 2
+
+    def test_len_counts_words(self):
+        img = MemoryImage()
+        img.write(0x0, 8, 1)
+        img.write(0x8, 8, 2)
+        assert len(img) == 2
+
+
+class TestAgainstByteReference:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=63),      # addr
+        st.sampled_from([1, 2, 4, 8]),               # size
+        st.integers(min_value=0, max_value=2**64 - 1),
+    ), max_size=40))
+    def test_matches_bytearray(self, operations):
+        img = MemoryImage()
+        reference = bytearray(80)
+        for addr, size, value in operations:
+            img.write(addr, size, value)
+            reference[addr:addr + size] = (value & ((1 << (8 * size)) - 1)
+                                           ).to_bytes(size, "little")
+        for addr, size, _ in operations:
+            expected = int.from_bytes(reference[addr:addr + size], "little")
+            assert img.read(addr, size) == expected

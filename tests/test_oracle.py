@@ -1,0 +1,77 @@
+"""Tests for the oracle load classifier (Figure 2)."""
+
+from repro.classify.oracle import LoadPattern, OracleClassifier, classify_trace
+from repro.isa.instruction import Instruction, OpClass
+from repro.isa.trace import Trace
+
+
+class TestClassificationRules:
+    def test_first_instance_is_pattern_3(self):
+        oracle = OracleClassifier()
+        assert oracle.observe(0x1000, 0x8000, 5) is LoadPattern.PATTERN_3
+
+    def test_repeated_value_is_pattern_1(self):
+        oracle = OracleClassifier()
+        oracle.observe(0x1000, 0x8000, 5)
+        assert oracle.observe(0x1000, 0x9000, 5) is LoadPattern.PATTERN_1
+
+    def test_strided_address_is_pattern_2(self):
+        oracle = OracleClassifier()
+        oracle.observe(0x1000, 0x8000, 1)
+        oracle.observe(0x1000, 0x8008, 2)  # establishes stride 8
+        assert oracle.observe(0x1000, 0x8010, 3) is LoadPattern.PATTERN_2
+
+    def test_pattern_1_has_priority_over_pattern_2(self):
+        """Value match AND stride match -> Pattern-1 (ordered, exclusive)."""
+        oracle = OracleClassifier()
+        oracle.observe(0x1000, 0x8000, 5)
+        oracle.observe(0x1000, 0x8008, 5)
+        assert oracle.observe(0x1000, 0x8010, 5) is LoadPattern.PATTERN_1
+
+    def test_zero_stride_is_pattern_2_when_values_differ(self):
+        oracle = OracleClassifier()
+        oracle.observe(0x1000, 0x8000, 1)
+        oracle.observe(0x1000, 0x8000, 2)  # stride 0 established
+        assert oracle.observe(0x1000, 0x8000, 3) is LoadPattern.PATTERN_2
+
+    def test_random_everything_is_pattern_3(self):
+        oracle = OracleClassifier()
+        oracle.observe(0x1000, 0x8000, 1)
+        oracle.observe(0x1000, 0x9731, 2)
+        assert oracle.observe(0x1000, 0x8123, 9) is LoadPattern.PATTERN_3
+
+    def test_per_pc_isolation(self):
+        oracle = OracleClassifier()
+        oracle.observe(0x1000, 0x8000, 5)
+        assert oracle.observe(0x2000, 0x8000, 5) is LoadPattern.PATTERN_3
+
+
+class TestTraceClassification:
+    def test_skips_unpredictable_loads(self):
+        loads = [
+            Instruction(pc=0x1000, op=OpClass.LOAD, dest=1, addr=0x8000,
+                        size=8, value=5),
+            Instruction(pc=0x1000, op=OpClass.LOAD, dest=1, addr=0x8000,
+                        size=8, value=5, no_predict=True),
+        ]
+        result = classify_trace(Trace("t", loads))
+        assert result.total == 1
+
+    def test_fractions_sum_to_one(self):
+        from repro.workloads import generate_trace
+
+        result = classify_trace(generate_trace("coremark", 8000))
+        fractions = result.as_dict()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    def test_merge(self):
+        from repro.classify.oracle import ClassificationResult
+
+        a = ClassificationResult()
+        a.counts[LoadPattern.PATTERN_1] = 3
+        b = ClassificationResult()
+        b.counts[LoadPattern.PATTERN_1] = 2
+        b.counts[LoadPattern.PATTERN_3] = 5
+        a.merge(b)
+        assert a.counts[LoadPattern.PATTERN_1] == 5
+        assert a.total == 10

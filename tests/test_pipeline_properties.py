@@ -1,0 +1,113 @@
+"""Property-based robustness tests for the core timing model.
+
+Random (but memory-consistent) instruction streams must simulate
+without crashing, obey basic cycle-count bounds, and be deterministic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.composite import CompositeConfig, CompositePredictor
+from repro.isa.instruction import Instruction, OpClass
+from repro.isa.trace import Trace
+from repro.memory.image import MemoryImage
+from repro.pipeline import CoreConfig, simulate
+
+# Menu of abstract operations hypothesis composes into programs.
+_OPS = st.sampled_from(["alu", "load", "store", "branch", "mul", "chain"])
+
+
+def _build_trace(ops) -> Trace:
+    """Materialize an op list into a memory-consistent trace."""
+    image = MemoryImage()
+    memory = MemoryImage()
+    instructions = []
+    addr_pool = [0x8000 + 8 * i for i in range(8)]
+    store_count = 0
+    for position, op in enumerate(ops):
+        pc = 0x1000 + 4 * (position % 32)
+        if op == "alu":
+            instructions.append(Instruction(
+                pc=pc, op=OpClass.INT_ALU, dest=position % 8,
+                srcs=((position + 1) % 8,),
+            ))
+        elif op == "mul":
+            instructions.append(Instruction(
+                pc=pc, op=OpClass.INT_MUL, dest=position % 8,
+                srcs=(position % 8,),
+            ))
+        elif op == "chain":
+            instructions.append(Instruction(
+                pc=pc, op=OpClass.INT_ALU, dest=3, srcs=(3,),
+            ))
+        elif op == "store":
+            store_count += 1
+            addr = addr_pool[position % len(addr_pool)]
+            memory.write(addr, 8, store_count)
+            instructions.append(Instruction(
+                pc=pc, op=OpClass.STORE, srcs=(1,), addr=addr, size=8,
+                value=store_count,
+            ))
+        elif op == "load":
+            addr = addr_pool[position % len(addr_pool)]
+            instructions.append(Instruction(
+                pc=pc, op=OpClass.LOAD, dest=position % 8, addr=addr,
+                size=8, value=memory.read(addr, 8),
+            ))
+        elif op == "branch":
+            instructions.append(Instruction(
+                pc=pc, op=OpClass.BRANCH_COND, srcs=(2,),
+                taken=position % 3 == 0, target=0x1000,
+            ))
+    trace = Trace("prop", instructions)
+    trace.initial_memory = image
+    return trace
+
+
+class TestRandomPrograms:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_OPS, min_size=1, max_size=300))
+    def test_simulates_without_crash_and_bounds_hold(self, ops):
+        trace = _build_trace(ops)
+        result = simulate(trace)
+        n = len(trace)
+        config = CoreConfig()
+        assert result.cycles >= (n + config.commit_width - 1) // config.commit_width
+        assert result.instructions == n
+        assert result.loads == sum(1 for o in ops if o == "load")
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(_OPS, min_size=20, max_size=300))
+    def test_deterministic(self, ops):
+        trace = _build_trace(ops)
+        assert simulate(trace).cycles == simulate(trace).cycles
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(_OPS, min_size=20, max_size=300))
+    def test_composite_never_corrupts_results(self, ops):
+        """With a predictor attached, counters stay consistent and the
+        run completes whatever the instruction mix."""
+        trace = _build_trace(ops)
+        composite = CompositePredictor(
+            CompositeConfig(epoch_instructions=1000).homogeneous(64)
+        )
+        result = simulate(trace, composite)
+        assert result.correct_predictions <= result.predicted_loads
+        assert result.predicted_loads <= result.predictable_loads
+        assert result.cycles >= 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(_OPS, min_size=30, max_size=200))
+    def test_prediction_never_slows_beyond_flush_budget(self, ops):
+        """Cycles with a predictor may exceed baseline only by roughly
+        the flush costs it incurred."""
+        trace = _build_trace(ops)
+        baseline = simulate(trace)
+        composite = CompositePredictor(
+            CompositeConfig(epoch_instructions=1000).homogeneous(64)
+        )
+        result = simulate(trace, composite)
+        flush_budget = 40 * (
+            result.value_mispredictions + 1
+        ) + baseline.cycles // 5
+        assert result.cycles <= baseline.cycles + flush_budget

@@ -1,0 +1,46 @@
+"""Tests for the stride prefetcher."""
+
+from repro.memory.prefetcher import StridePrefetcher
+
+
+class TestStrideDetection:
+    def test_confirmed_stride_prefetches_ahead(self):
+        pf = StridePrefetcher(entries=64, degree=2, block_bytes=64)
+        pc = 0x1000
+        issued = []
+        for i in range(6):
+            issued = pf.observe(pc, 0x8000 + i * 64)
+        assert issued  # steady state reached
+        assert issued[0] == (0x8000 + 6 * 64) & ~63
+
+    def test_zero_stride_never_prefetches(self):
+        pf = StridePrefetcher()
+        for _ in range(10):
+            issued = pf.observe(0x1000, 0x8000)
+        assert issued == []
+
+    def test_random_addresses_never_reach_steady(self):
+        pf = StridePrefetcher()
+        addrs = [0x8000, 0x9123, 0x8777, 0xA050, 0x8004, 0xBEEF & ~1]
+        total = sum(len(pf.observe(0x1000, a)) for a in addrs)
+        assert total == 0
+
+    def test_stride_change_resets(self):
+        pf = StridePrefetcher(degree=1)
+        for i in range(6):
+            pf.observe(0x1000, 0x8000 + i * 64)
+        # Break the stride: state decays, no immediate prefetch.
+        assert pf.observe(0x1000, 0x20000) == []
+
+    def test_per_pc_isolation(self):
+        pf = StridePrefetcher()
+        for i in range(6):
+            pf.observe(0x1000, 0x8000 + i * 64)
+            issued_other = pf.observe(0x2000, 0x10000)  # constant address
+        assert issued_other == []
+
+    def test_issued_counter(self):
+        pf = StridePrefetcher(degree=2)
+        for i in range(8):
+            pf.observe(0x1000, 0x8000 + i * 128)
+        assert pf.issued > 0

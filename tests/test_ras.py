@@ -1,0 +1,45 @@
+"""Tests for the return address stack."""
+
+import pytest
+
+from repro.branch.ras import ReturnAddressStack
+
+
+class TestBasicOperation:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_peek(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x300)
+        assert ras.peek() == 0x300
+        assert ras.depth == 1  # peek does not pop
+
+    def test_underflow_returns_zero_and_counts(self):
+        ras = ReturnAddressStack(4)
+        assert ras.pop() == 0
+        assert ras.underflows == 1
+
+    def test_overflow_wraps(self):
+        ras = ReturnAddressStack(2)
+        ras.push(0x1)
+        ras.push(0x2)
+        ras.push(0x3)  # overwrites oldest
+        assert ras.overflows == 1
+        assert ras.pop() == 0x3
+        assert ras.pop() == 0x2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+    def test_capacity_and_depth(self):
+        ras = ReturnAddressStack(16)
+        assert ras.capacity == 16
+        for i in range(5):
+            ras.push(i)
+        assert ras.depth == 5

@@ -1,0 +1,35 @@
+"""Tests for the report generator."""
+
+import pytest
+
+from repro.harness.presets import ExperimentScale
+from repro.harness.report import REPORT_SECTIONS, generate_report
+
+TINY = ExperimentScale(name="tiny", workloads=("coremark",),
+                       trace_length=4000)
+
+
+class TestReport:
+    def test_static_sections_render(self):
+        report = generate_report(TINY, sections=("table1", "table4"))
+        assert "# Reproduction report" in report
+        assert "## table1" in report
+        assert "## table4" in report
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown report sections"):
+            generate_report(TINY, sections=("table999",))
+
+    def test_progress_callback(self):
+        seen = []
+        generate_report(TINY, sections=("table1",), progress=seen.append)
+        assert seen == ["table1"]
+
+    def test_all_experiments_have_sections(self):
+        from repro.cli import _EXPERIMENTS
+
+        assert set(_EXPERIMENTS) <= set(REPORT_SECTIONS)
+
+    def test_timing_section_renders(self):
+        report = generate_report(TINY, sections=("fig5",))
+        assert "Figure 5" in report

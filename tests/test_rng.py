@@ -1,0 +1,69 @@
+"""Tests for deterministic RNG streams."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(42, "x")
+        b = DeterministicRng(42, "x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_diverge(self):
+        a = DeterministicRng(42, "x")
+        b = DeterministicRng(42, "y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_derive_is_deterministic(self):
+        a = DeterministicRng(1).derive("child")
+        b = DeterministicRng(1).derive("child")
+        assert a.random() == b.random()
+
+    def test_derive_independent_of_parent_consumption(self):
+        parent_a = DeterministicRng(1)
+        parent_b = DeterministicRng(1)
+        parent_a.random()  # consume from one parent only
+        assert parent_a.derive("c").random() == parent_b.derive("c").random()
+
+
+class TestCoin:
+    def test_degenerate_probabilities(self):
+        rng = DeterministicRng(0)
+        assert rng.coin(1.0) is True
+        assert rng.coin(0.0) is False
+        assert rng.coin(1.5) is True
+        assert rng.coin(-0.5) is False
+
+    def test_bias_statistics(self):
+        rng = DeterministicRng(3)
+        hits = sum(rng.coin(0.25) for _ in range(4000))
+        assert 800 < hits < 1200
+
+
+class TestHelpers:
+    def test_randint_range(self):
+        rng = DeterministicRng(5)
+        values = {rng.randint(3, 7) for _ in range(200)}
+        assert values == {3, 4, 5, 6}
+
+    def test_choice(self):
+        rng = DeterministicRng(6)
+        assert rng.choice([9]) == 9
+        assert rng.choice(["a", "b"]) in ("a", "b")
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).choice([])
+
+    def test_shuffled_preserves_elements(self):
+        rng = DeterministicRng(7)
+        items = list(range(20))
+        shuffled = rng.shuffled(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))  # input untouched
+
+    def test_geometric_positive(self):
+        rng = DeterministicRng(8)
+        assert all(rng.geometric(0.5) >= 1 for _ in range(100))

@@ -1,0 +1,54 @@
+"""Tests for the results-summary tool."""
+
+import json
+
+from repro.harness.summary import summarize
+
+
+def _write(tmp_path, name, payload):
+    (tmp_path / f"{name}.json").write_text(json.dumps(payload))
+
+
+class TestSummarize:
+    def test_empty_dir(self, tmp_path):
+        assert summarize(tmp_path) == ""
+
+    def test_fig2_line(self, tmp_path):
+        _write(tmp_path, "fig2", {"average": {
+            "pattern-1 (PC->value, LVP)": 0.30,
+            "pattern-2 (PC->address, SAP)": 0.31,
+            "pattern-3 (context, CVP/CAP)": 0.39,
+        }})
+        text = summarize(tmp_path)
+        assert "pattern-1=30%" in text
+        assert "F2" in text
+
+    def test_fig11_line(self, tmp_path):
+        _write(tmp_path, "fig11", {
+            "contenders": {},
+            "composite96_vs_eves32": {
+                "speedup_increase": 0.26, "coverage_increase": 1.13,
+            },
+        })
+        text = summarize(tmp_path)
+        assert "+26%" in text and "+113%" in text
+
+    def test_confidence_ablation_line(self, tmp_path):
+        _write(tmp_path, "ablation_confidence", {"deltas": {
+            "0": {"speedup": 0.059, "coverage": 0.41, "accuracy": 0.991},
+            "-2": {"speedup": 0.035, "coverage": 0.54, "accuracy": 0.962},
+        }})
+        text = summarize(tmp_path)
+        assert "99.1%" in text and "96.2%" in text
+
+    def test_only_present_artifacts_summarized(self, tmp_path):
+        _write(tmp_path, "fig12", {
+            "composite_wins": 7, "eves_wins": 3,
+            "average": {
+                "composite_speedup": 0.057, "eves_speedup": 0.045,
+                "composite_coverage": 0.40, "eves_coverage": 0.19,
+            },
+        })
+        text = summarize(tmp_path)
+        assert "F12" in text
+        assert "F11" not in text

@@ -1,0 +1,111 @@
+"""Tests for the banked tagged table (fusion substrate)."""
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors.table import INVALID_TAG, BankedTable
+
+
+@dataclass(slots=True)
+class _Entry:
+    tag: int = INVALID_TAG
+    confidence: int = 0
+    payload: int = 0
+
+
+class TestLookup:
+    def test_miss_on_empty(self):
+        table = BankedTable(8, _Entry)
+        assert table.find(0, 5) is None
+
+    def test_find_after_write(self):
+        table = BankedTable(8, _Entry)
+        entry, hit = table.find_or_victim(3, 7)
+        assert not hit
+        entry.tag = 7
+        entry.payload = 42
+        found = table.find(3, 7)
+        assert found is not None and found.payload == 42
+
+    def test_victim_prefers_invalid(self):
+        table = BankedTable(4, _Entry)
+        table.add_banks(1)
+        first, _ = table.find_or_victim(0, 1)
+        first.tag = 1
+        first.confidence = 0  # low confidence but valid
+        victim, hit = table.find_or_victim(0, 2)
+        assert not hit
+        assert victim.tag == INVALID_TAG  # the bank-2 invalid slot
+
+    def test_victim_prefers_lowest_confidence(self):
+        table = BankedTable(4, _Entry)
+        table.add_banks(1)
+        a, _ = table.find_or_victim(0, 1)
+        a.tag, a.confidence = 1, 3
+        b = table.find(0, 1)
+        # fill second bank
+        c, hit = table.find_or_victim(0, 2)
+        assert not hit
+        c.tag, c.confidence = 2, 1
+        victim, hit = table.find_or_victim(0, 9)
+        assert not hit
+        assert victim is c  # confidence 1 < 3
+
+
+class TestBanks:
+    def test_add_and_remove_banks(self):
+        table = BankedTable(16, _Entry)
+        assert table.num_banks == 1
+        table.add_banks(3)
+        assert table.num_banks == 4
+        assert table.total_entries == 64
+        table.remove_extra_banks()
+        assert table.num_banks == 1
+
+    def test_original_bank_survives_unfusion(self):
+        table = BankedTable(4, _Entry)
+        entry, _ = table.find_or_victim(1, 5)
+        entry.tag = 5
+        table.add_banks(2)
+        table.remove_extra_banks()
+        assert table.find(1, 5) is not None
+
+    def test_negative_banks_rejected(self):
+        with pytest.raises(ValueError):
+            BankedTable(4, _Entry).add_banks(-1)
+
+    def test_flush(self):
+        table = BankedTable(4, _Entry)
+        entry, _ = table.find_or_victim(0, 3)
+        entry.tag = 3
+        entry.confidence = 2
+        table.flush()
+        assert table.find(0, 3) is None
+
+    def test_entries_iterates_all_banks(self):
+        table = BankedTable(4, _Entry)
+        table.add_banks(1)
+        assert sum(1 for _ in table.entries()) == 8
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=7),    # index
+        st.integers(min_value=0, max_value=30),   # tag
+    ), max_size=60))
+    def test_find_agrees_with_shadow(self, operations):
+        """After inserting (index, tag) pairs, find() must return the
+        entry whose tag was most recently installed at that index, as
+        long as it has not been victimized."""
+        table = BankedTable(8, _Entry)
+        for index, tag in operations:
+            entry, hit = table.find_or_victim(index, tag)
+            if not hit:
+                entry.tag = tag
+                entry.confidence = 0
+            found = table.find(index, tag)
+            assert found is not None and found.tag == tag

@@ -1,0 +1,38 @@
+"""Tests for the TLB model."""
+
+import pytest
+
+from repro.memory.tlb import PAGE_BITS, Tlb
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(entries=16, associativity=2, walk_latency=20)
+        assert tlb.access(0x1000) == 20
+        assert tlb.access(0x1000) == 0
+        assert tlb.access(0x1000 + 100) == 0  # same page
+
+    def test_different_pages_miss(self):
+        tlb = Tlb(entries=16, associativity=2)
+        tlb.access(0x0)
+        assert tlb.access(1 << PAGE_BITS) > 0
+
+    def test_lru_within_set(self):
+        tlb = Tlb(entries=2, associativity=2, walk_latency=5)
+        pages = [i << PAGE_BITS for i in range(3)]
+        tlb.access(pages[0])
+        tlb.access(pages[1])
+        tlb.access(pages[0])      # refresh
+        tlb.access(pages[2])      # evicts page 1
+        assert tlb.access(pages[0]) == 0
+        assert tlb.access(pages[1]) == 5
+
+    def test_hit_rate(self):
+        tlb = Tlb(entries=16, associativity=2)
+        tlb.access(0x0)
+        tlb.access(0x0)
+        assert tlb.hit_rate == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=10, associativity=3)

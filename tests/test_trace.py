@@ -1,0 +1,108 @@
+"""Tests for the trace container and serialization."""
+
+import pytest
+
+from repro.isa.instruction import Instruction, OpClass
+from repro.isa.trace import Trace
+
+
+def _sample_trace() -> Trace:
+    instructions = [
+        Instruction(pc=0x1000, op=OpClass.INT_ALU, dest=1, srcs=(0,)),
+        Instruction(pc=0x1004, op=OpClass.LOAD, dest=2, srcs=(1,),
+                    addr=0x8000, size=8, value=99),
+        Instruction(pc=0x1008, op=OpClass.STORE, srcs=(2,),
+                    addr=0x8008, size=4, value=7),
+        Instruction(pc=0x100C, op=OpClass.BRANCH_COND, srcs=(2,),
+                    taken=True, target=0x1000),
+        Instruction(pc=0x1010, op=OpClass.LOAD, dest=3, addr=0x8000,
+                    size=8, value=99, no_predict=True),
+    ]
+    return Trace("sample", instructions, seed=7, metadata={"k": 1})
+
+
+class TestStats:
+    def test_counts(self):
+        stats = _sample_trace().stats()
+        assert stats.instructions == 5
+        assert stats.loads == 2
+        assert stats.stores == 1
+        assert stats.branches == 1
+        assert stats.taken_branches == 1
+        assert stats.predictable_loads == 1  # one load is no_predict
+        assert stats.unique_load_pcs == 2
+
+    def test_fractions(self):
+        stats = _sample_trace().stats()
+        assert stats.load_fraction == pytest.approx(0.4)
+        assert stats.branch_fraction == pytest.approx(0.2)
+
+    def test_empty_trace(self):
+        stats = Trace("empty", []).stats()
+        assert stats.instructions == 0
+        assert stats.load_fraction == 0.0
+
+
+class TestContainer:
+    def test_iteration_and_indexing(self):
+        trace = _sample_trace()
+        assert len(trace) == 5
+        assert trace[1].is_load
+        assert sum(1 for _ in trace.loads()) == 2
+
+    def test_from_instructions(self):
+        trace = Trace.from_instructions(
+            "gen", iter(_sample_trace().instructions)
+        )
+        assert len(trace) == 5
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        trace = _sample_trace()
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == trace.name
+        assert loaded.seed == trace.seed
+        assert loaded.metadata == trace.metadata
+        assert loaded.instructions == trace.instructions
+
+    def test_truncated_file_detected(self, tmp_path):
+        trace = _sample_trace()
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="truncated"):
+            Trace.load(path)
+
+    def test_initial_memory_roundtrip(self, tmp_path):
+        from repro.memory.image import MemoryImage
+
+        trace = _sample_trace()
+        trace.initial_memory = MemoryImage()
+        trace.initial_memory.write(0x8000, 8, 99)
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.initial_memory.read(0x8000, 8) == 99
+
+    def test_memory_can_be_omitted(self, tmp_path):
+        from repro.memory.image import MemoryImage
+
+        trace = _sample_trace()
+        trace.initial_memory = MemoryImage()
+        path = tmp_path / "trace.jsonl"
+        trace.save(path, include_memory=False)
+        assert Trace.load(path).initial_memory is None
+
+    def test_generated_trace_roundtrip_simulates_identically(self, tmp_path):
+        from repro.pipeline import simulate
+        from repro.workloads import generate_trace
+
+        trace = generate_trace("coremark", 3000)
+        path = tmp_path / "coremark.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert simulate(loaded).cycles == simulate(trace).cycles
