@@ -6,6 +6,19 @@ Examples::
     repro-lvp run fig5                  # regenerate Figure 5 (quick)
     repro-lvp run table6 --scale smoke  # smaller/faster
     repro-lvp run fig12 --json out.json # machine-readable results
+
+Resilient execution (long sweeps)::
+
+    repro-lvp run fig12 --scale full --journal fig12.jnl --timeout 120
+    # ... killed half-way?  finish from the journal:
+    repro-lvp run fig12 --scale full --journal fig12.jnl --resume
+    # isolate cells in worker subprocesses (hangs get reaped):
+    repro-lvp run table6 --workers 2 --timeout 60 --max-retries 3
+
+Exit codes: 0 success; 1 unexpected error; 2 bad input (missing or
+corrupt trace file, unknown predictor, bad flags); 3 the experiment
+completed but some sweep cells failed terminally (partial results were
+still printed, with a ``failures`` summary).
 """
 
 from __future__ import annotations
@@ -16,6 +29,8 @@ import sys
 import time
 
 from repro.harness import experiments as exp
+from repro.harness import resilient
+from repro.harness.journal import JournalError, atomic_write_json
 from repro.harness.presets import FULL, QUICK, SMOKE, ExperimentScale
 from repro.workloads.profiles import ALL_WORKLOADS
 
@@ -45,6 +60,11 @@ _EXPERIMENTS = {
     "fig12": (exp.fig12_per_workload, True),
 }
 
+#: Exit code when a sweep finished with terminally failed cells.
+EXIT_PARTIAL_FAILURE = 3
+#: Exit code for bad user input (files, names, flag combinations).
+EXIT_BAD_INPUT = 2
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -66,7 +86,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--json", metavar="PATH",
-        help="also write the raw result dict as JSON",
+        help="also write the raw result dict as JSON (written atomically)",
+    )
+    resilience = run.add_argument_group(
+        "resilient execution",
+        "fault tolerance for sweep-style experiments: per-cell "
+        "timeouts, retries, subprocess isolation, and a crash-safe "
+        "journal that --resume completes from",
+    )
+    resilience.add_argument(
+        "--journal", metavar="PATH",
+        help="append each completed sweep cell to this JSONL journal",
+    )
+    resilience.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already completed in --journal (requires --journal)",
+    )
+    resilience.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="per-cell wall-clock timeout (cooperative when --workers 0)",
+    )
+    resilience.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run cells in N worker subprocesses; 0 = in-process "
+             "(default). Hung workers are killed and their cells retried.",
+    )
+    resilience.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per cell on transient failures (default: 2)",
     )
 
     sim = sub.add_parser(
@@ -102,9 +149,32 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fail(message: str, code: int = EXIT_BAD_INPUT) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return code
+
+
+def _policy_from_args(args) -> resilient.ExecutionPolicy:
+    return resilient.ExecutionPolicy(
+        workers=max(0, args.workers),
+        timeout=args.timeout,
+        retry=resilient.RetryPolicy(max_retries=max(0, args.max_retries)),
+        journal_path=args.journal,
+        resume=args.resume,
+        progress=(
+            (lambda outcome, done, total: print(
+                f"[{done}/{total}] {outcome.id}: {outcome.status}",
+                file=sys.stderr,
+            ))
+            if args.journal or args.workers else None
+        ),
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
 
     if args.command == "list":
         print("experiments:", ", ".join(sorted(_EXPERIMENTS)))
@@ -128,17 +198,45 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.output}", file=sys.stderr)
         return 0
 
+    return _run_command(args)
+
+
+def _run_command(args) -> int:
+    """The ``run`` subcommand: one experiment under a resilience policy."""
+    if args.resume and not args.journal:
+        return _fail("--resume requires --journal PATH")
+
     function, takes_scale = _EXPERIMENTS[args.experiment]
     scale: ExperimentScale = _SCALES[args.scale]
     started = time.time()
-    result = function(scale) if takes_scale else function()
+    try:
+        with resilient.use_policy(_policy_from_args(args)):
+            result = function(scale) if takes_scale else function()
+    except JournalError as exc:
+        return _fail(str(exc))
+    except KeyboardInterrupt:
+        if args.journal:
+            print(
+                f"interrupted; completed cells are journaled in "
+                f"{args.journal} -- rerun with --resume to finish",
+                file=sys.stderr,
+            )
+        return 130
     elapsed = time.time() - started
 
     print(json.dumps(result, indent=2, default=str))
     print(f"# {args.experiment} finished in {elapsed:.1f}s", file=sys.stderr)
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(result, fh, indent=2, default=str)
+        atomic_write_json(args.json, result)
+
+    failures = result.get("failures") if isinstance(result, dict) else None
+    if failures:
+        print(
+            f"# {failures['failed_cells']}/{failures['total_cells']} sweep "
+            "cells failed; partial results above (see 'failures')",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL_FAILURE
     return 0
 
 
@@ -152,7 +250,17 @@ def _simulate_command(args) -> int:
     from repro.pipeline import EvesAdapter, SingleComponentAdapter, simulate
     from repro.predictors import make_component
 
-    trace = Trace.load(args.trace)
+    try:
+        trace = Trace.load(args.trace)
+    except FileNotFoundError:
+        return _fail(f"trace file not found: {args.trace}")
+    except IsADirectoryError:
+        return _fail(f"trace path is a directory, not a file: {args.trace}")
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        return _fail(f"trace file {args.trace} is corrupt or not a trace: {exc}")
+    except OSError as exc:
+        return _fail(f"cannot read trace file {args.trace}: {exc}")
+
     if trace.initial_memory is None:
         print(
             "warning: trace has no initial-memory section; predicted-"
@@ -161,20 +269,23 @@ def _simulate_command(args) -> int:
         )
 
     name = args.predictor.lower()
-    if name == "none":
-        predictor = None
-    elif name == "composite":
-        predictor = CompositePredictor(
-            CompositeConfig(
-                epoch_instructions=max(1000, len(trace) // 12)
-            ).homogeneous(args.entries)
-        )
-    elif name == "eves-8kb":
-        predictor = EvesAdapter(eves_8kb())
-    elif name == "eves-32kb":
-        predictor = EvesAdapter(eves_32kb())
-    else:
-        predictor = SingleComponentAdapter(make_component(name, args.entries))
+    try:
+        if name == "none":
+            predictor = None
+        elif name == "composite":
+            predictor = CompositePredictor(
+                CompositeConfig(
+                    epoch_instructions=max(1000, len(trace) // 12)
+                ).homogeneous(args.entries)
+            )
+        elif name == "eves-8kb":
+            predictor = EvesAdapter(eves_8kb())
+        elif name == "eves-32kb":
+            predictor = EvesAdapter(eves_32kb())
+        else:
+            predictor = SingleComponentAdapter(make_component(name, args.entries))
+    except ValueError as exc:
+        return _fail(str(exc))
 
     result = simulate(trace, predictor)
     payload = asdict(result)

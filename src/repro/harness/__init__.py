@@ -17,17 +17,33 @@ text tables the benchmark harness prints.
 
 from repro.harness.functional import FunctionalResult, run_functional
 from repro.harness.presets import ExperimentScale, FULL, QUICK, SMOKE, scale_from_env
+from repro.harness.resilient import (
+    Cell,
+    CellOutcome,
+    ExecutionPolicy,
+    RetryPolicy,
+    SweepReport,
+    run_cells,
+    use_policy,
+)
 from repro.harness.runner import baseline_result, run_predictor, workload_trace
 
 __all__ = [
+    "Cell",
+    "CellOutcome",
+    "ExecutionPolicy",
     "ExperimentScale",
     "FULL",
     "FunctionalResult",
     "QUICK",
+    "RetryPolicy",
     "SMOKE",
+    "SweepReport",
     "baseline_result",
+    "run_cells",
     "run_functional",
     "run_predictor",
     "scale_from_env",
+    "use_policy",
     "workload_trace",
 ]

@@ -4,6 +4,15 @@ Every function returns a plain, JSON-friendly dict so the benchmark
 harness, the CLI, and the tests can all consume the same results.
 Speedups are fractions (0.05 == +5%); coverage is a fraction of
 predictable loads.  See EXPERIMENTS.md for paper-vs-measured values.
+
+Timing sweeps (everything built on per-(workload, config) speedup
+runs) are decomposed into independent **cells** and executed through
+:mod:`repro.harness.resilient`: under the default policy they run
+in-process exactly as the historical loops did, but the CLI can arm
+per-cell timeouts, retries, worker subprocesses, and a crash-safe
+journal (``--resume``) around any of them.  When cells fail
+terminally, the experiment still returns its aggregate over the
+surviving cells plus a structured ``"failures"`` summary.
 """
 
 from __future__ import annotations
@@ -19,11 +28,10 @@ from repro.composite.heterogeneous import (
     paper_config,
     storage_kib,
 )
-from repro.eves.eves import eves_8kb, eves_32kb, eves_infinite
+from repro.harness import resilient
 from repro.harness.functional import run_functional
 from repro.harness.presets import QUICK, ExperimentScale
-from repro.harness.runner import speedup, workload_trace
-from repro.pipeline.vp import EvesAdapter, SingleComponentAdapter
+from repro.harness.runner import speedup_cell, workload_trace
 from repro.predictors import COMPONENT_NAMES, make_component
 from repro.predictors.fpc_vectors import table_iv_rows
 from repro.workloads.listing1 import listing1_trace
@@ -33,6 +41,24 @@ from repro.workloads.profiles import ALL_WORKLOADS, WORKLOAD_FAMILY
 def _mean(values) -> float:
     values = list(values)
     return statistics.mean(values) if values else 0.0
+
+
+def _composite_spec(config: CompositeConfig) -> dict:
+    return {"kind": "composite", "config": config}
+
+
+def _component_spec(name: str, entries: int) -> dict:
+    return {"kind": "component", "name": name, "entries": entries}
+
+
+def _eves_spec(variant: str, seed: int) -> dict:
+    return {"kind": "eves", "variant": variant, "seed": seed}
+
+
+def _gather(report: "resilient.SweepReport", ids, metric: str) -> list:
+    """The named metric from every surviving cell in ``ids``."""
+    values = (report.value(cell_id) for cell_id in ids)
+    return [value[metric] for value in values if value is not None]
 
 
 def _composite_config(scale: ExperimentScale, per_component: int,
@@ -184,7 +210,8 @@ def table6_heterogeneous(
     the best.  (The paper's exhaustive 0..1K sweep is available by
     passing a longer candidate list; it is hours of pure-Python time.)
     """
-    results = {}
+    candidates_by_total: dict[int, list[tuple[int, ...]]] = {}
+    cells = []
     for total in totals:
         candidates = {(total // 4,) * 4}
         if total in TABLE_VI_CONFIGS:
@@ -199,8 +226,8 @@ def table6_heterogeneous(
         for alt in alternates[:extra_candidates]:
             if all(x > 0 for x in alt) and sum(alt) == total:
                 candidates.add(alt)
-        rows = []
-        for allocation in sorted(candidates):
+        candidates_by_total[total] = sorted(candidates)
+        for allocation in candidates_by_total[total]:
             lvp, sap, cvp, cap = allocation
             config = replace(
                 CompositeConfig(
@@ -209,11 +236,21 @@ def table6_heterogeneous(
                 ).with_entries(lvp, sap, cvp, cap),
                 table_fusion=False,
             )
-            gains = [
-                speedup(wl, scale.trace_length, CompositePredictor(config),
-                        seed)[0]
+            for wl, seed in scale.runs():
+                cells.append(speedup_cell(
+                    _alloc_cell_id(total, allocation, wl, seed),
+                    wl, scale.trace_length, _composite_spec(config), seed,
+                ))
+    report = resilient.sweep(cells)
+
+    results = {}
+    for total in totals:
+        rows = []
+        for allocation in candidates_by_total[total]:
+            gains = _gather(report, [
+                _alloc_cell_id(total, allocation, wl, seed)
                 for wl, seed in scale.runs()
-            ]
+            ], "speedup")
             rows.append({
                 "allocation": allocation,
                 "storage_kib": round(storage_kib(*allocation), 2),
@@ -234,7 +271,17 @@ def table6_heterogeneous(
                 if best["storage_kib"] else 0.0
             ),
         }
-    return {"scale": scale.name, "budgets": results}
+    return resilient.attach_failures(
+        {"scale": scale.name, "budgets": results}, report
+    )
+
+
+def _alloc_cell_id(
+    total: int, allocation: tuple[int, ...], workload: str, seed: int
+) -> str:
+    return (
+        f"table6/t{total}/{'-'.join(map(str, allocation))}/{workload}/s{seed}"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -267,17 +314,29 @@ def fig3_component_speedup(
     sizes: tuple[int, ...] = (64, 256, 1024, 4096),
 ) -> dict:
     """Figure 3: per-component speedup as table entries scale."""
+    def cell_id(name, entries, wl, seed):
+        return f"fig3/{name}/e{entries}/{wl}/s{seed}"
+
+    cells = [
+        speedup_cell(
+            cell_id(name, entries, wl, seed),
+            wl, scale.trace_length, _component_spec(name, entries), seed,
+        )
+        for name in COMPONENT_NAMES
+        for entries in sizes
+        for wl, seed in scale.runs()
+    ]
+    report = resilient.sweep(cells)
     curves: dict[str, dict[int, float]] = {n: {} for n in COMPONENT_NAMES}
     for name in COMPONENT_NAMES:
         for entries in sizes:
-            gains = []
-            for wl, seed in scale.runs():
-                adapter = SingleComponentAdapter(make_component(name, entries))
-                gains.append(
-                    speedup(wl, scale.trace_length, adapter, seed)[0]
-                )
-            curves[name][entries] = _mean(gains)
-    return {"scale": scale.name, "sizes": list(sizes), "speedup": curves}
+            curves[name][entries] = _mean(_gather(report, [
+                cell_id(name, entries, wl, seed)
+                for wl, seed in scale.runs()
+            ], "speedup"))
+    return resilient.attach_failures(
+        {"scale": scale.name, "sizes": list(sizes), "speedup": curves}, report
+    )
 
 
 def fig4_overlap(scale: ExperimentScale = QUICK, per_component: int = 1024) -> dict:
@@ -330,33 +389,47 @@ def fig5_composite_vs_component(
     totals: tuple[int, ...] = (256, 1024, 4096),
 ) -> dict:
     """Figure 5: homogeneous composite vs best component, same budget."""
+    def cell_id(total, contender, wl, seed):
+        return f"fig5/t{total}/{contender}/{wl}/s{seed}"
+
+    cells = []
+    for total in totals:
+        config = _composite_config(scale, total // 4).plain()
+        for wl, seed in scale.runs():
+            cells.append(speedup_cell(
+                cell_id(total, "composite", wl, seed),
+                wl, scale.trace_length, _composite_spec(config), seed,
+            ))
+            for name in COMPONENT_NAMES:
+                cells.append(speedup_cell(
+                    cell_id(total, name, wl, seed),
+                    wl, scale.trace_length, _component_spec(name, total), seed,
+                ))
+    report = resilient.sweep(cells)
+
     rows = {}
     for total in totals:
-        per = total // 4
-        composite_gains = []
-        component_gains = {n: [] for n in COMPONENT_NAMES}
-        for wl, seed in scale.runs():
-            config = _composite_config(scale, per).plain()
-            composite_gains.append(
-                speedup(wl, scale.trace_length, CompositePredictor(config),
-                        seed)[0]
-            )
-            for name in COMPONENT_NAMES:
-                adapter = SingleComponentAdapter(make_component(name, total))
-                component_gains[name].append(
-                    speedup(wl, scale.trace_length, adapter, seed)[0]
-                )
+        composite = _mean(_gather(report, [
+            cell_id(total, "composite", wl, seed) for wl, seed in scale.runs()
+        ], "speedup"))
+        component_gains = {
+            name: _mean(_gather(report, [
+                cell_id(total, name, wl, seed) for wl, seed in scale.runs()
+            ], "speedup"))
+            for name in COMPONENT_NAMES
+        }
         best_name, best_gain = max(
-            ((n, _mean(g)) for n, g in component_gains.items()),
-            key=lambda item: item[1],
+            component_gains.items(), key=lambda item: item[1]
         )
         rows[total] = {
-            "composite": _mean(composite_gains),
+            "composite": composite,
             "best_component": best_gain,
             "best_component_name": best_name,
-            "advantage": _mean(composite_gains) - best_gain,
+            "advantage": composite - best_gain,
         }
-    return {"scale": scale.name, "totals": rows}
+    return resilient.attach_failures(
+        {"scale": scale.name, "totals": rows}, report
+    )
 
 
 def fig6_accuracy_monitor(
@@ -369,22 +442,28 @@ def fig6_accuracy_monitor(
         "pc-am-64": {"accuracy_monitor": "pc-am", "pc_am_entries": 64},
         "pc-am-infinite": {"accuracy_monitor": "pc-am-infinite"},
     }
-    results = {}
+    cells = []
     for label, overrides in variants.items():
         config = replace(
             _composite_config(scale, per_component).plain(), **overrides
         )
-        gains = [
-            speedup(wl, scale.trace_length, CompositePredictor(config),
-                    seed)[0]
-            for wl, seed in scale.runs()
-        ]
-        results[label] = _mean(gains)
-    return {
+        for wl, seed in scale.runs():
+            cells.append(speedup_cell(
+                f"fig6/{label}/{wl}/s{seed}",
+                wl, scale.trace_length, _composite_spec(config), seed,
+            ))
+    report = resilient.sweep(cells)
+    results = {
+        label: _mean(_gather(report, [
+            f"fig6/{label}/{wl}/s{seed}" for wl, seed in scale.runs()
+        ], "speedup"))
+        for label in variants
+    }
+    return resilient.attach_failures({
         "scale": scale.name,
         "per_component_entries": per_component,
         "speedup": results,
-    }
+    }, report)
 
 
 def fig7_smart_training(
@@ -428,28 +507,36 @@ def _optimization_speedup_sweep(
     scale: ExperimentScale,
     per_component_sizes: tuple[int, ...],
     overrides: dict,
-) -> dict:
+    tag: str,
+) -> tuple[dict, "resilient.SweepReport"]:
     """Shared shape of Figures 8 and 9: base vs one optimization."""
-    results = {}
+    def cell_id(per, label, wl, seed):
+        return f"{tag}/p{per}/{label}/{wl}/s{seed}"
+
+    cells = []
     for per in per_component_sizes:
         base_config = _composite_config(scale, per).plain()
-        opt_config = replace(base_config, **overrides)
-        base_gains, opt_gains = [], []
-        for wl, seed in scale.runs():
-            base_gains.append(
-                speedup(wl, scale.trace_length,
-                        CompositePredictor(base_config), seed)[0]
-            )
-            opt_gains.append(
-                speedup(wl, scale.trace_length,
-                        CompositePredictor(opt_config), seed)[0]
-            )
-        results[per] = {
-            "base": _mean(base_gains),
-            "optimized": _mean(opt_gains),
-            "delta": _mean(opt_gains) - _mean(base_gains),
-        }
-    return results
+        for label, config in (
+            ("base", base_config),
+            ("optimized", replace(base_config, **overrides)),
+        ):
+            for wl, seed in scale.runs():
+                cells.append(speedup_cell(
+                    cell_id(per, label, wl, seed),
+                    wl, scale.trace_length, _composite_spec(config), seed,
+                ))
+    report = resilient.sweep(cells)
+
+    results = {}
+    for per in per_component_sizes:
+        base, opt = (
+            _mean(_gather(report, [
+                cell_id(per, label, wl, seed) for wl, seed in scale.runs()
+            ], "speedup"))
+            for label in ("base", "optimized")
+        )
+        results[per] = {"base": base, "optimized": opt, "delta": opt - base}
+    return results, report
 
 
 def fig8_smart_training_speedup(
@@ -457,12 +544,12 @@ def fig8_smart_training_speedup(
     per_component_sizes: tuple[int, ...] = (64, 256, 1024),
 ) -> dict:
     """Figure 8: speedup from smart training across sizes."""
-    return {
-        "scale": scale.name,
-        "sizes": _optimization_speedup_sweep(
-            scale, per_component_sizes, {"smart_training": True}
-        ),
-    }
+    sizes, report = _optimization_speedup_sweep(
+        scale, per_component_sizes, {"smart_training": True}, tag="fig8"
+    )
+    return resilient.attach_failures(
+        {"scale": scale.name, "sizes": sizes}, report
+    )
 
 
 def fig9_table_fusion(
@@ -470,12 +557,12 @@ def fig9_table_fusion(
     per_component_sizes: tuple[int, ...] = (64, 256, 1024),
 ) -> dict:
     """Figure 9: speedup from table fusion across sizes."""
-    return {
-        "scale": scale.name,
-        "sizes": _optimization_speedup_sweep(
-            scale, per_component_sizes, {"table_fusion": True}
-        ),
-    }
+    sizes, report = _optimization_speedup_sweep(
+        scale, per_component_sizes, {"table_fusion": True}, tag="fig9"
+    )
+    return resilient.attach_failures(
+        {"scale": scale.name, "sizes": sizes}, report
+    )
 
 
 def fig10_combined(
@@ -495,7 +582,12 @@ def fig10_combined(
     base = CompositeConfig(
         epoch_instructions=scale.epoch_instructions, seed=scale.seed
     )
-    rows = {}
+
+    def cell_id(total, contender, wl, seed):
+        return f"fig10/t{total}/{contender}/{wl}/s{seed}"
+
+    candidates_by_total = {}
+    cells = []
     for total in totals:
         per = total // 4
         candidates = {
@@ -505,26 +597,40 @@ def fig10_combined(
                 base.homogeneous(per).plain(), accuracy_monitor="pc-am"
             ),
         }
-        composite_results = {}
-        for label, config in candidates.items():
-            composite_results[label] = _mean(
-                speedup(wl, scale.trace_length, CompositePredictor(config),
-                        seed)[0]
+        candidates_by_total[total] = candidates
+        for wl, seed in scale.runs():
+            for label, config in candidates.items():
+                cells.append(speedup_cell(
+                    cell_id(total, f"composite/{label}", wl, seed),
+                    wl, scale.trace_length, _composite_spec(config), seed,
+                ))
+            for name in COMPONENT_NAMES:
+                cells.append(speedup_cell(
+                    cell_id(total, f"component/{name}", wl, seed),
+                    wl, scale.trace_length, _component_spec(name, total), seed,
+                ))
+    report = resilient.sweep(cells)
+
+    rows = {}
+    for total in totals:
+        candidates = candidates_by_total[total]
+        composite_results = {
+            label: _mean(_gather(report, [
+                cell_id(total, f"composite/{label}", wl, seed)
                 for wl, seed in scale.runs()
-            )
+            ], "speedup"))
+            for label in candidates
+        }
         best_composite_label, composite = max(
             composite_results.items(), key=lambda item: item[1]
         )
-        component_gains = {}
-        for name in COMPONENT_NAMES:
-            component_gains[name] = _mean(
-                speedup(
-                    wl, scale.trace_length,
-                    SingleComponentAdapter(make_component(name, total)),
-                    seed,
-                )[0]
+        component_gains = {
+            name: _mean(_gather(report, [
+                cell_id(total, f"component/{name}", wl, seed)
                 for wl, seed in scale.runs()
-            )
+            ], "speedup"))
+            for name in COMPONENT_NAMES
+        }
         best_name, best_gain = max(
             component_gains.items(), key=lambda item: item[1]
         )
@@ -540,50 +646,52 @@ def fig10_combined(
                 composite / best_gain - 1.0 if best_gain > 0 else float("inf")
             ),
         }
-    return {"scale": scale.name, "totals": rows}
+    return resilient.attach_failures(
+        {"scale": scale.name, "totals": rows}, report
+    )
 
 
-def _eves_adapters() -> dict:
-    return {
-        "eves-8kb": lambda seed: EvesAdapter(eves_8kb(seed)),
-        "eves-32kb": lambda seed: EvesAdapter(eves_32kb(seed)),
-        "eves-infinite": lambda seed: EvesAdapter(eves_infinite(seed)),
-    }
-
-
-def _composite_for_budget(scale: ExperimentScale, total: int) -> CompositePredictor:
-    config = paper_config(
+def _budget_config(scale: ExperimentScale, total: int) -> CompositeConfig:
+    return paper_config(
         total,
         CompositeConfig(
             epoch_instructions=scale.epoch_instructions, seed=scale.seed
         ),
     )
-    return CompositePredictor(config)
 
 
 def fig11_vs_eves(scale: ExperimentScale = QUICK) -> dict:
     """Figure 11: composite (small budgets) vs EVES (large budgets)."""
+    def specs(seed):
+        return {
+            "composite-4.8kb": _composite_spec(_budget_config(scale, 512)),
+            "composite-9.6kb": _composite_spec(_budget_config(scale, 1024)),
+            "eves-8kb": _eves_spec("8kb", seed),
+            "eves-32kb": _eves_spec("32kb", seed),
+            "eves-infinite": _eves_spec("infinite", seed),
+        }
+
+    labels = tuple(specs(0))
+    cells = [
+        speedup_cell(
+            f"fig11/{label}/{wl}/s{seed}",
+            wl, scale.trace_length, spec, seed,
+        )
+        for wl, seed in scale.runs()
+        for label, spec in specs(seed).items()
+    ]
+    report = resilient.sweep(cells)
+
     contenders: dict[str, dict] = {}
-    specs = {
-        "composite-4.8kb": lambda seed: _composite_for_budget(scale, 512),
-        "composite-9.6kb": lambda seed: _composite_for_budget(scale, 1024),
-        **_eves_adapters(),
-    }
-    for label, factory in specs.items():
-        gains, coverages = [], []
-        for wl, seed in scale.runs():
-            gain, result = speedup(
-                wl, scale.trace_length, factory(seed), seed
-            )
-            gains.append(gain)
-            coverages.append(result.coverage)
+    for label in labels:
+        ids = [f"fig11/{label}/{wl}/s{seed}" for wl, seed in scale.runs()]
         contenders[label] = {
-            "speedup": _mean(gains),
-            "coverage": _mean(coverages),
+            "speedup": _mean(_gather(report, ids, "speedup")),
+            "coverage": _mean(_gather(report, ids, "coverage")),
         }
     small = contenders["composite-9.6kb"]
     eves = contenders["eves-32kb"]
-    return {
+    return resilient.attach_failures({
         "scale": scale.name,
         "contenders": contenders,
         "composite96_vs_eves32": {
@@ -596,7 +704,7 @@ def fig11_vs_eves(scale: ExperimentScale = QUICK) -> dict:
                 if eves["coverage"] > 0 else float("inf")
             ),
         },
-    }
+    }, report)
 
 
 def ablation_footnote1(scale: ExperimentScale = QUICK,
@@ -619,30 +727,43 @@ def ablation_footnote1(scale: ExperimentScale = QUICK,
         extra_components=(("lap", per_component), ("svp", per_component)),
     )
 
-    standalone = {}
+    cells = []
     for name in ("lap", "svp"):
-        standalone[name] = _mean(
-            speedup(
-                wl, scale.trace_length,
-                SingleComponentAdapter(make_component(name, 4 * per_component)),
-                seed,
-            )[0]
-            for wl, seed in scale.runs()
-        )
-
-    def run(config):
-        gains, coverages = [], []
         for wl, seed in scale.runs():
-            gain, result = speedup(
-                wl, scale.trace_length, CompositePredictor(config), seed
-            )
-            gains.append(gain)
-            coverages.append(result.coverage)
-        return {"speedup": _mean(gains), "coverage": _mean(coverages)}
+            cells.append(speedup_cell(
+                f"ablation1/standalone/{name}/{wl}/s{seed}",
+                wl, scale.trace_length,
+                _component_spec(name, 4 * per_component), seed,
+            ))
+    for label, config in (("four", base), ("six", extended)):
+        for wl, seed in scale.runs():
+            cells.append(speedup_cell(
+                f"ablation1/composite/{label}/{wl}/s{seed}",
+                wl, scale.trace_length, _composite_spec(config), seed,
+            ))
+    report = resilient.sweep(cells)
 
-    four = run(base)
-    six = run(extended)
-    return {
+    standalone = {
+        name: _mean(_gather(report, [
+            f"ablation1/standalone/{name}/{wl}/s{seed}"
+            for wl, seed in scale.runs()
+        ], "speedup"))
+        for name in ("lap", "svp")
+    }
+
+    def aggregate(label):
+        ids = [
+            f"ablation1/composite/{label}/{wl}/s{seed}"
+            for wl, seed in scale.runs()
+        ]
+        return {
+            "speedup": _mean(_gather(report, ids, "speedup")),
+            "coverage": _mean(_gather(report, ids, "coverage")),
+        }
+
+    four = aggregate("four")
+    six = aggregate("six")
+    return resilient.attach_failures({
         "scale": scale.name,
         "per_component_entries": per_component,
         "standalone": standalone,
@@ -650,7 +771,7 @@ def ablation_footnote1(scale: ExperimentScale = QUICK,
         "composite_six": six,
         "speedup_benefit_of_extras": six["speedup"] - four["speedup"],
         "coverage_benefit_of_extras": six["coverage"] - four["coverage"],
-    }
+    }, report)
 
 
 def ablation_selection_policy(scale: ExperimentScale = QUICK,
@@ -664,27 +785,32 @@ def ablation_selection_policy(scale: ExperimentScale = QUICK,
     the Section V-A *base* composite (smart training would remove most
     of the overlap the policy arbitrates).
     """
-    results = {}
-    for label, prefer_value in (("value-first", True), ("address-first", False)):
+    policies = (("value-first", True), ("address-first", False))
+    cells = []
+    for label, prefer_value in policies:
         config = replace(
             _composite_config(scale, per_component).plain(),
             prefer_value_predictions=prefer_value,
         )
-        gains, probes, predictions = [], 0, 0
         for wl, seed in scale.runs():
-            gain, result = speedup(
-                wl, scale.trace_length, CompositePredictor(config), seed
-            )
-            gains.append(gain)
-            probes += result.paq_probes
-            predictions += result.predicted_loads
+            cells.append(speedup_cell(
+                f"ablation2/{label}/{wl}/s{seed}",
+                wl, scale.trace_length, _composite_spec(config), seed,
+            ))
+    report = resilient.sweep(cells)
+
+    results = {}
+    for label, _ in policies:
+        ids = [f"ablation2/{label}/{wl}/s{seed}" for wl, seed in scale.runs()]
+        probes = sum(_gather(report, ids, "paq_probes"))
+        predictions = sum(_gather(report, ids, "predicted_loads"))
         results[label] = {
-            "speedup": _mean(gains),
+            "speedup": _mean(_gather(report, ids, "speedup")),
             "paq_probes": probes,
             "predictions": predictions,
             "probes_per_prediction": probes / predictions if predictions else 0.0,
         }
-    return {
+    return resilient.attach_failures({
         "scale": scale.name,
         "per_component_entries": per_component,
         "policies": results,
@@ -697,7 +823,7 @@ def ablation_selection_policy(scale: ExperimentScale = QUICK,
             / results["address-first"]["paq_probes"]
             if results["address-first"]["paq_probes"] else 0.0
         ),
-    }
+    }, report)
 
 
 def ablation_confidence_tuning(
@@ -709,52 +835,61 @@ def ablation_confidence_tuning(
     coverage but cost accuracy, and the misprediction flushes eat the
     gains ("lower accuracy tends to decrease performance gains").
     """
-    rows = {}
+    cells = []
     for delta in deltas:
         config = replace(
             _composite_config(scale, per_component).plain(),
             confidence_delta=delta,
         )
-        gains, coverages, accuracies = [], [], []
         for wl, seed in scale.runs():
-            gain, result = speedup(
-                wl, scale.trace_length, CompositePredictor(config), seed
-            )
-            gains.append(gain)
-            coverages.append(result.coverage)
-            accuracies.append(result.accuracy)
+            cells.append(speedup_cell(
+                f"ablation3/d{delta}/{wl}/s{seed}",
+                wl, scale.trace_length, _composite_spec(config), seed,
+            ))
+    report = resilient.sweep(cells)
+
+    rows = {}
+    for delta in deltas:
+        ids = [f"ablation3/d{delta}/{wl}/s{seed}" for wl, seed in scale.runs()]
         rows[delta] = {
-            "speedup": _mean(gains),
-            "coverage": _mean(coverages),
-            "accuracy": _mean(accuracies),
+            "speedup": _mean(_gather(report, ids, "speedup")),
+            "coverage": _mean(_gather(report, ids, "coverage")),
+            "accuracy": _mean(_gather(report, ids, "accuracy")),
         }
-    return {
+    return resilient.attach_failures({
         "scale": scale.name,
         "per_component_entries": per_component,
         "deltas": rows,
-    }
+    }, report)
 
 
 def fig12_per_workload(scale: ExperimentScale = QUICK) -> dict:
     """Figure 12: per-workload composite (9.6KB) vs EVES (32KB)."""
+    composite_config = _budget_config(scale, 1024)
+    cells = []
+    for wl in scale.workloads:
+        for seed in scale.seeds:
+            cells.append(speedup_cell(
+                f"fig12/{wl}/s{seed}/composite",
+                wl, scale.trace_length, _composite_spec(composite_config),
+                seed,
+            ))
+            cells.append(speedup_cell(
+                f"fig12/{wl}/s{seed}/eves",
+                wl, scale.trace_length, _eves_spec("32kb", seed), seed,
+            ))
+    report = resilient.sweep(cells)
+
     per_workload = {}
     composite_wins = 0
     eves_wins = 0
     for wl in scale.workloads:
-        composite_gains, eves_gains = [], []
-        composite_covs, eves_covs = [], []
-        for seed in scale.seeds:
-            composite_gain, composite_result = speedup(
-                wl, scale.trace_length, _composite_for_budget(scale, 1024),
-                seed,
-            )
-            eves_gain, eves_result = speedup(
-                wl, scale.trace_length, EvesAdapter(eves_32kb(seed)), seed
-            )
-            composite_gains.append(composite_gain)
-            eves_gains.append(eves_gain)
-            composite_covs.append(composite_result.coverage)
-            eves_covs.append(eves_result.coverage)
+        composite_ids = [f"fig12/{wl}/s{seed}/composite" for seed in scale.seeds]
+        eves_ids = [f"fig12/{wl}/s{seed}/eves" for seed in scale.seeds]
+        composite_gains = _gather(report, composite_ids, "speedup")
+        eves_gains = _gather(report, eves_ids, "speedup")
+        composite_covs = _gather(report, composite_ids, "coverage")
+        eves_covs = _gather(report, eves_ids, "coverage")
         composite_gain = _mean(composite_gains)
         eves_gain = _mean(eves_gains)
         if composite_gain > eves_gain + 1e-9:
@@ -767,7 +902,7 @@ def fig12_per_workload(scale: ExperimentScale = QUICK) -> dict:
             "composite_coverage": _mean(composite_covs),
             "eves_coverage": _mean(eves_covs),
         }
-    return {
+    return resilient.attach_failures({
         "scale": scale.name,
         "per_workload": per_workload,
         "composite_wins": composite_wins,
@@ -786,4 +921,4 @@ def fig12_per_workload(scale: ExperimentScale = QUICK) -> dict:
                 r["eves_coverage"] for r in per_workload.values()
             ),
         },
-    }
+    }, report)

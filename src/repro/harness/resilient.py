@@ -1,0 +1,663 @@
+"""Fault-tolerant execution of sweep-style experiments.
+
+Every figure/table of the paper is a sweep over independent
+(workload, predictor-config) **cells**.  This module runs such sweeps
+through a supervisor that survives the failure modes long campaigns
+actually hit:
+
+* a cell crashes -> bounded **retry** with exponential backoff and
+  deterministic jitter (transient failures only; deterministic
+  exceptions fail fast);
+* a cell hangs -> a per-cell wall-clock **timeout**.  With worker
+  subprocesses (``workers >= 1``, via
+  ``concurrent.futures.ProcessPoolExecutor``) an overdue worker is
+  reaped (killed) and the pool rebuilt; in-process execution
+  (``workers == 0``) arms a *cooperative* deadline that the timing
+  model polls via its interrupt hook
+  (:class:`repro.pipeline.core.SimulationInterrupted`);
+* the whole campaign is killed -> every finished cell was already
+  durably appended to a :class:`repro.harness.journal.Journal`, so a
+  relaunch with ``resume=True`` skips completed cells and reproduces
+  the uninterrupted result exactly (fresh results are JSON
+  round-tripped before aggregation so replayed and recomputed values
+  are byte-identical);
+* some cells fail permanently -> the sweep still returns every
+  successful cell plus a structured failure report instead of raising.
+
+Fault injection (for tests and drills) is driven by the
+``REPRO_FAULT_PLAN`` environment variable -- see
+:func:`parse_fault_plan`.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import importlib
+import json
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.harness.journal import Journal, stable_digest
+
+#: Environment variable holding the fault plan (see :func:`parse_fault_plan`).
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Hard hang duration (seconds) for the ``hang`` fault action.
+_HANG_SECONDS = 3600.0
+
+
+class TransientCellError(RuntimeError):
+    """A retryable cell failure (infrastructure, not logic)."""
+
+
+class CellTimeout(TransientCellError):
+    """A cell exceeded its wall-clock budget."""
+
+
+class FaultInjected(TransientCellError):
+    """A failure injected by the ``REPRO_FAULT_PLAN`` fault plan."""
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One clause of a fault plan.
+
+    ``pattern`` is an ``fnmatch`` glob over cell ids; ``action`` is one
+    of ``fail`` (raise :class:`FaultInjected`), ``hang`` (sleep far past
+    any sane timeout), ``crash`` (``os._exit`` -- kills the worker, or
+    the whole campaign when inline), or ``corrupt-journal`` (tear the
+    cell's journal record mid-write).  The rule applies while the cell's
+    attempt number is below ``count`` -- ``count=1`` is "fail once,
+    then succeed", the canonical transient fault.
+    """
+
+    pattern: str
+    action: str
+    count: int = 1
+
+
+_ACTIONS = ("fail", "hang", "crash", "corrupt-journal")
+
+# True while the supervisor is executing cells in-process; lets the
+# ``hang`` action honor the cooperative deadline instead of deadlocking
+# the campaign (a subprocess hang is reaped by the supervisor instead).
+_INLINE = False
+
+# Cooperative deadline (time.monotonic() timestamp) for the cell
+# currently executing in *this* process; see :func:`cooperative_deadline`.
+_DEADLINE: float | None = None
+
+
+def parse_fault_plan(text: str | None) -> tuple[FaultRule, ...]:
+    """Parse a fault plan like ``"fig5/*:fail;table6/512/*:hang:2"``.
+
+    Clauses are ``pattern:action[:count]`` separated by ``;``.  Unknown
+    actions or malformed counts raise ``ValueError`` -- a fault drill
+    with a typo'd plan should fail loudly, not silently run clean.
+    """
+    rules = []
+    for clause in (text or "").split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = clause.rsplit(":", 2)
+        if len(parts) >= 2 and parts[-1].isdigit() and parts[-2] in _ACTIONS:
+            pattern = clause[: -(len(parts[-2]) + len(parts[-1]) + 2)]
+            action, count = parts[-2], int(parts[-1])
+        elif len(parts) >= 2 and parts[-1] in _ACTIONS:
+            pattern = clause[: -(len(parts[-1]) + 1)]
+            action, count = parts[-1], 1
+        else:
+            raise ValueError(
+                f"bad fault clause {clause!r}; expected pattern:action[:count] "
+                f"with action in {_ACTIONS}"
+            )
+        rules.append(FaultRule(pattern=pattern, action=action, count=count))
+    return tuple(rules)
+
+
+def _plan_from_env() -> tuple[FaultRule, ...]:
+    return parse_fault_plan(os.environ.get(FAULT_PLAN_ENV))
+
+
+def _matching_rule(
+    rules: Sequence[FaultRule], cell_id: str, attempt: int, action: str
+) -> FaultRule | None:
+    for rule in rules:
+        if (
+            rule.action == action
+            and attempt < rule.count
+            and fnmatch.fnmatchcase(cell_id, rule.pattern)
+        ):
+            return rule
+    return None
+
+
+def _maybe_inject(cell_id: str, attempt: int) -> None:
+    """Apply any matching execution-side fault before running the cell."""
+    rules = _plan_from_env()
+    if _matching_rule(rules, cell_id, attempt, "crash"):
+        os._exit(70)
+    if _matching_rule(rules, cell_id, attempt, "fail"):
+        raise FaultInjected(
+            f"injected failure for cell {cell_id!r} (attempt {attempt})"
+        )
+    if _matching_rule(rules, cell_id, attempt, "hang"):
+        end = time.monotonic() + _HANG_SECONDS
+        while time.monotonic() < end:
+            time.sleep(0.02)
+            deadline = _DEADLINE
+            if _INLINE and deadline is not None and time.monotonic() >= deadline:
+                raise CellTimeout(
+                    f"cell {cell_id!r} hit its cooperative deadline while "
+                    "hanging (injected)"
+                )
+
+
+def cooperative_deadline() -> float | None:
+    """The running cell's wall-clock deadline (``time.monotonic()``).
+
+    Cell functions that can take long should poll this (directly or via
+    the pipeline's interrupt hook) and raise :class:`CellTimeout` when
+    exceeded; it is how in-process (``workers == 0``) execution enforces
+    ``timeout`` without subprocesses.  ``None`` means no deadline.
+    """
+    return _DEADLINE
+
+
+# ----------------------------------------------------------------------
+# Cells and policies
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of a sweep.
+
+    ``fn`` is a ``"package.module:function"`` reference resolved inside
+    the worker (so cells stay picklable and journal-stable); the
+    function receives ``spec`` as its single argument and must return a
+    JSON-serializable value.  ``id`` must be unique within the sweep
+    and stable across runs -- it keys journal replay.
+    """
+
+    id: str
+    fn: str
+    spec: Any = None
+
+    def digest(self) -> str:
+        """Stable digest of the cell's work (fn + spec), for campaigns."""
+        return stable_digest({"fn": self.fn, "spec": self.spec})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    Only *transient* failures (:class:`TransientCellError`, timeouts,
+    dead workers) are retried; deterministic exceptions from the cell
+    function fail immediately unless ``retry_all`` is set.  Jitter is
+    derived from the (cell id, attempt) pair, not a live RNG, so a
+    resumed campaign backs off identically to the original.
+    """
+
+    max_retries: int = 2
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.5
+    retry_all: bool = False
+
+    def delay(self, cell_id: str, attempt: int) -> float:
+        """Backoff before retrying ``cell_id`` after failed ``attempt``."""
+        digest = hashlib.sha256(f"{cell_id}/{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:4], "big") / 2**32
+        return self.backoff * self.backoff_factor**attempt * (1.0 + self.jitter * unit)
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """Whether ``exc`` counts as transient (and is thus retryable)."""
+        if isinstance(exc, (TransientCellError, BrokenProcessPool)):
+            return True
+        return self.retry_all and isinstance(exc, Exception)
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a sweep executes: workers, timeout, retries, journaling.
+
+    ``workers == 0`` (the default) runs cells in-process -- same
+    determinism and per-process caches as the historical inline loops,
+    with *cooperative* timeouts only.  ``workers >= 1`` isolates cells
+    in subprocesses where hangs and crashes cannot take down the
+    campaign.  ``journal_path`` enables crash-safe journaling;
+    ``resume`` replays completed cells from it.
+    """
+
+    workers: int = 0
+    timeout: float | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    journal_path: str | None = None
+    resume: bool = False
+    progress: Callable[["CellOutcome", int, int], None] | None = None
+
+
+@dataclass
+class CellOutcome:
+    """Terminal state of one cell after the sweep finishes."""
+
+    id: str
+    status: str  #: ``ok``, ``failed``, or ``cached`` (replayed from journal)
+    value: Any = None
+    attempts: int = 0
+    elapsed: float = 0.0
+    error: str | None = None
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep produced: per-cell outcomes plus failure roll-up."""
+
+    outcomes: dict[str, CellOutcome]
+
+    def value(self, cell_id: str, default: Any = None) -> Any:
+        """The cell's value, or ``default`` if it failed or is unknown."""
+        outcome = self.outcomes.get(cell_id)
+        if outcome is None or outcome.status == "failed":
+            return default
+        return outcome.value
+
+    def values(self) -> dict[str, Any]:
+        """Values of all successful cells, keyed by cell id."""
+        return {
+            cid: o.value
+            for cid, o in self.outcomes.items()
+            if o.status != "failed"
+        }
+
+    @property
+    def failures(self) -> list[CellOutcome]:
+        """Outcomes of terminally failed cells, in sweep order."""
+        return [o for o in self.outcomes.values() if o.status == "failed"]
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell completed (fresh or from the journal)."""
+        return not self.failures
+
+    def failure_summary(self) -> dict:
+        """A JSON-friendly report of what failed and how."""
+        return {
+            "failed_cells": len(self.failures),
+            "total_cells": len(self.outcomes),
+            "cells": [
+                {"id": o.id, "error": o.error, "attempts": o.attempts}
+                for o in self.failures
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# Ambient policy (set by the CLI, consulted by experiment sweeps)
+# ----------------------------------------------------------------------
+
+_POLICY = ExecutionPolicy()
+
+
+def current_policy() -> ExecutionPolicy:
+    """The ambient :class:`ExecutionPolicy` experiment sweeps run under."""
+    return _POLICY
+
+
+@contextmanager
+def use_policy(policy: ExecutionPolicy) -> Iterator[ExecutionPolicy]:
+    """Temporarily install ``policy`` as the ambient execution policy."""
+    global _POLICY
+    previous = _POLICY
+    _POLICY = policy
+    try:
+        yield policy
+    finally:
+        _POLICY = previous
+
+
+def sweep(cells: Sequence[Cell]) -> SweepReport:
+    """Run ``cells`` under the ambient policy (what experiments call)."""
+    return run_cells(cells, current_policy())
+
+
+def attach_failures(payload: dict, report: SweepReport) -> dict:
+    """Graft a sweep's failure summary onto an experiment result dict."""
+    if not report.ok:
+        payload["failures"] = report.failure_summary()
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+def _resolve(fn_path: str) -> Callable[[Any], Any]:
+    module_name, sep, qualname = fn_path.partition(":")
+    if not sep or not qualname:
+        raise ValueError(
+            f"cell fn {fn_path!r} must look like 'package.module:function'"
+        )
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _execute_cell(
+    fn_path: str, spec: Any, cell_id: str, attempt: int, deadline: float | None
+) -> Any:
+    """Run one cell attempt (entry point both inline and in workers)."""
+    global _DEADLINE
+    _DEADLINE = deadline
+    try:
+        _maybe_inject(cell_id, attempt)
+        return _resolve(fn_path)(spec)
+    finally:
+        _DEADLINE = None
+
+
+# ----------------------------------------------------------------------
+# Supervisor
+# ----------------------------------------------------------------------
+
+def run_cells(
+    cells: Sequence[Cell], policy: ExecutionPolicy | None = None
+) -> SweepReport:
+    """Execute a sweep of cells under ``policy`` and report every outcome.
+
+    Never raises for cell-level failures: failed cells appear in the
+    report's :attr:`SweepReport.failures` and everything else completes.
+    Raises :class:`repro.harness.journal.JournalError` when asked to
+    resume from a journal that belongs to a different sweep.
+    """
+    policy = policy or current_policy()
+    cells = list(cells)
+    ids = [c.id for c in cells]
+    if len(set(ids)) != len(ids):
+        dupes = sorted({i for i in ids if ids.count(i) > 1})
+        raise ValueError(f"duplicate cell ids in sweep: {dupes}")
+
+    outcomes: dict[str, CellOutcome] = {}
+    journal: Journal | None = None
+    pending = cells
+    if policy.journal_path:
+        campaign = stable_digest(sorted((c.id, c.digest()) for c in cells))
+        journal = Journal(policy.journal_path)
+        if policy.resume and journal.path.exists():
+            completed = journal.load_completed(campaign)
+            for cell in cells:
+                if cell.id in completed:
+                    outcomes[cell.id] = CellOutcome(
+                        id=cell.id, status="cached", value=completed[cell.id]
+                    )
+            pending = [c for c in cells if c.id not in outcomes]
+            if policy.progress is not None:
+                done = 0
+                for cell in cells:
+                    if cell.id in outcomes:
+                        done += 1
+                        policy.progress(outcomes[cell.id], done, len(cells))
+            journal.open_append()
+            journal.append({
+                "type": "campaign", "campaign": campaign,
+                "cells": len(cells), "resumed": True,
+                "replayed": len(outcomes),
+            })
+        else:
+            journal.start({
+                "type": "campaign", "campaign": campaign, "cells": len(cells),
+            })
+
+    try:
+        if policy.workers and policy.workers > 0:
+            _run_pool(pending, policy, outcomes, journal, total=len(cells))
+        else:
+            _run_inline(pending, policy, outcomes, journal, total=len(cells))
+    finally:
+        if journal is not None:
+            journal.close()
+
+    return SweepReport(
+        outcomes={c.id: outcomes[c.id] for c in cells if c.id in outcomes}
+    )
+
+
+def _record_outcome(
+    outcomes: dict,
+    journal: Journal | None,
+    policy: ExecutionPolicy,
+    outcome: CellOutcome,
+    total: int,
+) -> None:
+    outcomes[outcome.id] = outcome
+    if journal is not None:
+        record = {
+            "type": "cell", "id": outcome.id, "status": outcome.status,
+            "attempt": outcome.attempts, "elapsed": round(outcome.elapsed, 6),
+        }
+        if outcome.status == "ok":
+            record["value"] = outcome.value
+        else:
+            record["error"] = outcome.error
+        rules = _plan_from_env()
+        if _matching_rule(rules, outcome.id, 0, "corrupt-journal") and not getattr(
+            journal, "_corrupted_once", False
+        ):
+            journal._corrupted_once = True
+            journal.append_corrupted(record)
+        else:
+            journal.append(record)
+    if policy.progress is not None:
+        policy.progress(outcome, len(outcomes), total)
+
+
+def _journal_retry(
+    journal: Journal | None, cell: Cell, attempt: int, error: str, delay: float
+) -> None:
+    if journal is not None:
+        journal.append({
+            "type": "retry", "id": cell.id, "attempt": attempt,
+            "error": error, "delay": round(delay, 6),
+        })
+
+
+def _normalize(value: Any) -> Any:
+    # JSON round-trip fresh results so they are byte-identical to
+    # journal-replayed ones (tuples become lists, NaN/Inf rejected).
+    return json.loads(json.dumps(value, default=str))
+
+
+def _run_inline(
+    pending: Sequence[Cell],
+    policy: ExecutionPolicy,
+    outcomes: dict,
+    journal: Journal | None,
+    total: int,
+) -> None:
+    global _INLINE
+    for cell in pending:
+        attempt = 0
+        started_total = time.monotonic()
+        while True:
+            deadline = (
+                time.monotonic() + policy.timeout if policy.timeout else None
+            )
+            _INLINE = True
+            try:
+                value = _execute_cell(cell.fn, cell.spec, cell.id, attempt, deadline)
+            except BaseException as exc:
+                _INLINE = False
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                transient = policy.retry.is_transient(exc)
+                error = f"{type(exc).__name__}: {exc}"
+                if transient and attempt < policy.retry.max_retries:
+                    delay = policy.retry.delay(cell.id, attempt)
+                    _journal_retry(journal, cell, attempt, error, delay)
+                    time.sleep(delay)
+                    attempt += 1
+                    continue
+                _record_outcome(outcomes, journal, policy, CellOutcome(
+                    id=cell.id, status="failed", attempts=attempt + 1,
+                    elapsed=time.monotonic() - started_total, error=error,
+                ), total)
+                break
+            else:
+                _INLINE = False
+                _record_outcome(outcomes, journal, policy, CellOutcome(
+                    id=cell.id, status="ok", value=_normalize(value),
+                    attempts=attempt + 1,
+                    elapsed=time.monotonic() - started_total,
+                ), total)
+                break
+
+
+def _kill_pool(executor: ProcessPoolExecutor) -> None:
+    """Forcefully stop a pool, SIGKILLing any (possibly hung) workers."""
+    processes = list(getattr(executor, "_processes", {}).values())
+    for process in processes:
+        try:
+            process.kill()
+        except (OSError, AttributeError):
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_pool(
+    pending: Sequence[Cell],
+    policy: ExecutionPolicy,
+    outcomes: dict,
+    journal: Journal | None,
+    total: int,
+) -> None:
+    queue: deque[tuple[Cell, int, float]] = deque(
+        (cell, 0, 0.0) for cell in pending
+    )  # (cell, attempt, not-before)
+    first_started: dict[str, float] = {}
+    executor = ProcessPoolExecutor(max_workers=policy.workers)
+    inflight: dict = {}  # future -> (cell, attempt, deadline)
+
+    def terminal(cell: Cell, attempt: int, error: str) -> None:
+        _record_outcome(outcomes, journal, policy, CellOutcome(
+            id=cell.id, status="failed", attempts=attempt + 1,
+            elapsed=time.monotonic() - first_started.get(cell.id, time.monotonic()),
+            error=error,
+        ), total)
+
+    def failed(cell: Cell, attempt: int, exc_or_msg, transient: bool) -> None:
+        error = (
+            exc_or_msg if isinstance(exc_or_msg, str)
+            else f"{type(exc_or_msg).__name__}: {exc_or_msg}"
+        )
+        if transient and attempt < policy.retry.max_retries:
+            delay = policy.retry.delay(cell.id, attempt)
+            _journal_retry(journal, cell, attempt, error, delay)
+            queue.append((cell, attempt + 1, time.monotonic() + delay))
+        else:
+            terminal(cell, attempt, error)
+
+    try:
+        while queue or inflight:
+            now = time.monotonic()
+            # Submit ready work up to pool capacity.
+            blocked_until: float | None = None
+            for _ in range(len(queue)):
+                if len(inflight) >= policy.workers:
+                    break
+                cell, attempt, not_before = queue.popleft()
+                if not_before > now:
+                    queue.append((cell, attempt, not_before))
+                    blocked_until = (
+                        not_before if blocked_until is None
+                        else min(blocked_until, not_before)
+                    )
+                    continue
+                first_started.setdefault(cell.id, now)
+                deadline = now + policy.timeout if policy.timeout else None
+                future = executor.submit(
+                    _execute_cell, cell.fn, cell.spec, cell.id, attempt, deadline
+                )
+                inflight[future] = (cell, attempt, deadline)
+            if not inflight:
+                if blocked_until is not None:
+                    time.sleep(max(0.0, blocked_until - time.monotonic()))
+                continue
+
+            next_deadline = min(
+                (d for (_, _, d) in inflight.values() if d is not None),
+                default=None,
+            )
+            wait_for = None
+            if next_deadline is not None:
+                wait_for = max(0.0, next_deadline - time.monotonic()) + 0.01
+            elif blocked_until is not None:
+                wait_for = max(0.0, blocked_until - time.monotonic()) + 0.01
+            done, _ = wait(
+                set(inflight), timeout=wait_for, return_when=FIRST_COMPLETED
+            )
+
+            pool_broken = False
+            for future in done:
+                cell, attempt, _ = inflight.pop(future)
+                try:
+                    value = future.result()
+                except BrokenProcessPool:
+                    # The worker died (crash fault, OOM, kill -9).  The
+                    # pool is unusable; every sibling future dies with
+                    # it -- handled below.
+                    failed(cell, attempt, "worker process died", True)
+                    pool_broken = True
+                except BaseException as exc:
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    failed(cell, attempt, exc, policy.retry.is_transient(exc))
+                else:
+                    _record_outcome(outcomes, journal, policy, CellOutcome(
+                        id=cell.id, status="ok", value=_normalize(value),
+                        attempts=attempt + 1,
+                        elapsed=time.monotonic() - first_started[cell.id],
+                    ), total)
+
+            # Reap overdue workers: kill the pool, charge the overdue
+            # cells a timeout, resubmit innocents at the same attempt.
+            now = time.monotonic()
+            overdue = [
+                future for future, (_, _, deadline) in inflight.items()
+                if deadline is not None and now >= deadline
+            ]
+            if overdue or (pool_broken and inflight):
+                for future, (cell, attempt, deadline) in list(inflight.items()):
+                    if future in overdue:
+                        failed(
+                            cell, attempt,
+                            f"timeout after {policy.timeout:.1f}s "
+                            "(worker reaped)",
+                            True,
+                        )
+                    elif pool_broken:
+                        failed(cell, attempt, "worker process died", True)
+                    else:
+                        # Innocent victim of the pool teardown: requeue
+                        # without charging an attempt.
+                        queue.appendleft((cell, attempt, 0.0))
+                inflight.clear()
+                pool_broken = True
+            if pool_broken:
+                _kill_pool(executor)
+                executor = ProcessPoolExecutor(max_workers=policy.workers)
+    finally:
+        _kill_pool(executor)

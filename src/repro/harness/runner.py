@@ -1,31 +1,64 @@
-"""Cached workload/baseline plumbing shared by all experiments.
+"""Shared workload/baseline plumbing plus the sweep-cell entry point.
 
 Baseline (no-value-prediction) timing runs are pure functions of the
 (workload, length, seed) triple, and every figure compares dozens of
-predictor configurations against the same baselines, so both traces and
-baseline results are memoized per process.
+predictor configurations against the same baselines, so baseline
+results are memoized per process here.  Trace memoization itself lives
+in :func:`repro.workloads.generator.generate_trace`; both caches hold
+:data:`repro.workloads.generator.CACHE_SIZE` entries (one knob, the
+``REPRO_CACHE_SIZE`` environment variable).
+
+This module also defines the **cell** layer the resilient harness
+executes: :func:`run_speedup_cell` is a picklable, subprocess-safe
+entry point that rebuilds a predictor from a declarative spec, runs one
+(workload, config) timing comparison, and returns a JSON-friendly
+metrics dict (see :mod:`repro.harness.resilient`).
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+import time
+from collections import OrderedDict
+from typing import Any
 
+from repro.harness import resilient
 from repro.isa.trace import Trace
-from repro.pipeline.core import simulate
+from repro.pipeline.core import SimulationInterrupted, simulate
 from repro.pipeline.result import SimResult
 from repro.pipeline.vp import ValuePredictorHost
-from repro.workloads.generator import generate_trace
+from repro.workloads.generator import CACHE_SIZE, generate_trace
+
+#: Dotted reference to :func:`run_speedup_cell`, for building cells.
+SPEEDUP_CELL_FN = "repro.harness.runner:run_speedup_cell"
 
 
 def workload_trace(name: str, length: int, seed: int = 0) -> Trace:
-    """The (memoized) trace for a named workload."""
+    """The trace for a named workload (memoized by the generator)."""
     return generate_trace(name, length, seed)
 
 
-@lru_cache(maxsize=1024)
-def baseline_result(name: str, length: int, seed: int = 0) -> SimResult:
-    """The no-VP baseline timing run (memoized)."""
-    return simulate(workload_trace(name, length, seed))
+_baseline_cache: OrderedDict[tuple[str, int, int], SimResult] = OrderedDict()
+
+
+def baseline_result(
+    name: str, length: int, seed: int = 0, interrupt=None
+) -> SimResult:
+    """The no-VP baseline timing run (memoized, ``CACHE_SIZE`` entries).
+
+    ``interrupt`` is only consulted when the baseline is actually
+    simulated (cache misses); it never affects the cached value's
+    identity because the result is deterministic in the key.
+    """
+    key = (name, length, seed)
+    cached = _baseline_cache.get(key)
+    if cached is not None:
+        _baseline_cache.move_to_end(key)
+        return cached
+    result = simulate(workload_trace(name, length, seed), interrupt=interrupt)
+    _baseline_cache[key] = result
+    while len(_baseline_cache) > CACHE_SIZE:
+        _baseline_cache.popitem(last=False)
+    return result
 
 
 def run_predictor(
@@ -33,9 +66,12 @@ def run_predictor(
     length: int,
     predictor: ValuePredictorHost,
     seed: int = 0,
+    interrupt=None,
 ) -> SimResult:
     """One timing run of a predictor assembly on one workload."""
-    return simulate(workload_trace(name, length, seed), predictor)
+    return simulate(
+        workload_trace(name, length, seed), predictor, interrupt=interrupt
+    )
 
 
 def speedup(
@@ -43,7 +79,134 @@ def speedup(
     length: int,
     predictor: ValuePredictorHost,
     seed: int = 0,
+    interrupt=None,
 ) -> tuple[float, SimResult]:
     """Timing run plus relative speedup over the cached baseline."""
-    result = run_predictor(name, length, predictor, seed)
-    return result.speedup_over(baseline_result(name, length, seed)), result
+    result = run_predictor(name, length, predictor, seed, interrupt=interrupt)
+    return (
+        result.speedup_over(baseline_result(name, length, seed, interrupt)),
+        result,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cell layer: declarative predictor specs + the worker entry point
+# ----------------------------------------------------------------------
+
+def build_predictor(spec: dict | None) -> ValuePredictorHost | None:
+    """Construct a predictor assembly from a declarative spec.
+
+    Specs are small picklable dicts so sweeps can ship them to worker
+    subprocesses and digest them for journal identity:
+
+    * ``{"kind": "none"}`` or ``None`` -- baseline, no predictor;
+    * ``{"kind": "composite", "config": CompositeConfig(...)}``;
+    * ``{"kind": "component", "name": "lvp", "entries": 256}``;
+    * ``{"kind": "eves", "variant": "8kb"|"32kb"|"infinite", "seed": 0}``.
+    """
+    from repro.composite.composite import CompositePredictor
+    from repro.eves.eves import eves_8kb, eves_32kb, eves_infinite
+    from repro.pipeline.vp import EvesAdapter, SingleComponentAdapter
+    from repro.predictors import make_component
+
+    if spec is None:
+        return None
+    kind = spec["kind"]
+    if kind == "none":
+        return None
+    if kind == "composite":
+        return CompositePredictor(spec["config"])
+    if kind == "component":
+        return SingleComponentAdapter(
+            make_component(spec["name"], spec["entries"])
+        )
+    if kind == "eves":
+        factories = {
+            "8kb": eves_8kb, "32kb": eves_32kb, "infinite": eves_infinite,
+        }
+        try:
+            factory = factories[spec["variant"]]
+        except KeyError:
+            raise ValueError(
+                f"unknown EVES variant {spec['variant']!r}; expected one of "
+                f"{sorted(factories)}"
+            ) from None
+        return EvesAdapter(factory(spec.get("seed", 0)))
+    raise ValueError(f"unknown predictor spec kind {kind!r}")
+
+
+def _deadline_interrupt():
+    """An interrupt hook enforcing the cell's cooperative deadline."""
+    deadline = resilient.cooperative_deadline()
+    if deadline is None:
+        return None
+    return lambda _done: time.monotonic() >= deadline
+
+
+def run_speedup_cell(spec: dict) -> dict:
+    """Execute one (workload, predictor-config) sweep cell.
+
+    ``spec`` carries ``workload``, ``length``, ``seed``, and a
+    ``predictor`` spec for :func:`build_predictor`.  Returns a flat
+    JSON-friendly metrics dict (speedup fraction, coverage, accuracy,
+    PAQ probes, predicted loads, IPC) -- everything the experiment
+    aggregations consume, so results can be replayed from a journal
+    without re-simulating.
+
+    Honors the resilient harness's cooperative deadline by polling it
+    from the timing model's interrupt hook; an expired deadline
+    surfaces as :class:`repro.harness.resilient.CellTimeout`.
+    """
+    interrupt = _deadline_interrupt()
+    try:
+        gain, result = speedup(
+            spec["workload"], spec["length"],
+            build_predictor(spec["predictor"]), spec.get("seed", 0),
+            interrupt=interrupt,
+        )
+    except SimulationInterrupted as exc:
+        raise resilient.CellTimeout(str(exc)) from exc
+    return {
+        "speedup": gain,
+        "coverage": result.coverage,
+        "accuracy": result.accuracy,
+        "ipc": result.ipc,
+        "paq_probes": result.paq_probes,
+        "predicted_loads": result.predicted_loads,
+    }
+
+
+def speedup_cell(
+    cell_id: str,
+    workload: str,
+    length: int,
+    predictor: dict | None,
+    seed: int = 0,
+) -> "resilient.Cell":
+    """Build the :class:`repro.harness.resilient.Cell` for one run."""
+    return resilient.Cell(
+        id=cell_id,
+        fn=SPEEDUP_CELL_FN,
+        spec={
+            "workload": workload, "length": length, "seed": seed,
+            "predictor": predictor if predictor is not None else {"kind": "none"},
+        },
+    )
+
+
+def clear_caches() -> None:
+    """Drop the per-process baseline cache (tests and memory pressure)."""
+    _baseline_cache.clear()
+
+
+__all__ = [
+    "SPEEDUP_CELL_FN",
+    "baseline_result",
+    "build_predictor",
+    "clear_caches",
+    "run_predictor",
+    "run_speedup_cell",
+    "speedup",
+    "speedup_cell",
+    "workload_trace",
+]

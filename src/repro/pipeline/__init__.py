@@ -24,7 +24,7 @@ need.
 """
 
 from repro.pipeline.config import DEFAULT_LATENCIES, CoreConfig
-from repro.pipeline.core import CoreModel, simulate
+from repro.pipeline.core import CoreModel, SimulationInterrupted, simulate
 from repro.pipeline.result import SimResult
 from repro.pipeline.vp import (
     NoPredictor,
@@ -40,6 +40,7 @@ __all__ = [
     "EvesAdapter",
     "NoPredictor",
     "SimResult",
+    "SimulationInterrupted",
     "SingleComponentAdapter",
     "ValuePredictorHost",
     "simulate",

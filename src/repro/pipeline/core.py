@@ -45,6 +45,24 @@ from repro.pipeline.vp import NoPredictor, ValuePredictorHost
 from repro.predictors.types import LoadOutcome, LoadProbe, PredictionKind
 
 
+class SimulationInterrupted(RuntimeError):
+    """Raised when a run's interrupt hook asks the model to stop.
+
+    Carries the workload name and how many instructions had been
+    processed, so supervisors can report partial progress.  Used by the
+    resilient harness to enforce cooperative per-cell deadlines without
+    subprocesses (:mod:`repro.harness.resilient`).
+    """
+
+    def __init__(self, workload: str, instructions_done: int) -> None:
+        super().__init__(
+            f"simulation of {workload!r} interrupted after "
+            f"{instructions_done} instructions"
+        )
+        self.workload = workload
+        self.instructions_done = instructions_done
+
+
 class CoreModel:
     """A single-core timing model bound to one predictor assembly."""
 
@@ -69,7 +87,20 @@ class CoreModel:
     # Main loop
     # ------------------------------------------------------------------
 
-    def run(self, trace: Trace) -> SimResult:
+    def run(
+        self,
+        trace: Trace,
+        interrupt=None,
+        interrupt_interval: int = 1024,
+    ) -> SimResult:
+        """Simulate ``trace`` and return its :class:`SimResult`.
+
+        ``interrupt``, if given, is called every ``interrupt_interval``
+        instructions with the number of instructions processed so far;
+        returning a truthy value raises :class:`SimulationInterrupted`.
+        This is the progress/cancellation seam the resilient harness
+        uses for cooperative timeouts and the CLI for progress display.
+        """
         cfg = self.config
         predictor = self.predictor
         branch_unit = self.branch_unit
@@ -149,7 +180,18 @@ class CoreModel:
         if cfg.warm_l3:
             self._warm_l3(trace)
 
+        instructions_done = 0
+        next_interrupt_check = interrupt_interval if interrupt else None
+
         for inst in trace.instructions:
+            if next_interrupt_check is not None:
+                instructions_done += 1
+                if instructions_done >= next_interrupt_check:
+                    next_interrupt_check += interrupt_interval
+                    if interrupt(instructions_done):
+                        raise SimulationInterrupted(
+                            trace.name, instructions_done
+                        )
             op = inst.op
 
             # ----------------------------------------------------------
@@ -544,6 +586,15 @@ def simulate(
     predictor: ValuePredictorHost | None = None,
     config: CoreConfig | None = None,
     seed: int = 0,
+    interrupt=None,
+    interrupt_interval: int = 1024,
 ) -> SimResult:
-    """Convenience wrapper: build a core and run one trace."""
-    return CoreModel(config=config, predictor=predictor, seed=seed).run(trace)
+    """Convenience wrapper: build a core and run one trace.
+
+    ``interrupt`` is forwarded to :meth:`CoreModel.run`: a callable
+    polled every ``interrupt_interval`` instructions whose truthy
+    return aborts the run with :class:`SimulationInterrupted`.
+    """
+    return CoreModel(config=config, predictor=predictor, seed=seed).run(
+        trace, interrupt=interrupt, interrupt_interval=interrupt_interval
+    )

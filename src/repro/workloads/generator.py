@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 
 from repro.common.rng import DeterministicRng
@@ -10,6 +11,13 @@ from repro.workloads.builder import ProgramBuilder
 from repro.workloads.kernels import KERNEL_CLASSES
 from repro.workloads.profiles import profile_for
 
+#: Entries kept by the per-process memoization caches -- this trace
+#: cache and the baseline-result cache in :mod:`repro.harness.runner`
+#: share the one knob.  Override with the ``REPRO_CACHE_SIZE``
+#: environment variable (set before first import) when sweeping more
+#: than 256 distinct (workload, length, seed) triples per process.
+CACHE_SIZE = int(os.environ.get("REPRO_CACHE_SIZE", "256"))
+
 
 def generate_trace(name: str, length: int = 50_000, seed: int = 0) -> Trace:
     """Generate (and memoize) the trace for one named workload.
@@ -17,13 +25,13 @@ def generate_trace(name: str, length: int = 50_000, seed: int = 0) -> Trace:
     Kernels are interleaved burst-by-burst according to the profile's
     weights, modelling phase-interleaved program behaviour.  The result
     is deterministic in ``(name, length, seed)`` and cached per process
-    because experiments re-run the same workload against many predictor
-    configurations.
+    (:data:`CACHE_SIZE` entries) because experiments re-run the same
+    workload against many predictor configurations.
     """
     return _generate_cached(name, length, seed)
 
 
-@lru_cache(maxsize=256)
+@lru_cache(maxsize=CACHE_SIZE)
 def _generate_cached(name: str, length: int, seed: int) -> Trace:
     profile = profile_for(name, seed)
     rng = DeterministicRng(seed, f"trace/{name}")

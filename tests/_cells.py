@@ -1,0 +1,16 @@
+"""Tiny picklable cell functions for resilient-harness tests.
+
+Lives in its own (non-collected) module so both in-process sweeps and
+worker subprocesses can resolve them by dotted path ("_cells:echo_cell"
+with the tests directory on ``sys.path``/``PYTHONPATH``).
+"""
+
+
+def echo_cell(spec):
+    """Return a deterministic transform of the spec (instant)."""
+    return {"doubled": spec["x"] * 2, "tag": spec.get("tag", "")}
+
+
+def boom_cell(spec):
+    """Raise a deterministic (non-transient) error."""
+    raise ValueError(f"deterministic boom for {spec!r}")

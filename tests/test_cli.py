@@ -86,12 +86,11 @@ class TestSimulateCommand:
         assert payload["predicted_loads"] > 0
 
     def test_unknown_predictor_rejected(self, tmp_path, capsys):
-        import pytest
-
         path = self._saved_trace(tmp_path)
-        with pytest.raises(ValueError, match="unknown predictor"):
-            main(["simulate", str(path), "--predictor", "bogus"])
-        capsys.readouterr()
+        assert main(["simulate", str(path), "--predictor", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unknown predictor" in err
 
 
 class TestScaleResolution:

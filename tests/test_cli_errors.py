@@ -1,0 +1,171 @@
+"""CLI robustness tests: error paths, exit codes, atomic output, resume.
+
+Exit-code contract (see repro.cli): 0 success, 2 bad input, 3 partial
+sweep failure, 130 interrupted.  A tiny one-workload scale is patched
+in for the sweep tests so they run in seconds.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.cli import main
+from repro.harness.presets import ExperimentScale
+from repro.harness.resilient import FAULT_PLAN_ENV
+
+REPO = Path(__file__).resolve().parent.parent
+
+TINY = ExperimentScale(
+    name="smoke", workloads=("coremark",), trace_length=2000
+)
+
+
+@pytest.fixture
+def tiny_smoke(monkeypatch):
+    monkeypatch.setitem(cli._SCALES, "smoke", TINY)
+
+
+class TestSimulateErrors:
+    def test_missing_trace_file(self, tmp_path, capsys):
+        assert main(["simulate", str(tmp_path / "nope.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not found" in err
+
+    def test_trace_path_is_directory(self, tmp_path, capsys):
+        assert main(["simulate", str(tmp_path)]) == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_corrupt_trace_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not { json\nnot even close\n")
+        assert main(["simulate", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "corrupt or not a trace" in err
+
+    def test_empty_trace_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["simulate", str(empty)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestRunFlags:
+    def test_resume_requires_journal(self, capsys):
+        assert main(["run", "fig6", "--resume"]) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_json_output_is_atomic_and_complete(
+        self, tiny_smoke, tmp_path, capsys
+    ):
+        out = tmp_path / "fig6.json"
+        assert main([
+            "run", "fig6", "--scale", "smoke", "--json", str(out),
+        ]) == 0
+        payload = json.loads(out.read_text())
+        assert set(payload["speedup"]) == {
+            "base", "m-am", "pc-am-64", "pc-am-infinite",
+        }
+        # No temp-file droppings from the atomic write.
+        assert [p.name for p in tmp_path.iterdir()] == ["fig6.json"]
+        capsys.readouterr()
+
+    def test_partial_failure_exits_3_with_results(
+        self, tiny_smoke, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "fig6/m-am/*:fail:99")
+        rc = main([
+            "run", "fig6", "--scale", "smoke", "--max-retries", "0",
+        ])
+        assert rc == 3
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["failures"]["failed_cells"] == 1
+        assert payload["failures"]["cells"][0]["id"].startswith("fig6/m-am/")
+        # Partial results for the surviving variants are still there.
+        assert payload["speedup"]["base"] is not None
+        assert "cells failed" in captured.err
+
+    def test_journal_then_resume_same_payload(
+        self, tiny_smoke, tmp_path, capsys
+    ):
+        journal = tmp_path / "fig6.jnl"
+        assert main([
+            "run", "fig6", "--scale", "smoke", "--journal", str(journal),
+        ]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert journal.exists()
+        assert main([
+            "run", "fig6", "--scale", "smoke", "--journal", str(journal),
+            "--resume",
+        ]) == 0
+        captured = capsys.readouterr()
+        resumed = json.loads(captured.out)
+        assert json.dumps(resumed, sort_keys=True) == \
+            json.dumps(first, sort_keys=True)
+        # Progress lines report every cell as replayed from the journal.
+        assert "cached" in captured.err
+
+
+CLI_DRIVER = """\
+import sys
+from repro import cli
+from repro.harness.presets import ExperimentScale
+
+cli._SCALES["smoke"] = ExperimentScale(
+    name="smoke", workloads=("coremark",), trace_length=2000
+)
+sys.exit(cli.main(sys.argv[1:]))
+"""
+
+
+def _run_cli(tmp_path, *args, fault=None):
+    env = dict(os.environ)
+    env.pop(FAULT_PLAN_ENV, None)
+    env["PYTHONPATH"] = str(REPO / "src")
+    if fault:
+        env[FAULT_PLAN_ENV] = fault
+    script = tmp_path / "cli_driver.py"
+    script.write_text(CLI_DRIVER)
+    return subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+
+
+class TestKillAndResumeEndToEnd:
+    def test_crash_mid_sweep_then_resume_matches_clean_run(self, tmp_path):
+        journal = tmp_path / "fig6.jnl"
+        out_resumed = tmp_path / "resumed.json"
+        out_clean = tmp_path / "clean.json"
+
+        # Campaign killed mid-run: the third variant's cell crashes the
+        # whole process (inline mode), like a kill -9 would.
+        crashed = _run_cli(
+            tmp_path, "run", "fig6", "--scale", "smoke",
+            "--journal", str(journal),
+            fault="fig6/pc-am-64/*:crash:99",
+        )
+        assert crashed.returncode == 70, crashed.stderr
+        assert journal.exists()
+
+        resumed = _run_cli(
+            tmp_path, "run", "fig6", "--scale", "smoke",
+            "--journal", str(journal), "--resume",
+            "--json", str(out_resumed),
+        )
+        assert resumed.returncode == 0, resumed.stderr
+
+        clean = _run_cli(
+            tmp_path, "run", "fig6", "--scale", "smoke",
+            "--json", str(out_clean),
+        )
+        assert clean.returncode == 0, clean.stderr
+
+        assert out_resumed.read_text() == out_clean.read_text()
