@@ -1,0 +1,13 @@
+"""Simulator-core performance micro-benchmarks (``BENCH_simcore.json``).
+
+Unlike the sibling paper-figure benchmarks, which measure *the paper's
+quantities*, this package measures *the simulator itself*: wall-clock
+medians of trace generation, the timing model with and without
+predictors, the functional harness, and per-component probe cost.
+
+Run via ``repro-lvp bench`` (or ``python benchmarks/perf/microbench.py``)
+for a full-size ``BENCH_simcore.json``; ``python -m pytest
+benchmarks/perf -q`` is the fast smoke lane CI uses to keep the suite
+from rotting.  The timing logic lives in
+:mod:`repro.harness.microbench` so the CLI works from any directory.
+"""

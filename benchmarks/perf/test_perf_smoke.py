@@ -1,0 +1,65 @@
+"""Smoke lane for the simulator-core micro-benchmarks.
+
+Runs the suite at tiny sizes and checks the payload's *structure* and
+basic sanity -- never absolute timings, which would flake on shared CI
+runners.  This is what keeps ``repro-lvp bench`` from silently rotting
+between the real (artifact-producing) perf runs.
+"""
+
+from __future__ import annotations
+
+from repro.harness.microbench import (
+    PROBE_COMPONENTS,
+    WORKLOAD,
+    run_benchmarks,
+)
+
+EXPECTED_BENCHMARKS = (
+    "trace_gen",
+    "baseline_sim",
+    "composite_sim",
+    "functional_composite",
+    "eves32_sim",
+    "component_probe",
+)
+
+
+def test_quick_suite_structure():
+    seen = []
+    payload = run_benchmarks(
+        length=800, repeats=1, quick=True, progress=seen.append
+    )
+
+    assert payload["schema"] == "repro-bench/1"
+    assert payload["suite"] == "simcore"
+    assert payload["config"]["workload"] == WORKLOAD
+    assert payload["config"]["quick"] is True
+    assert payload["config"]["statistic"] == "median"
+    assert seen == list(EXPECTED_BENCHMARKS)
+
+    benchmarks = payload["benchmarks"]
+    assert set(benchmarks) == set(EXPECTED_BENCHMARKS)
+    for name in EXPECTED_BENCHMARKS[:-1]:
+        entry = benchmarks[name]
+        assert entry["median_ns"] > 0
+        assert len(entry["runs_ns"]) == payload["config"]["repeats"]
+        assert all(run > 0 for run in entry["runs_ns"])
+
+    probe_costs = benchmarks["component_probe"]
+    assert set(probe_costs) == set(PROBE_COMPONENTS)
+    for cost in probe_costs.values():
+        assert cost["probes"] > 0
+        assert cost["median_ns_per_probe"] > 0
+
+
+def test_quick_caps_sizes():
+    payload = run_benchmarks(length=50_000, repeats=9, quick=True)
+    assert payload["config"]["length"] <= 2000
+    assert payload["config"]["repeats"] <= 2
+
+
+def test_payload_is_json_serializable():
+    import json
+
+    payload = run_benchmarks(length=800, repeats=1, quick=True)
+    json.loads(json.dumps(payload))

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from repro.common.bits import bit_length_for, fold_bits, mask
 from repro.common.hashing import mix64, pc_index
 from repro.common.rng import DeterministicRng
-from repro.branch.history import HistorySnapshot
+from repro.branch.history import HistorySet, HistorySnapshot
 
 
 @dataclass(frozen=True)
@@ -78,23 +78,82 @@ class IttagePredictor:
         ]
         self._base_index_bits = bit_length_for(cfg.base_entries)
         self._base_targets = [0] * cfg.base_entries
+        # Hot-path constants + the incremental-folding fast path (armed
+        # by bind_history).  mix64(history ^ salt) truncates to 64 bits,
+        # so only the low min(length, 64) history bits reach the tag.
+        self._history_masks = tuple(mask(L) for L in self._lengths)
+        self._index_salts = tuple(
+            mix64(t + 17) & mask(self._index_bits)
+            for t in range(cfg.num_tables)
+        )
+        self._tag_hist_masks64 = tuple(
+            mask(min(L, 64)) for L in self._lengths
+        )
+        self._histories: HistorySet | None = None
+        self._idx_dir_cells: list[list[int]] = []
+        self._path_cell: list[int] = [0]
+
+    def bind_history(self, histories: HistorySet) -> None:
+        """Attach live folded registers; see TagePredictor.bind_history."""
+        self._histories = histories
+        ib = self._index_bits
+        self._idx_dir_cells = [
+            histories.fold_cell(histories.register_direction_fold(L, ib))
+            for L in self._lengths
+        ]
+        self._path_cell = histories.fold_cell(
+            histories.register_path_fold(ib)
+        )
 
     def _index(self, pc: int, table: int, snap: HistorySnapshot) -> int:
         bits = self._index_bits
-        history = snap.direction & mask(self._lengths[table])
+        history = snap.direction & self._history_masks[table]
         value = (pc >> 2) ^ fold_bits(history, bits)
-        value ^= fold_bits(snap.path, bits) ^ (mix64(table + 17) & mask(bits))
+        value ^= fold_bits(snap.path, bits) ^ self._index_salts[table]
         return fold_bits(value, bits)
 
     def _tag(self, pc: int, table: int, snap: HistorySnapshot) -> int:
         bits = self.config.tag_bits
-        history = snap.direction & mask(self._lengths[table])
+        history = snap.direction & self._history_masks[table]
         return fold_bits((pc >> 2) ^ mix64(history ^ (table + 101)), bits)
 
-    def predict(self, pc: int, snap: HistorySnapshot) -> IttagePrediction:
+    def _hashes(
+        self, pc: int, snap: HistorySnapshot | HistorySet
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        n = self.config.num_tables
+        if snap is not self._histories:
+            return (
+                tuple(self._index(pc, t, snap) for t in range(n)),
+                tuple(self._tag(pc, t, snap) for t in range(n)),
+            )
+        ib = self._index_bits
+        imask = (1 << ib) - 1
+        tb = self.config.tag_bits
+        tmask = (1 << tb) - 1
+        pca = pc >> 2
+        path_fold = self._path_cell[0]
+        direction = snap.direction
+        indices = []
+        tags = []
+        for t in range(n):
+            v = pca ^ self._idx_dir_cells[t][0] ^ path_fold \
+                ^ self._index_salts[t]
+            while v > imask:
+                v = (v & imask) ^ (v >> ib)
+            indices.append(v)
+            v = pca ^ mix64(
+                (direction & self._tag_hist_masks64[t]) ^ (t + 101)
+            )
+            while v > tmask:
+                v = (v & tmask) ^ (v >> tb)
+            tags.append(v)
+        return tuple(indices), tuple(tags)
+
+    def predict(
+        self, pc: int, snap: HistorySnapshot | HistorySet
+    ) -> IttagePrediction:
         cfg = self.config
-        indices = tuple(self._index(pc, t, snap) for t in range(cfg.num_tables))
-        tags = tuple(self._tag(pc, t, snap) for t in range(cfg.num_tables))
+        indices, tags = self._hashes(pc, snap)
         for t in range(cfg.num_tables - 1, -1, -1):
             entry = self._tables[t][indices[t]]
             if entry.tag == tags[t]:

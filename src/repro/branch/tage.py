@@ -21,7 +21,10 @@ from repro.common.bits import bit_length_for, fold_bits, mask
 from repro.common.hashing import mix64
 from repro.common.rng import DeterministicRng
 from repro.branch.bimodal import BimodalPredictor
-from repro.branch.history import HistorySnapshot
+from repro.branch.history import HistorySet, HistorySnapshot
+
+_MASK64 = (1 << 64) - 1
+_TAG_SCRAMBLE = 0x9E3779B97F4A7C15
 
 
 @dataclass(frozen=True)
@@ -115,6 +118,40 @@ class TagePredictor:
         # newly allocated providers should defer to the alternate.
         self._use_alt_on_na = 8
         self._updates_until_aging = cfg.aging_period
+        # Incremental-folding fast path, armed by bind_history().  The
+        # tag's multiplicative scramble operates mod 2**64, so only the
+        # low min(length, 64) history bits can affect it.
+        self._histories: HistorySet | None = None
+        self._idx_dir_cells: list[list[int]] = []
+        self._tag_dir_cells: list[list[int]] = []
+        self._path_cell: list[int] = [0]
+        self._tag_hist_masks64 = tuple(
+            mask(min(L, 64)) for L in self._lengths
+        )
+
+    def bind_history(self, histories: HistorySet) -> None:
+        """Attach live folded-history registers for O(1) index/tag hashes.
+
+        After binding, :meth:`predict` calls that pass ``histories``
+        itself (rather than a detached snapshot) read the incrementally
+        maintained folded registers instead of re-folding the raw
+        history per probe.  Results are bit-identical either way.
+        """
+        self._histories = histories
+        ib = self._index_bits
+        self._idx_dir_cells = [
+            histories.fold_cell(histories.register_direction_fold(L, ib))
+            for L in self._lengths
+        ]
+        self._path_cell = histories.fold_cell(
+            histories.register_path_fold(ib)
+        )
+        self._tag_dir_cells = [
+            histories.fold_cell(
+                histories.register_direction_fold(L, self.config.tag_bits - 1)
+            )
+            for L in self._lengths
+        ]
 
     # ------------------------------------------------------------------
     # Indexing
@@ -130,24 +167,62 @@ class TagePredictor:
     def _tag(self, pc: int, table: int, snap: HistorySnapshot) -> int:
         bits = self.config.tag_bits
         history = snap.direction & self._history_masks[table]
-        scrambled = ((history ^ (table + 1)) * 0x9E3779B97F4A7C15) & (
-            (1 << 64) - 1
-        )
+        scrambled = ((history ^ (table + 1)) * _TAG_SCRAMBLE) & _MASK64
         value = (pc >> 2) ^ fold_bits(history, bits - 1) ^ fold_bits(
             scrambled, bits
         )
         return fold_bits(value, bits)
 
+    def _hashes(
+        self, pc: int, snap: HistorySnapshot | HistorySet
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """All table indices and tags for ``pc`` under ``snap``."""
+        n = self.config.num_tables
+        if snap is not self._histories:
+            # Detached snapshot (or unbound predictor): reference path.
+            return (
+                tuple(self._index(pc, t, snap) for t in range(n)),
+                tuple(self._tag(pc, t, snap) for t in range(n)),
+            )
+        # Fast path: fold registers are maintained incrementally, so each
+        # hash is a handful of XORs plus a short wrap of the PC bits.
+        ib = self._index_bits
+        imask = (1 << ib) - 1
+        tb = self.config.tag_bits
+        tmask = (1 << tb) - 1
+        pcx = (pc >> 2) ^ (pc >> (2 + ib))
+        pca = pc >> 2
+        path_fold = self._path_cell[0]
+        salts = self._index_salts
+        direction = snap.direction
+        indices = []
+        tags = []
+        for t in range(n):
+            v = pcx ^ self._idx_dir_cells[t][0] ^ path_fold ^ salts[t]
+            while v > imask:
+                v = (v & imask) ^ (v >> ib)
+            indices.append(v)
+            scrambled = (
+                (direction & self._tag_hist_masks64[t]) ^ (t + 1)
+            ) * _TAG_SCRAMBLE & _MASK64
+            v = pca ^ self._tag_dir_cells[t][0]
+            while scrambled:
+                v ^= scrambled & tmask
+                scrambled >>= tb
+            while v > tmask:
+                v = (v & tmask) ^ (v >> tb)
+            tags.append(v)
+        return tuple(indices), tuple(tags)
+
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
 
-    def predict(self, pc: int, snap: HistorySnapshot) -> TagePrediction:
+    def predict(
+        self, pc: int, snap: HistorySnapshot | HistorySet
+    ) -> TagePrediction:
         cfg = self.config
-        indices = tuple(
-            self._index(pc, t, snap) for t in range(cfg.num_tables)
-        )
-        tags = tuple(self._tag(pc, t, snap) for t in range(cfg.num_tables))
+        indices, tags = self._hashes(pc, snap)
 
         provider = -1
         alt_provider = -1

@@ -55,6 +55,11 @@ class BranchUnit:
         self.histories = HistorySet()
         self.tage = TagePredictor(tage_config, rng.derive("tage"))
         self.ittage = IttagePredictor(ittage_config, rng.derive("ittage"))
+        # Arm the incremental-folding fast paths: predictions made from
+        # the live HistorySet read pre-folded registers (bit-identical
+        # to folding a detached snapshot, but O(1) per probe).
+        self.tage.bind_history(self.histories)
+        self.ittage.bind_history(self.histories)
         self.ras = ReturnAddressStack(ras_entries)
         self.btb = BranchTargetBuffer(btb_entries)
         self.conditional_predictions = 0
@@ -79,8 +84,7 @@ class BranchUnit:
     def fetch_branch(self, inst: Instruction) -> BranchOutcome:
         """Predict one fetched branch and update speculative history."""
         if inst.op is OpClass.BRANCH_COND:
-            snap = self.histories.snapshot()
-            ctx = self.tage.predict(inst.pc, snap)
+            ctx = self.tage.predict(inst.pc, self.histories)
             bubble = self._btb_bubble(inst) if ctx.taken else 0
             self.histories.push_branch(inst.pc, inst.taken)
             self.conditional_predictions += 1
@@ -112,8 +116,7 @@ class BranchUnit:
             )
 
         if inst.op is OpClass.BRANCH_INDIRECT:
-            snap = self.histories.snapshot()
-            ctx = self.ittage.predict(inst.pc, snap)
+            ctx = self.ittage.predict(inst.pc, self.histories)
             bubble = self._btb_bubble(inst)
             self.histories.push_unconditional(inst.pc)
             if inst.is_call:

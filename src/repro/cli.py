@@ -32,6 +32,7 @@ from repro.harness import experiments as exp
 from repro.harness import resilient
 from repro.harness.journal import JournalError, atomic_write_json
 from repro.harness.presets import FULL, QUICK, SMOKE, ExperimentScale
+from repro.workloads.generator import SPECIAL_WORKLOADS
 from repro.workloads.profiles import ALL_WORKLOADS
 
 _SCALES = {"smoke": SMOKE, "quick": QUICK, "full": FULL}
@@ -132,6 +133,30 @@ def _build_parser() -> argparse.ArgumentParser:
              "predictor); default 256",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the simulator-core micro-benchmarks and write "
+             "BENCH_simcore.json",
+    )
+    bench.add_argument(
+        "-o", "--output", metavar="PATH", default="BENCH_simcore.json",
+        help="output JSON file (default: BENCH_simcore.json, "
+             "written atomically)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=5, metavar="N",
+        help="timed repetitions per benchmark; the median is reported "
+             "(default: 5)",
+    )
+    bench.add_argument(
+        "--length", type=int, default=20000, metavar="N",
+        help="instructions per simulated trace (default: 20000)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small sizes / fewer repeats (CI smoke configuration)",
+    )
+
     report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
     )
@@ -179,10 +204,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         print("experiments:", ", ".join(sorted(_EXPERIMENTS)))
         print(f"workloads ({len(ALL_WORKLOADS)}):", ", ".join(ALL_WORKLOADS))
+        print(
+            f"special workloads ({len(SPECIAL_WORKLOADS)}):",
+            ", ".join(SPECIAL_WORKLOADS),
+        )
         return 0
 
     if args.command == "simulate":
         return _simulate_command(args)
+
+    if args.command == "bench":
+        return _bench_command(args)
 
     if args.command == "report":
         from repro.harness.report import generate_report
@@ -214,6 +246,11 @@ def _run_command(args) -> int:
             result = function(scale) if takes_scale else function()
     except JournalError as exc:
         return _fail(str(exc))
+    except ValueError as exc:
+        # Bad inputs surfaced by deeper layers (malformed predictor
+        # specs, unknown workloads) are exit-code-2 material, not
+        # tracebacks -- the PR-1 exit-code contract.
+        return _fail(str(exc))
     except KeyboardInterrupt:
         if args.journal:
             print(
@@ -237,6 +274,26 @@ def _run_command(args) -> int:
             file=sys.stderr,
         )
         return EXIT_PARTIAL_FAILURE
+    return 0
+
+
+def _bench_command(args) -> int:
+    """The ``bench`` subcommand: micro-benchmarks -> BENCH_simcore.json."""
+    from repro.harness.microbench import run_benchmarks
+
+    if args.repeats < 1:
+        return _fail(f"--repeats must be >= 1, got {args.repeats}")
+    if args.length < 100:
+        return _fail(f"--length must be >= 100, got {args.length}")
+    payload = run_benchmarks(
+        length=args.length,
+        repeats=args.repeats,
+        quick=args.quick,
+        progress=lambda name: print(f"bench: {name} ...", file=sys.stderr),
+    )
+    atomic_write_json(args.output, payload)
+    print(json.dumps(payload, indent=2))
+    print(f"# wrote {args.output}", file=sys.stderr)
     return 0
 
 

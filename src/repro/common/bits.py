@@ -51,13 +51,23 @@ def fold_bits(value: int, width: int) -> int:
     chopped into ``width``-bit chunks which are XORed together.  Folding
     preserves entropy from all input bits, unlike plain truncation.
 
+    Inputs must be non-negative: a negative value has no bit-vector
+    interpretation, and silently folding ``abs(value)`` would alias
+    e.g. a stray ``INVALID_TAG = -1`` with ``+1`` instead of failing.
+
+    This function is also the *reference oracle* for the incrementally
+    maintained folded registers in :mod:`repro.branch.history`; those
+    registers must stay bit-identical to ``fold_bits`` of the raw
+    history (see ``tests/test_folded_history.py``).
+
     >>> fold_bits(0b1010_0101, 4)
     15
     """
     if width <= 0:
         raise ValueError(f"fold width must be positive, got {width}")
+    if value < 0:
+        raise ValueError(f"fold_bits input must be non-negative, got {value}")
     folded = 0
-    value = abs(value)
     chunk_mask = (1 << width) - 1  # inlined: this loop is simulator-hot
     while value:
         folded ^= value & chunk_mask

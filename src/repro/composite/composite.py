@@ -215,6 +215,11 @@ class CompositePredictor:
             name, entries, rng, confidence_threshold=threshold
         )
 
+    def bind_history(self, histories) -> None:
+        """Register every component's fold widths on the live histories."""
+        for component in self.components.values():
+            component.bind_history(histories)
+
     # ------------------------------------------------------------------
     # Fetch side
     # ------------------------------------------------------------------

@@ -27,7 +27,10 @@ from repro.predictors.table import INVALID_TAG
 from repro.predictors.types import LoadOutcome, LoadProbe, Prediction, PredictionKind
 
 _TAG_BITS = 14
+_TAG_MASK = mask(_TAG_BITS)
 _VALUE_MASK = mask(64)
+_MASK64 = mask(64)
+_TAG_SCRAMBLE = 0x9E3779B97F4A7C15
 
 #: FPC realizing EVES' high-confidence bar (effective 32 observations;
 #: VTAGE entries are per-context so they stabilize faster than LVP).
@@ -87,6 +90,25 @@ class EVtagePredictor:
         self._index_salts = tuple(
             mix64(t + 31) & mask(self._index_bits) for t in range(num_tables)
         )
+        # Incremental-folding fast path (armed by bind_history).  The
+        # tag scramble works mod 2**64, so only the low min(length, 64)
+        # history bits can affect it.
+        self._index_mask = mask(self._index_bits)
+        self._tag_hist_masks64 = tuple(
+            mask(min(L, 64)) for L in self._lengths
+        )
+        self._dir_slots: tuple[int, ...] | None = None
+        self._path_slot = 0
+        self._min_folded = 0
+
+    def bind_history(self, histories) -> None:
+        """Register per-table direction/path folds on the live histories."""
+        ib = self._index_bits
+        self._dir_slots = tuple(
+            histories.register_direction_fold(L, ib) for L in self._lengths
+        )
+        self._path_slot = histories.register_path_fold(ib)
+        self._min_folded = max(self._dir_slots + (self._path_slot,)) + 1
 
     def _history_lengths(self, lo: int, hi: int) -> tuple[int, ...]:
         if self.num_tables == 1:
@@ -113,28 +135,55 @@ class EVtagePredictor:
 
     def _tag(self, pc: int, table: int, direction: int) -> int:
         history = direction & self._history_masks[table]
-        scrambled = ((history + table * 0x51) * 0x9E3779B97F4A7C15) & (
-            (1 << 64) - 1
-        )
+        scrambled = ((history + table * 0x51) * _TAG_SCRAMBLE) & _MASK64
         return fold_bits((pc >> 2) ^ scrambled, _TAG_BITS)
+
+    def _hash(
+        self, pc: int, table: int, direction: int, path: int,
+        folded: tuple[int, ...],
+    ) -> tuple[int, int]:
+        """(index, tag); reads pre-folded registers when the probe
+        carries them, bit-identical to ``(_index, _tag)``."""
+        if self._dir_slots is None or len(folded) < self._min_folded:
+            return (
+                self._index(pc, table, direction, path),
+                self._tag(pc, table, direction),
+            )
+        bits = self._index_bits
+        imask = self._index_mask
+        v = (pc >> 2) ^ folded[self._dir_slots[table]] \
+            ^ folded[self._path_slot] ^ self._index_salts[table]
+        while v > imask:
+            v = (v & imask) ^ (v >> bits)
+        scrambled = (
+            (direction & self._tag_hist_masks64[table]) + table * 0x51
+        ) * _TAG_SCRAMBLE & _MASK64
+        t = pc >> 2
+        while scrambled:
+            t ^= scrambled & _TAG_MASK
+            scrambled >>= _TAG_BITS
+        while t > _TAG_MASK:
+            t = (t & _TAG_MASK) ^ (t >> _TAG_BITS)
+        return v, t
 
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
 
     def _find_provider(
-        self, pc: int, direction: int, path: int
+        self, pc: int, direction: int, path: int, folded: tuple[int, ...]
     ) -> tuple[int, int]:
         """Return (table, index); table == -1 means the base table."""
         for table in range(self.num_tables - 1, -1, -1):
-            index = self._index(pc, table, direction, path)
-            if self._tables[table][index].tag == self._tag(pc, table, direction):
+            index, tag = self._hash(pc, table, direction, path, folded)
+            if self._tables[table][index].tag == tag:
                 return table, index
         return -1, pc_index(pc, self._base_bits)
 
     def predict(self, probe: LoadProbe) -> Prediction | None:
         table, index = self._find_provider(
-            probe.pc, probe.direction_history, probe.path_history
+            probe.pc, probe.direction_history, probe.path_history,
+            probe.folded,
         )
         if table >= 0:
             entry = self._tables[table][index]
@@ -157,7 +206,8 @@ class EVtagePredictor:
     def train(self, outcome: LoadOutcome) -> None:
         value = outcome.value & _VALUE_MASK
         table, index = self._find_provider(
-            outcome.pc, outcome.direction_history, outcome.path_history
+            outcome.pc, outcome.direction_history, outcome.path_history,
+            outcome.folded,
         )
         if table >= 0:
             entry = self._tables[table][index]
@@ -198,13 +248,13 @@ class EVtagePredictor:
     def _allocate(self, outcome: LoadOutcome, value: int, above: int) -> None:
         """Allocate into one longer-history table with a free-ish slot."""
         for table in range(above + 1, self.num_tables):
-            index = self._index(
+            index, tag = self._hash(
                 outcome.pc, table, outcome.direction_history,
-                outcome.path_history,
+                outcome.path_history, outcome.folded,
             )
             entry = self._tables[table][index]
             if entry.useful == 0:
-                entry.tag = self._tag(outcome.pc, table, outcome.direction_history)
+                entry.tag = tag
                 entry.value = value
                 entry.confidence = 0
                 return

@@ -70,6 +70,9 @@ def run_functional(
 ) -> FunctionalResult:
     """Evaluate ``predictor`` over ``trace`` in program order."""
     histories = HistorySet()
+    bind = getattr(predictor, "bind_history", None)
+    if bind is not None:
+        bind(histories)
     mem = (
         trace.initial_memory.copy()
         if isinstance(trace.initial_memory, MemoryImage)
@@ -96,6 +99,7 @@ def run_functional(
                     path_history=histories.path,
                     load_path_history=histories.load_path,
                     inflight_same_pc=0,
+                    folded=histories.folded_values(),
                 )
                 decision = predictor.predict(probe)
                 correctness = {}
@@ -133,6 +137,7 @@ def run_functional(
                         direction_history=probe.direction_history,
                         path_history=probe.path_history,
                         load_path_history=probe.load_path_history,
+                        folded=probe.folded,
                     ),
                     correctness,
                 )

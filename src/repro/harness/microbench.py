@@ -1,0 +1,208 @@
+"""Simulator-core micro-benchmarks behind ``repro-lvp bench``.
+
+The ROADMAP's perf trajectory is tracked as ``BENCH_simcore.json``
+artifacts: each benchmark times a hot slice of the simulator --
+trace generation, the baseline timing model, the composite-predictor
+timing model, the functional harness, EVES, and per-component probe
+cost -- with :func:`time.perf_counter_ns`, reporting the **median of
+``repeats`` timed runs after one untimed warmup**.  Medians (not means)
+keep one GC pause or scheduler hiccup from polluting a data point.
+
+The runnable wrapper lives in ``benchmarks/perf/microbench.py``; the
+logic is in the installed package so ``repro-lvp bench`` works from any
+working directory.  Compare the ``composite_sim`` median across
+commits: the incremental folded-history work (PR 2) is acceptance-gated
+on it, and CI uploads the JSON from every run so regressions are
+visible in the artifact trail.
+"""
+
+from __future__ import annotations
+
+import platform
+import statistics
+import sys
+import time
+from typing import Callable
+
+#: Benchmarked workload: branchy integer code, the profile that
+#: stresses history folding hardest.
+WORKLOAD = "gcc2k"
+#: Component predictors timed individually for per-probe cost.
+PROBE_COMPONENTS = ("lvp", "sap", "cvp", "cap")
+
+#: Pre-change medians (fold_bits recomputed per probe), measured at the
+#: default full-size config (gcc2k, length 20000, repeats 5) on the
+#: machine that produced the checked-in ``BENCH_simcore.json``.
+#: Full-size payloads record the speedup against these so the
+#: incremental-folding rework's effect stays visible in the artifact
+#: trail.  Only meaningful on comparable hardware -- quick/CI runs
+#: omit the comparison.
+PRE_FOLDING_REFERENCE_NS = {
+    "baseline_sim": 354_775_365,
+    "composite_sim": 721_099_568,
+    "functional_composite": 209_397_434,
+    "eves32_sim": 457_738_920,
+}
+
+
+def _median_ns(fn: Callable[[], None], repeats: int) -> dict:
+    """Median wall time of ``fn`` over ``repeats`` runs (1 warmup)."""
+    fn()
+    runs = []
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        fn()
+        runs.append(time.perf_counter_ns() - start)
+    return {"median_ns": int(statistics.median(runs)), "runs_ns": runs}
+
+
+def _collect_probes(trace):
+    """Replay ``trace``'s histories, returning fetch-time load probes."""
+    from repro.branch.history import HistorySet
+    from repro.isa.instruction import OpClass
+    from repro.predictors.types import LoadProbe
+
+    histories = HistorySet()
+    # Register the folds the probed components use, as the pipeline
+    # would at bind time.
+    from repro.predictors import make_component
+
+    components = {
+        name: make_component(name, 256) for name in PROBE_COMPONENTS
+    }
+    for component in components.values():
+        component.bind_history(histories)
+
+    probes = []
+    for inst in trace.instructions:
+        op = inst.op
+        if op.is_branch:
+            if op is OpClass.BRANCH_COND:
+                histories.push_branch(inst.pc, inst.taken)
+            else:
+                histories.push_unconditional(inst.pc)
+        elif op is OpClass.STORE:
+            histories.push_memory(inst.pc)
+        elif op is OpClass.LOAD:
+            if inst.predictable:
+                probes.append(LoadProbe(
+                    pc=inst.pc,
+                    direction_history=histories.direction,
+                    path_history=histories.path,
+                    load_path_history=histories.load_path,
+                    folded=histories.folded_values(),
+                ))
+            histories.push_memory(inst.pc)
+    return components, probes
+
+
+def run_benchmarks(
+    length: int = 20000,
+    repeats: int = 5,
+    quick: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run the simulator-core micro-benchmark suite.
+
+    Returns the JSON-ready payload written to ``BENCH_simcore.json``.
+    ``quick`` shrinks sizes/repeats for CI smoke runs; quick numbers
+    are not comparable with full-size ones (the payload records the
+    configuration so trajectories only compare like with like).
+    """
+    from repro.composite.composite import CompositePredictor
+    from repro.composite.config import CompositeConfig
+    from repro.eves.eves import eves_32kb
+    from repro.harness.functional import run_functional
+    from repro.pipeline.core import CoreModel
+    from repro.pipeline.vp import EvesAdapter
+    from repro.workloads.generator import _generate_cached, generate_trace
+
+    if quick:
+        length = min(length, 2000)
+        repeats = min(repeats, 2)
+    note = progress or (lambda name: None)
+    benchmarks: dict = {}
+
+    note("trace_gen")
+    def trace_gen() -> None:
+        _generate_cached.cache_clear()
+        generate_trace(WORKLOAD, length)
+    benchmarks["trace_gen"] = _median_ns(trace_gen, repeats)
+
+    trace = generate_trace(WORKLOAD, length)
+
+    note("baseline_sim")
+    benchmarks["baseline_sim"] = _median_ns(
+        lambda: CoreModel().run(trace), repeats
+    )
+
+    note("composite_sim")
+    def composite_sim() -> None:
+        predictor = CompositePredictor(CompositeConfig().homogeneous(256))
+        CoreModel(predictor=predictor).run(trace)
+    benchmarks["composite_sim"] = _median_ns(composite_sim, repeats)
+
+    note("functional_composite")
+    def functional_composite() -> None:
+        predictor = CompositePredictor(CompositeConfig().homogeneous(256))
+        run_functional(trace, predictor)
+    benchmarks["functional_composite"] = _median_ns(
+        functional_composite, repeats
+    )
+
+    note("eves32_sim")
+    def eves32_sim() -> None:
+        CoreModel(predictor=EvesAdapter(eves_32kb())).run(trace)
+    benchmarks["eves32_sim"] = _median_ns(eves32_sim, repeats)
+
+    note("component_probe")
+    components, probes = _collect_probes(trace)
+    probe_costs: dict = {}
+    for name, component in components.items():
+        predict = component.predict
+        def probe_all() -> None:
+            for probe in probes:
+                predict(probe)
+        timing = _median_ns(probe_all, repeats)
+        probe_costs[name] = {
+            "probes": len(probes),
+            "median_ns_per_probe": (
+                timing["median_ns"] / len(probes) if probes else 0.0
+            ),
+            "median_ns": timing["median_ns"],
+        }
+    benchmarks["component_probe"] = probe_costs
+
+    payload = {
+        "schema": "repro-bench/1",
+        "suite": "simcore",
+        "config": {
+            "workload": WORKLOAD,
+            "length": length,
+            "repeats": repeats,
+            "warmup": 1,
+            "quick": quick,
+            "timer": "time.perf_counter_ns",
+            "statistic": "median",
+        },
+        "environment": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "benchmarks": benchmarks,
+    }
+    if not quick and length == 20000:
+        payload["reference"] = {
+            "description": (
+                "pre-incremental-folding medians at this config; "
+                "speedup = reference / measured"
+            ),
+            "median_ns": dict(PRE_FOLDING_REFERENCE_NS),
+            "speedup": {
+                name: round(ref / benchmarks[name]["median_ns"], 3)
+                for name, ref in PRE_FOLDING_REFERENCE_NS.items()
+            },
+        }
+    return payload

@@ -103,6 +103,10 @@ def build_predictor(spec: dict | None) -> ValuePredictorHost | None:
     * ``{"kind": "composite", "config": CompositeConfig(...)}``;
     * ``{"kind": "component", "name": "lvp", "entries": 256}``;
     * ``{"kind": "eves", "variant": "8kb"|"32kb"|"infinite", "seed": 0}``.
+
+    Malformed specs raise :class:`ValueError` with a one-line message
+    (never a raw :class:`KeyError`), which the CLI surfaces as exit
+    code 2 -- the PR-1 exit-code contract for bad inputs.
     """
     from repro.composite.composite import CompositePredictor
     from repro.eves.eves import eves_8kb, eves_32kb, eves_infinite
@@ -111,12 +115,35 @@ def build_predictor(spec: dict | None) -> ValuePredictorHost | None:
 
     if spec is None:
         return None
+    if not isinstance(spec, dict):
+        raise ValueError(
+            f"predictor spec must be a dict or None, got {type(spec).__name__}"
+        )
+    if "kind" not in spec:
+        raise ValueError(
+            f"predictor spec missing 'kind'; got keys {sorted(spec)}"
+        )
     kind = spec["kind"]
     if kind == "none":
         return None
     if kind == "composite":
+        if "config" not in spec:
+            raise ValueError(
+                "composite predictor spec missing 'config' "
+                "(a CompositeConfig)"
+            )
         return CompositePredictor(spec["config"])
     if kind == "component":
+        if "name" not in spec:
+            raise ValueError(
+                "component predictor spec missing 'name' "
+                "(e.g. 'lvp', 'sap', 'cvp', 'cap')"
+            )
+        if "entries" not in spec:
+            raise ValueError(
+                f"component predictor spec for {spec['name']!r} missing "
+                "'entries'"
+            )
         return SingleComponentAdapter(
             make_component(spec["name"], spec["entries"])
         )
@@ -124,6 +151,11 @@ def build_predictor(spec: dict | None) -> ValuePredictorHost | None:
         factories = {
             "8kb": eves_8kb, "32kb": eves_32kb, "infinite": eves_infinite,
         }
+        if "variant" not in spec:
+            raise ValueError(
+                f"eves predictor spec missing 'variant'; expected one of "
+                f"{sorted(factories)}"
+            )
         try:
             factory = factories[spec["variant"]]
         except KeyError:

@@ -81,6 +81,12 @@ class CoreModel:
             tage_config, ittage_config, self.config.ras_entries, rng
         )
         self.hierarchy = MemoryHierarchy(self.config.hierarchy)
+        # Let the predictor assembly register its fold widths on the
+        # live history registers, arming the incremental-folding fast
+        # paths (probes then carry pre-folded values).
+        bind = getattr(self.predictor, "bind_history", None)
+        if bind is not None:
+            bind(self.branch_unit.histories)
         self._last_correctness: dict[str, bool] = {}
 
     # ------------------------------------------------------------------
@@ -233,6 +239,7 @@ class CoreModel:
             branch_outcome = None
             decision = None
             snap_direction = snap_path = snap_load_path = 0
+            snap_folded = ()
             if op.is_branch:
                 branch_outcome = branch_unit.fetch_branch(inst)
                 if branch_outcome.fetch_bubble:
@@ -252,6 +259,10 @@ class CoreModel:
                 snap_path = histories.path
                 snap_load_path = histories.load_path
                 if inst.predictable:
+                    # Training is deferred until the load completes, by
+                    # which point younger events have advanced the live
+                    # fold registers -- so capture their values now.
+                    snap_folded = histories.folded_values()
                     flights = inflight_loads.get(inst.pc)
                     inflight = 0
                     if flights:
@@ -264,6 +275,7 @@ class CoreModel:
                         path_history=snap_path,
                         load_path_history=snap_load_path,
                         inflight_same_pc=inflight,
+                        folded=snap_folded,
                     ))
                 branch_unit.note_memory_op(inst.pc)
             elif op is OpClass.STORE:
@@ -359,6 +371,7 @@ class CoreModel:
                         direction_history=snap_direction,
                         path_history=snap_path,
                         load_path_history=snap_load_path,
+                        folded=snap_folded,
                     )
                     heapq.heappush(pending_updates, (
                         complete, update_seq, decision, outcome,

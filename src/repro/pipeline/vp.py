@@ -80,6 +80,9 @@ class SingleComponentAdapter:
         self.component = component
         self.stats = _AdapterStats()
 
+    def bind_history(self, histories) -> None:
+        self.component.bind_history(histories)
+
     def predict(self, probe: LoadProbe) -> CompositeDecision:
         self.stats.loads += 1
         prediction = self.component.predict(probe)
@@ -117,6 +120,11 @@ class EvesAdapter:
     def __init__(self, eves) -> None:
         self.eves = eves
         self.stats = _AdapterStats()
+
+    def bind_history(self, histories) -> None:
+        bind = getattr(self.eves, "bind_history", None)
+        if bind is not None:
+            bind(histories)
 
     def predict(self, probe: LoadProbe) -> CompositeDecision:
         self.stats.loads += 1

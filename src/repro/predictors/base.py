@@ -64,6 +64,17 @@ class ComponentPredictor(abc.ABC):
     # Subclass interface
     # ------------------------------------------------------------------
 
+    def bind_history(self, histories) -> None:
+        """Register the fold widths this predictor needs on ``histories``.
+
+        Called once by the pipeline with its live
+        :class:`repro.branch.history.HistorySet`.  Context-aware
+        predictors override this to register incremental folded
+        registers and remember their slots; probes/outcomes then carry
+        the captured fold values in ``LoadProbe.folded`` /
+        ``LoadOutcome.folded``.  PC-only predictors ignore it.
+        """
+
     @abc.abstractmethod
     def predict(self, probe: LoadProbe) -> Prediction | None:
         """Return a high-confidence prediction for a fetched load, or None."""

@@ -50,6 +50,16 @@ class CapPredictor(ComponentPredictor):
                  confidence_threshold: int | None = None) -> None:
         super().__init__(entries, rng, confidence_threshold)
         self._table: BankedTable[_CapEntry] = BankedTable(entries, _CapEntry)
+        # Incremental-folding fast path (armed by bind_history).
+        self._path_slot: int | None = None
+        self._min_folded = 0
+
+    def bind_history(self, histories) -> None:
+        """Register the load-path fold on the live histories."""
+        self._path_slot = histories.register_load_path_fold(
+            self._table.index_bits
+        )
+        self._min_folded = self._path_slot + 1
 
     def _tables(self) -> list:
         return [self._table]
@@ -62,9 +72,30 @@ class CapPredictor(ComponentPredictor):
     def _tag(self, pc: int, load_path: int) -> int:
         return fold_bits((pc >> 2) ^ mix64(load_path + 0x9E37), _TAG_BITS)
 
+    def _hash(
+        self, pc: int, load_path: int, folded: tuple[int, ...]
+    ) -> tuple[int, int]:
+        """(index, tag), via the pre-folded load-path register when the
+        probe carries one; bit-identical to ``(_index, _tag)``."""
+        slot = self._path_slot
+        if slot is None or len(folded) < self._min_folded:
+            return self._index(pc, load_path), self._tag(pc, load_path)
+        bits = self._table.index_bits
+        imask = (1 << bits) - 1
+        v = (pc >> 2) ^ (pc >> (2 + bits)) ^ folded[slot]
+        while v > imask:
+            v = (v & imask) ^ (v >> bits)
+        tmask = (1 << _TAG_BITS) - 1
+        t = (pc >> 2) ^ mix64(load_path + 0x9E37)
+        while t > tmask:
+            t = (t & tmask) ^ (t >> _TAG_BITS)
+        return v, t
+
     def predict(self, probe: LoadProbe) -> Prediction | None:
-        index = self._index(probe.pc, probe.load_path_history)
-        entry = self._table.find(index, self._tag(probe.pc, probe.load_path_history))
+        index, tag = self._hash(
+            probe.pc, probe.load_path_history, probe.folded
+        )
+        entry = self._table.find(index, tag)
         if entry is None or not self._is_confident(entry):
             return None
         return Prediction(
@@ -77,16 +108,17 @@ class CapPredictor(ComponentPredictor):
     def penalize(self, outcome: LoadOutcome) -> None:
         """Reset confidence after a wrong speculative value (the
         address may still match when an in-flight store conflicted)."""
-        index = self._index(outcome.pc, outcome.load_path_history)
-        entry = self._table.find(
-            index, self._tag(outcome.pc, outcome.load_path_history)
+        index, tag = self._hash(
+            outcome.pc, outcome.load_path_history, outcome.folded
         )
+        entry = self._table.find(index, tag)
         if entry is not None:
             entry.confidence = 0
 
     def train(self, outcome: LoadOutcome) -> None:
-        index = self._index(outcome.pc, outcome.load_path_history)
-        tag = self._tag(outcome.pc, outcome.load_path_history)
+        index, tag = self._hash(
+            outcome.pc, outcome.load_path_history, outcome.folded
+        )
         addr = outcome.addr & _ADDR_MASK
         size_log2 = outcome.size.bit_length() - 1
         entry, hit = self._table.find_or_victim(index, tag)

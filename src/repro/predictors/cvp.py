@@ -30,7 +30,10 @@ from repro.predictors.table import INVALID_TAG, BankedTable
 from repro.predictors.types import LoadOutcome, LoadProbe, Prediction, PredictionKind
 
 _TAG_BITS = 14
+_TAG_MASK = mask(_TAG_BITS)
 _VALUE_MASK = mask(64)
+_MASK64 = mask(64)
+_TAG_SCRAMBLE = 0x9E3779B97F4A7C15
 
 #: Geometric history lengths (in conditional-branch outcomes) of the
 #: three tables, shortest first.
@@ -84,6 +87,23 @@ class CvpPredictor(ComponentPredictor):
         self._tag_salts = tuple(
             mix64((t + 1) << 7) for t in range(len(self._banked))
         )
+        self._index_bits_t = tuple(b.index_bits for b in self._banked)
+        self._index_masks = tuple(mask(b) for b in self._index_bits_t)
+        # Incremental-folding fast path (armed by bind_history).
+        self._dir_slots: tuple[int, ...] | None = None
+        self._path_slots: tuple[int, ...] = ()
+        self._min_folded = 0
+
+    def bind_history(self, histories) -> None:
+        """Register per-table direction/path folds on the live histories."""
+        self._dir_slots = tuple(
+            histories.register_direction_fold(L, bits)
+            for L, bits in zip(HISTORY_LENGTHS, self._index_bits_t)
+        )
+        self._path_slots = tuple(
+            histories.register_path_fold(bits) for bits in self._index_bits_t
+        )
+        self._min_folded = max(self._dir_slots + self._path_slots) + 1
 
     def _tables(self) -> list:
         return self._banked
@@ -110,12 +130,44 @@ class CvpPredictor(ComponentPredictor):
     # Prediction / training
     # ------------------------------------------------------------------
 
+    def _fast_hash(
+        self, pc: int, table: int, direction: int, folded: tuple[int, ...]
+    ) -> tuple[int, int]:
+        """(index, tag) from pre-folded registers; bit-identical to
+        ``(_index, _tag)`` — the fold terms come from the incremental
+        registers and the remaining arithmetic is inlined."""
+        bits = self._index_bits_t[table]
+        imask = self._index_masks[table]
+        v = (pc >> 2) ^ (pc >> (2 + bits)) \
+            ^ folded[self._dir_slots[table]] \
+            ^ folded[self._path_slots[table]] ^ self._index_salts[table]
+        while v > imask:
+            v = (v & imask) ^ (v >> bits)
+        scrambled = (
+            (direction & self._history_masks[table]) ^ self._tag_salts[table]
+        ) * _TAG_SCRAMBLE & _MASK64
+        t = pc >> 2
+        while scrambled:
+            t ^= scrambled & _TAG_MASK
+            scrambled >>= _TAG_BITS
+        while t > _TAG_MASK:
+            t = (t & _TAG_MASK) ^ (t >> _TAG_BITS)
+        return v, t
+
+    def _hash(self, pc, table, direction, path, folded):
+        if self._dir_slots is not None and len(folded) >= self._min_folded:
+            return self._fast_hash(pc, table, direction, folded)
+        return (
+            self._index(pc, table, direction, path),
+            self._tag(pc, table, direction),
+        )
+
     def predict(self, probe: LoadProbe) -> Prediction | None:
         for table in range(len(self._banked) - 1, -1, -1):
-            index = self._index(
-                probe.pc, table, probe.direction_history, probe.path_history
+            index, tag = self._hash(
+                probe.pc, table, probe.direction_history,
+                probe.path_history, probe.folded,
             )
-            tag = self._tag(probe.pc, table, probe.direction_history)
             entry = self._banked[table].find(index, tag)
             if entry is not None and self._is_confident(entry):
                 return Prediction(
@@ -126,11 +178,10 @@ class CvpPredictor(ComponentPredictor):
     def train(self, outcome: LoadOutcome) -> None:
         value = outcome.value & _VALUE_MASK
         for table in range(len(self._banked)):
-            index = self._index(
+            index, tag = self._hash(
                 outcome.pc, table, outcome.direction_history,
-                outcome.path_history,
+                outcome.path_history, outcome.folded,
             )
-            tag = self._tag(outcome.pc, table, outcome.direction_history)
             entry, hit = self._banked[table].find_or_victim(index, tag)
             if hit and entry.value == value:
                 self._bump_confidence(entry)

@@ -31,6 +31,12 @@ class LoadProbe:
     #: instances of the same static load.  SAP advances its stride by
     #: this count, the enhancement the paper borrows from EVES.
     inflight_same_pc: int = 0
+    #: Fetch-time values of the incrementally folded history registers
+    #: (``HistorySet.folded_values()``), in slot order.  Empty when the
+    #: probe was built without a bound HistorySet; predictors then fold
+    #: the raw histories above with the ``fold_bits`` reference instead
+    #: (bit-identical results either way).
+    folded: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,6 +50,10 @@ class LoadOutcome:
     direction_history: int = 0
     path_history: int = 0
     load_path_history: int = 0
+    #: Fetch-time folded registers matching the probe's (training must
+    #: index the same table entries prediction used, and value-predictor
+    #: training is deferred past younger history pushes).
+    folded: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)

@@ -81,6 +81,14 @@ class TestFoldBits:
         with pytest.raises(ValueError):
             fold_bits(5, 0)
 
+    def test_rejects_negative_value(self):
+        # A negative history would silently fold wrong (Python's >> on
+        # negatives never reaches 0), so it must fail loudly instead.
+        with pytest.raises(ValueError, match="non-negative"):
+            fold_bits(-1, 8)
+        with pytest.raises(ValueError, match="-37"):
+            fold_bits(-37, 4)
+
     @given(st.integers(min_value=0), st.integers(min_value=1, max_value=32))
     def test_result_in_range(self, value, width):
         assert 0 <= fold_bits(value, width) < (1 << width)

@@ -113,6 +113,51 @@ class TestRunFlags:
         assert "cached" in captured.err
 
 
+class TestPredictorSpecValidation:
+    """Malformed predictor specs raise ValueError, never KeyError."""
+
+    @pytest.mark.parametrize("spec,fragment", [
+        ("composite", "must be a dict"),
+        (["composite"], "must be a dict"),
+        ({}, "missing 'kind'"),
+        ({"config": None}, "missing 'kind'"),
+        ({"kind": "composite"}, "missing 'config'"),
+        ({"kind": "component"}, "missing 'name'"),
+        ({"kind": "component", "name": "lvp"}, "missing 'entries'"),
+        ({"kind": "eves"}, "missing 'variant'"),
+        ({"kind": "eves", "variant": "64kb"}, "64kb"),
+        ({"kind": "mystery"}, "mystery"),
+    ])
+    def test_malformed_specs_raise_value_error(self, spec, fragment):
+        from repro.harness.runner import build_predictor
+
+        with pytest.raises(ValueError, match=fragment):
+            build_predictor(spec)
+
+    def test_valid_specs_still_build(self):
+        from repro.harness.runner import build_predictor
+
+        assert build_predictor(None) is None
+        assert build_predictor({"kind": "none"}) is None
+        host = build_predictor(
+            {"kind": "component", "name": "lvp", "entries": 64}
+        )
+        assert host is not None
+
+    def test_bad_spec_surfaces_as_exit_2(self, monkeypatch, capsys):
+        from repro.harness.runner import build_predictor
+
+        monkeypatch.setitem(
+            cli._EXPERIMENTS,
+            "badspec",
+            (lambda: build_predictor({"kind": "component"}), False),
+        )
+        assert main(["run", "badspec"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "missing 'name'" in err
+
+
 CLI_DRIVER = """\
 import sys
 from repro import cli

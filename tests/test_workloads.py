@@ -8,7 +8,7 @@ from repro.common.rng import DeterministicRng
 from repro.isa.instruction import OpClass
 from repro.memory.image import MemoryImage
 from repro.workloads.builder import ProgramBuilder
-from repro.workloads.generator import generate_trace
+from repro.workloads.generator import SPECIAL_WORKLOADS, generate_trace
 from repro.workloads.kernels import (
     KERNEL_CLASSES,
     ChainedStrideKernel,
@@ -32,6 +32,21 @@ class TestRegistry:
     def test_eighty_five_workloads(self):
         """The paper evaluates 85 workloads (Figure 12)."""
         assert len(ALL_WORKLOADS) == 85
+
+    def test_listing1_is_a_named_special_workload(self):
+        """Listing 1 runs through generate_trace like any workload, but
+        lives outside ALL_WORKLOADS so the 85-workload figures are
+        unchanged."""
+        assert SPECIAL_WORKLOADS == ("listing1",)
+        assert "listing1" not in ALL_WORKLOADS
+        trace = generate_trace("listing1", 3000)
+        assert trace.name == "listing1"
+        assert len(trace.instructions) == 3000
+        assert trace.metadata["family"] == "micro"
+        assert trace.metadata["scan_load_pc"] is not None
+        # Deterministic in (name, length, seed), like every workload.
+        again = generate_trace("listing1", 3000)
+        assert again is trace
 
     def test_every_family_is_defined(self):
         assert set(WORKLOAD_FAMILY.values()) <= set(FAMILIES)
