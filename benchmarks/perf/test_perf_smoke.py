@@ -16,6 +16,7 @@ from repro.harness.microbench import (
 
 EXPECTED_BENCHMARKS = (
     "trace_gen",
+    "trace_gen_cold",
     "baseline_sim",
     "composite_sim",
     "functional_composite",
@@ -50,6 +51,17 @@ def test_quick_suite_structure():
     for cost in probe_costs.values():
         assert cost["probes"] > 0
         assert cost["median_ns_per_probe"] > 0
+
+    # Warm/cold trace-gen lanes must self-report their store state so
+    # the two numbers are never conflated in bench artifacts.
+    warm = benchmarks["trace_gen"]["trace_store"]
+    assert warm["enabled"] is True and warm["mode"] == "warm"
+    # One warmup run + ``repeats`` timed runs, each a store hit.
+    assert warm["hits"] == payload["config"]["repeats"] + 1
+    assert warm["misses"] == 0
+    cold = benchmarks["trace_gen_cold"]["trace_store"]
+    assert cold["enabled"] is False and cold["mode"] == "cold"
+    assert cold["hits"] == 0
 
 
 def test_quick_caps_sizes():

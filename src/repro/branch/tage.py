@@ -195,23 +195,28 @@ class TagePredictor:
         path_fold = self._path_cell[0]
         salts = self._index_salts
         direction = snap.direction
+        idx_dir_cells = self._idx_dir_cells
+        tag_dir_cells = self._tag_dir_cells
+        tag_hist_masks = self._tag_hist_masks64
         indices = []
         tags = []
+        idx_append = indices.append
+        tag_append = tags.append
         for t in range(n):
-            v = pcx ^ self._idx_dir_cells[t][0] ^ path_fold ^ salts[t]
+            v = pcx ^ idx_dir_cells[t][0] ^ path_fold ^ salts[t]
             while v > imask:
                 v = (v & imask) ^ (v >> ib)
-            indices.append(v)
+            idx_append(v)
             scrambled = (
-                (direction & self._tag_hist_masks64[t]) ^ (t + 1)
+                (direction & tag_hist_masks[t]) ^ (t + 1)
             ) * _TAG_SCRAMBLE & _MASK64
-            v = pca ^ self._tag_dir_cells[t][0]
+            v = pca ^ tag_dir_cells[t][0]
             while scrambled:
                 v ^= scrambled & tmask
                 scrambled >>= tb
             while v > tmask:
                 v = (v & tmask) ^ (v >> tb)
-            tags.append(v)
+            tag_append(v)
         return tuple(indices), tuple(tags)
 
     # ------------------------------------------------------------------

@@ -73,56 +73,69 @@ class BranchUnit:
     # Fetch-time prediction
     # ------------------------------------------------------------------
 
-    def _btb_bubble(self, inst: Instruction) -> int:
+    def _btb_bubble(self, pc: int, taken: bool) -> int:
         """Front-end bubble for a taken branch missing the BTB."""
-        if not inst.taken:
+        if not taken:
             return 0
-        if self.btb.lookup_and_allocate(inst.pc):
+        if self.btb.lookup_and_allocate(pc):
             return 0
         return self.BTB_MISS_PENALTY
 
     def fetch_branch(self, inst: Instruction) -> BranchOutcome:
         """Predict one fetched branch and update speculative history."""
-        if inst.op is OpClass.BRANCH_COND:
-            ctx = self.tage.predict(inst.pc, self.histories)
-            bubble = self._btb_bubble(inst) if ctx.taken else 0
-            self.histories.push_branch(inst.pc, inst.taken)
+        return self.fetch_branch_fields(
+            inst.pc, int(inst.op), inst.taken, inst.target, inst.is_call
+        )
+
+    def fetch_branch_fields(
+        self, pc: int, op: int, taken: bool, target: int, is_call: bool
+    ) -> BranchOutcome:
+        """Scalar-argument twin of :meth:`fetch_branch`.
+
+        The columnar simulator loop calls this directly with column
+        values, skipping :class:`Instruction` construction; ``op`` is
+        the raw :class:`OpClass` integer.
+        """
+        if op == 8:  # OpClass.BRANCH_COND
+            ctx = self.tage.predict(pc, self.histories)
+            bubble = self._btb_bubble(pc, taken) if ctx.taken else 0
+            self.histories.push_branch(pc, taken)
             self.conditional_predictions += 1
-            mispredicted = ctx.taken != inst.taken
+            mispredicted = ctx.taken != taken
             if mispredicted:
                 self.conditional_mispredictions += 1
             return BranchOutcome(
                 mispredicted=mispredicted, fetch_bubble=bubble, tage_ctx=ctx
             )
 
-        if inst.op is OpClass.BRANCH_DIRECT:
+        if op == 9:  # OpClass.BRANCH_DIRECT
             # Direct targets come from the decoder on a BTB miss.
-            bubble = self._btb_bubble(inst)
-            self.histories.push_unconditional(inst.pc)
-            if inst.is_call:
-                self.ras.push(inst.pc + 4)
+            bubble = self._btb_bubble(pc, taken)
+            self.histories.push_unconditional(pc)
+            if is_call:
+                self.ras.push(pc + 4)
             return BranchOutcome(mispredicted=False, fetch_bubble=bubble)
 
-        if inst.op is OpClass.BRANCH_RETURN:
+        if op == 11:  # OpClass.BRANCH_RETURN
             predicted = self.ras.pop()
-            bubble = self._btb_bubble(inst)
-            self.histories.push_unconditional(inst.pc)
+            bubble = self._btb_bubble(pc, taken)
+            self.histories.push_unconditional(pc)
             self.return_predictions += 1
-            mispredicted = predicted != inst.target
+            mispredicted = predicted != target
             if mispredicted:
                 self.return_mispredictions += 1
             return BranchOutcome(
                 mispredicted=mispredicted, fetch_bubble=bubble
             )
 
-        if inst.op is OpClass.BRANCH_INDIRECT:
-            ctx = self.ittage.predict(inst.pc, self.histories)
-            bubble = self._btb_bubble(inst)
-            self.histories.push_unconditional(inst.pc)
-            if inst.is_call:
-                self.ras.push(inst.pc + 4)
+        if op == 10:  # OpClass.BRANCH_INDIRECT
+            ctx = self.ittage.predict(pc, self.histories)
+            bubble = self._btb_bubble(pc, taken)
+            self.histories.push_unconditional(pc)
+            if is_call:
+                self.ras.push(pc + 4)
             self.indirect_predictions += 1
-            mispredicted = ctx.target != inst.target
+            mispredicted = ctx.target != target
             if mispredicted:
                 self.indirect_mispredictions += 1
             return BranchOutcome(
@@ -130,7 +143,7 @@ class BranchUnit:
                 ittage_ctx=ctx,
             )
 
-        raise ValueError(f"not a branch: {inst.op!r}")
+        raise ValueError(f"not a branch: {OpClass(op)!r}")
 
     def note_memory_op(self, pc: int) -> None:
         """Record a fetched load/store in the memory-path history (CAP)."""
@@ -145,10 +158,16 @@ class BranchUnit:
 
     def resolve(self, inst: Instruction, outcome: BranchOutcome) -> None:
         """Train the predictors when the branch executes."""
+        self.resolve_fields(inst.pc, inst.taken, inst.target, outcome)
+
+    def resolve_fields(
+        self, pc: int, taken: bool, target: int, outcome: BranchOutcome
+    ) -> None:
+        """Scalar-argument twin of :meth:`resolve` (columnar loop)."""
         if outcome.tage_ctx is not None:
-            self.tage.train(inst.pc, inst.taken, outcome.tage_ctx)
+            self.tage.train(pc, taken, outcome.tage_ctx)
         if outcome.ittage_ctx is not None:
-            self.ittage.train(inst.pc, inst.target, outcome.ittage_ctx)
+            self.ittage.train(pc, target, outcome.ittage_ctx)
 
     # ------------------------------------------------------------------
     # Statistics

@@ -6,6 +6,7 @@ Examples::
     repro-lvp run fig5                  # regenerate Figure 5 (quick)
     repro-lvp run table6 --scale smoke  # smaller/faster
     repro-lvp run fig12 --json out.json # machine-readable results
+    repro-lvp cache --stats             # on-disk trace store contents
 
 Resilient execution (long sweeps)::
 
@@ -157,6 +158,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="small sizes / fewer repeats (CI smoke configuration)",
     )
 
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the on-disk trace store "
+             "(REPRO_TRACE_CACHE_DIR)",
+    )
+    cache_action = cache.add_mutually_exclusive_group(required=True)
+    cache_action.add_argument(
+        "--stats", action="store_true",
+        help="print store location, entry count, and sizes as JSON",
+    )
+    cache_action.add_argument(
+        "--clear", action="store_true",
+        help="delete every store entry (and stale temp files)",
+    )
+    cache.add_argument(
+        "--dir", metavar="PATH", dest="cache_dir",
+        help="store directory (default: $REPRO_TRACE_CACHE_DIR)",
+    )
+
     report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
     )
@@ -215,6 +235,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "bench":
         return _bench_command(args)
+
+    if args.command == "cache":
+        return _cache_command(args)
 
     if args.command == "report":
         from repro.harness.report import generate_report
@@ -294,6 +317,34 @@ def _bench_command(args) -> int:
     atomic_write_json(args.output, payload)
     print(json.dumps(payload, indent=2))
     print(f"# wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cache_command(args) -> int:
+    """The ``cache`` subcommand: inspect or clear the trace store."""
+    import os
+    from pathlib import Path
+
+    from repro.workloads import store as trace_store
+
+    root = args.cache_dir or os.environ.get(trace_store.ENV_VAR)
+    if not root:
+        return _fail(
+            "no trace store configured: set "
+            f"{trace_store.ENV_VAR} or pass --dir PATH"
+        )
+    path = Path(root)
+    if path.exists() and not path.is_dir():
+        return _fail(f"trace store path is not a directory: {path}")
+    store = trace_store.TraceStore(path)
+    if args.clear:
+        removed = store.clear()
+        print(f"removed {removed} file(s) from {path}")
+        return 0
+    stats = store.scan()
+    # A standalone handle has no hit/miss history to report.
+    del stats["process_stats"]
+    print(json.dumps(stats, indent=2))
     return 0
 
 

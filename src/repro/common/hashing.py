@@ -13,13 +13,14 @@ from repro.common.bits import fold_bits, mask, truncate  # noqa: F401 (mask re-e
 # A 64-bit odd multiplier (splitmix64 finalizer constant) used to decorrelate
 # table banks; purely combinational in hardware terms (fixed rewiring).
 _MIX_CONSTANT = 0xBF58476D1CE4E5B9
+_MASK64 = (1 << 64) - 1
 
 
 def mix64(value: int) -> int:
     """Cheap 64-bit integer scramble used to decorrelate hash inputs."""
-    value = truncate(value, 64)
+    value &= _MASK64
     value ^= value >> 30
-    value = truncate(value * _MIX_CONSTANT, 64)
+    value = value * _MIX_CONSTANT & _MASK64
     value ^= value >> 27
     return value
 
@@ -46,7 +47,8 @@ def pc_index(pc: int, index_bits: int, history: int = 0, salt: int = 0) -> int:
         base ^= mix64(salt)
     if history:
         base ^= fold_bits(history, index_bits)
-    return base & mask(index_bits)
+    # Inline mask(index_bits): this runs once per LVP/SAP probe/train.
+    return base & ((1 << index_bits) - 1)
 
 
 def pc_tag(pc: int, tag_bits: int, history: int = 0, salt: int = 0) -> int:

@@ -162,6 +162,9 @@ class CompositePredictor:
         }
         if not self.components:
             raise ValueError("composite predictor needs at least one component")
+        # Components are fixed after construction; the items tuple is
+        # what the per-load loops iterate (no dict-view rebuild per load).
+        self._component_items = tuple(self.components.items())
         self._selection_order = selection_order(
             self.components, self.config.prefer_value_predictions
         )
@@ -228,14 +231,16 @@ class CompositePredictor:
         """Probe every component for one fetched load."""
         confident: dict[str, Prediction] = {}
         squashed: set[str] = set()
-        for name, component in self.components.items():
-            if self.fusion is not None and self.fusion.is_donor(name):
+        fusion = self.fusion
+        silenced = self.monitor.silenced
+        for name, component in self._component_items:
+            if fusion is not None and fusion.is_donor(name):
                 continue
             prediction = component.predict(probe)
             if prediction is None:
                 continue
             confident[name] = prediction
-            if self.monitor.silenced(name, probe.pc):
+            if silenced(name, probe.pc):
                 squashed.add(name)
 
         chosen = None
@@ -281,18 +286,22 @@ class CompositePredictor:
         the host resolves the probe and the possibility of conflicting
         stores).
         """
-        missing = set(decision.confident) - set(correctness)
-        if missing:
-            raise ValueError(
-                f"correctness verdicts missing for confident components: "
-                f"{sorted(missing)}"
-            )
-
+        # Verdict-completeness check folded into the tally loop: building
+        # two sets per load just to subtract them shows up at simulator
+        # call rates.
+        correct_by = self.stats.correct_by
+        incorrect_by = self.stats.incorrect_by
         for name in decision.confident:
+            if name not in correctness:
+                missing = set(decision.confident) - set(correctness)
+                raise ValueError(
+                    f"correctness verdicts missing for confident "
+                    f"components: {sorted(missing)}"
+                )
             if correctness[name]:
-                self.stats.correct_by[name] += 1
+                correct_by[name] += 1
             else:
-                self.stats.incorrect_by[name] += 1
+                incorrect_by[name] += 1
 
         used = decision.chosen.component if decision.chosen else None
         used_correct = bool(used and correctness[used])
@@ -324,10 +333,13 @@ class CompositePredictor:
             self._train_all(outcome)
 
     def _active_components(self):
-        for name, component in self.components.items():
-            if self.fusion is not None and self.fusion.is_donor(name):
-                continue
-            yield name, component
+        if self.fusion is None:
+            return self._component_items
+        return [
+            (name, component)
+            for name, component in self._component_items
+            if not self.fusion.is_donor(name)
+        ]
 
     def _train_all(self, outcome: LoadOutcome) -> None:
         self.stats.train_events += 1
@@ -351,7 +363,13 @@ class CompositePredictor:
         break the stored stride anyway.
         """
         self.stats.train_events += 1
-        active = dict(self._active_components())
+        # Without fusion the active set IS the component dict; skip the
+        # per-load dict rebuild.
+        active = (
+            self.components
+            if self.fusion is None
+            else dict(self._active_components())
+        )
         if not decision.confident:
             for component in active.values():
                 component.train(outcome)

@@ -1,0 +1,129 @@
+"""Compare two ``repro-bench/1`` payloads and render a delta table.
+
+CI's non-gating perf job runs a fresh ``repro-lvp bench`` and diffs it
+against the checked-in ``BENCH_simcore.json`` so every PR's job summary
+shows the per-benchmark movement (median nanoseconds, signed delta, and
+speedup factor) without anyone downloading artifacts.  Timings on
+shared runners are indicative only, so this module *never* fails a
+build -- it formats; humans judge.
+
+Usable as a library (:func:`diff_payloads` / :func:`format_markdown`)
+or as a command::
+
+    python -m repro.harness.benchdiff BENCH_simcore.json fresh.json \
+        >> "$GITHUB_STEP_SUMMARY"
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+#: Benchmarks whose entry is not a single ``median_ns`` timing.
+_STRUCTURED = ("component_probe",)
+
+
+def _median_table(payload: dict) -> dict[str, int]:
+    """Map benchmark name -> median_ns for every timed lane."""
+    table = {}
+    for name, entry in payload.get("benchmarks", {}).items():
+        if name in _STRUCTURED or not isinstance(entry, dict):
+            continue
+        median = entry.get("median_ns")
+        if isinstance(median, int) and median > 0:
+            table[name] = median
+    return table
+
+
+def diff_payloads(baseline: dict, fresh: dict) -> list[dict[str, Any]]:
+    """Per-benchmark rows comparing ``fresh`` against ``baseline``.
+
+    Each row carries the benchmark ``name``, both medians (``None``
+    when a side lacks the lane -- new or removed benchmarks), the
+    signed ``delta_ns``, and ``speedup`` (baseline / fresh; >1 means
+    the fresh run is faster).  Rows keep the fresh payload's ordering
+    so the table reads like the bench progress log.
+    """
+    base = _median_table(baseline)
+    new = _median_table(fresh)
+    rows: list[dict[str, Any]] = []
+    for name in list(new) + [n for n in base if n not in new]:
+        b, f = base.get(name), new.get(name)
+        rows.append({
+            "name": name,
+            "baseline_ns": b,
+            "fresh_ns": f,
+            "delta_ns": (f - b) if (b and f) else None,
+            "speedup": (b / f) if (b and f) else None,
+        })
+    return rows
+
+
+def _fmt_ns(value: int | None) -> str:
+    return f"{value / 1e6:,.1f}" if value else "--"
+
+
+def format_markdown(rows: list[dict[str, Any]], note: str = "") -> str:
+    """Render diff rows as a GitHub-flavoured markdown table."""
+    lines = [
+        "### Simulator-core micro-benchmarks",
+        "",
+        "| benchmark | baseline (ms) | fresh (ms) | delta | speedup |",
+        "|---|---:|---:|---:|---:|",
+    ]
+    for row in rows:
+        if row["speedup"] is not None:
+            pct = row["delta_ns"] / row["baseline_ns"] * 100.0
+            delta = f"{pct:+.1f}%"
+            speedup = f"{row['speedup']:.2f}x"
+        elif row["fresh_ns"] is None:
+            delta, speedup = "removed", "--"
+        else:
+            delta, speedup = "new", "--"
+        lines.append(
+            f"| {row['name']} | {_fmt_ns(row['baseline_ns'])} "
+            f"| {_fmt_ns(row['fresh_ns'])} | {delta} | {speedup} |"
+        )
+    if note:
+        lines += ["", note]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``benchdiff BASELINE.json FRESH.json`` -> markdown on stdout.
+
+    Exit code is 0 even when benchmarks regressed (the perf lane is
+    non-gating); only unreadable/invalid inputs exit 2.
+    """
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 2:
+        print(
+            "usage: python -m repro.harness.benchdiff BASELINE.json "
+            "FRESH.json",
+            file=sys.stderr,
+        )
+        return 2
+    payloads = []
+    for path in args:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payloads.append(json.load(handle))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    baseline, fresh = payloads
+    note = ""
+    config = fresh.get("config", {})
+    if config.get("quick"):
+        note = (
+            "_Quick mode (tiny inputs, shared runner): deltas are "
+            "indicative, not gating._"
+        )
+    print(format_markdown(diff_payloads(baseline, fresh), note))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -526,6 +526,38 @@ def _run_inline(
                 break
 
 
+#: Cell ``fn`` dotted path -> hook called once in the supervisor with
+#: the pending cells' specs before a worker pool starts.  Lets cell
+#: providers publish shared state to process-visible caches (e.g. the
+#: on-disk trace store) so N workers don't each redo the same setup.
+_PREWARM_HOOKS: dict[str, Callable[[list], None]] = {}
+
+
+def register_prewarm(fn_path: str, hook: Callable[[list], None]) -> None:
+    """Register ``hook`` to pre-warm before pool runs of ``fn_path`` cells.
+
+    ``hook`` receives the list of specs of the pending cells whose
+    ``fn`` matches.  Hooks are best-effort: they run once in the
+    supervisor process and any exception is swallowed (pre-warming is
+    an optimization; the workers can always fall back to doing the
+    work themselves).
+    """
+    _PREWARM_HOOKS[fn_path] = hook
+
+
+def _prewarm(pending: Sequence[Cell]) -> None:
+    """Run registered pre-warm hooks for a pool sweep's pending cells."""
+    by_fn: dict[str, list] = {}
+    for cell in pending:
+        if cell.fn in _PREWARM_HOOKS:
+            by_fn.setdefault(cell.fn, []).append(cell.spec)
+    for fn_path, specs in by_fn.items():
+        try:
+            _PREWARM_HOOKS[fn_path](specs)
+        except Exception:
+            pass
+
+
 def _kill_pool(executor: ProcessPoolExecutor) -> None:
     """Forcefully stop a pool, SIGKILLing any (possibly hung) workers."""
     processes = list(getattr(executor, "_processes", {}).values())
@@ -547,6 +579,7 @@ def _run_pool(
     queue: deque[tuple[Cell, int, float]] = deque(
         (cell, 0, 0.0) for cell in pending
     )  # (cell, attempt, not-before)
+    _prewarm(pending)
     first_started: dict[str, float] = {}
     executor = ProcessPoolExecutor(max_workers=policy.workers)
     inflight: dict = {}  # future -> (cell, attempt, deadline)

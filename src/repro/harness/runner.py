@@ -26,7 +26,12 @@ from repro.isa.trace import Trace
 from repro.pipeline.core import SimulationInterrupted, simulate
 from repro.pipeline.result import SimResult
 from repro.pipeline.vp import ValuePredictorHost
-from repro.workloads.generator import CACHE_SIZE, generate_trace
+from repro.workloads.generator import (
+    CACHE_SIZE,
+    clear_trace_caches,
+    ensure_stored,
+    generate_trace,
+)
 
 #: Dotted reference to :func:`run_speedup_cell`, for building cells.
 SPEEDUP_CELL_FN = "repro.harness.runner:run_speedup_cell"
@@ -208,6 +213,32 @@ def run_speedup_cell(spec: dict) -> dict:
     }
 
 
+def _prewarm_speedup_cells(specs: list) -> None:
+    """Publish every pending cell's trace to the on-disk store once.
+
+    Registered with the resilient harness so worker-pool sweeps warm
+    the trace store from the supervisor before any worker forks: each
+    unique (workload, length, seed) triple is generated (or found)
+    exactly once, and the N workers then load packed columns instead
+    of regenerating per process.  A no-op when ``REPRO_TRACE_CACHE_DIR``
+    is unset.
+    """
+    seen: set[tuple] = set()
+    for spec in specs:
+        workload = spec.get("workload")
+        length = spec.get("length")
+        if workload is None or length is None:
+            continue
+        key = (workload, length, spec.get("seed", 0))
+        if key in seen:
+            continue
+        seen.add(key)
+        ensure_stored(*key)
+
+
+resilient.register_prewarm(SPEEDUP_CELL_FN, _prewarm_speedup_cells)
+
+
 def speedup_cell(
     cell_id: str,
     workload: str,
@@ -227,8 +258,16 @@ def speedup_cell(
 
 
 def clear_caches() -> None:
-    """Drop the per-process baseline cache (tests and memory pressure)."""
+    """Drop every per-process cache layer (tests and memory pressure).
+
+    Clears the baseline-result memo here plus the generator's trace
+    memo and the ambient trace-store handle
+    (:func:`repro.workloads.generator.clear_trace_caches`), so one call
+    resets all three caching layers at once.  On-disk store entries are
+    untouched -- delete those with ``repro-lvp cache --clear``.
+    """
     _baseline_cache.clear()
+    clear_trace_caches()
 
 
 __all__ = [

@@ -64,6 +64,17 @@ class OpClass(enum.IntEnum):
         return self in (OpClass.BRANCH_INDIRECT, OpClass.BRANCH_RETURN)
 
 
+#: Raw integer opclass codes for the columnar hot paths.  Reading an
+#: ``array('B')`` column yields plain ints, and comparing against these
+#: avoids an IntEnum construction per instruction; keeping the canonical
+#: values here (next to :class:`OpClass`) means the fast loops in
+#: :mod:`repro.isa.columns` and :mod:`repro.pipeline.core` cannot drift
+#: from the enum.
+OP_LOAD = int(OpClass.LOAD)
+OP_STORE = int(OpClass.STORE)
+OP_BRANCH_FIRST = int(OpClass.BRANCH_COND)
+OP_BRANCH_LAST = int(OpClass.BRANCH_RETURN)
+
 #: Load/store sizes the ISA supports, in bytes.
 VALID_ACCESS_SIZES = (1, 2, 4, 8)
 

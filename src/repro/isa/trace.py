@@ -1,19 +1,34 @@
 """Trace container with summary statistics and (de)serialization.
 
-A :class:`Trace` is an immutable-by-convention list of dynamic
-instructions plus provenance metadata (workload name, generator seed).
-Traces can be saved to and restored from a compact JSON-lines format so
-expensive generations can be cached on disk.
+A :class:`Trace` is an immutable-by-convention dynamic instruction
+stream plus provenance metadata (workload name, generator seed).  It
+carries up to two views of the same stream:
+
+* the **object view** -- a ``list`` of
+  :class:`repro.isa.instruction.Instruction` records, the reference
+  representation every analysis/inspection consumer uses;
+* the **columnar view** -- a packed
+  :class:`repro.isa.columns.TraceColumns` struct-of-arrays, which the
+  simulator hot loop iterates directly and the on-disk trace store
+  serializes (:mod:`repro.workloads.store`).
+
+Generators build the object view and :meth:`pack` the columns once;
+traces loaded from the store start columnar and materialize the object
+view lazily on first access, so a pure timing run never pays for
+object construction.  Traces can also be saved to and restored from a
+compact JSON-lines format (:meth:`save`/:meth:`load`) for portable
+interchange.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.isa.columns import TraceColumns
 from repro.isa.instruction import Instruction, OpClass, REG_NONE
 
 
@@ -39,7 +54,6 @@ class TraceStats:
         return self.branches / self.instructions if self.instructions else 0.0
 
 
-@dataclass
 class Trace:
     """A dynamic instruction stream plus provenance.
 
@@ -49,16 +63,73 @@ class Trace:
     D-cache probes exactly, including wrong-address coincidences and
     conflicting in-flight stores.  :meth:`save` persists it by default
     (pass ``include_memory=False`` for a smaller file).
+
+    Construct with an instruction list (the historical signature), a
+    packed ``columns`` view, or both; at least one is required.  The
+    missing view is derived lazily (:attr:`instructions` materializes
+    from columns on first access; :meth:`pack` builds columns from
+    objects).
     """
 
-    name: str
-    instructions: list[Instruction]
-    seed: int = 0
-    metadata: dict = field(default_factory=dict)
-    initial_memory: object | None = field(default=None, repr=False)
+    __slots__ = (
+        "name", "seed", "metadata", "initial_memory",
+        "_instructions", "_columns",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        instructions: list[Instruction] | None = None,
+        seed: int = 0,
+        metadata: dict | None = None,
+        initial_memory: object | None = None,
+        columns: TraceColumns | None = None,
+    ) -> None:
+        if instructions is None and columns is None:
+            raise ValueError(
+                "a Trace needs an instruction list, packed columns, or both"
+            )
+        self.name = name
+        self.seed = seed
+        self.metadata = metadata if metadata is not None else {}
+        self.initial_memory = initial_memory
+        self._instructions = instructions
+        self._columns = columns
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def instructions(self) -> list[Instruction]:
+        """The object view (materialized from columns on first access)."""
+        if self._instructions is None:
+            self._instructions = self._columns.materialize()
+        return self._instructions
+
+    @property
+    def columns(self) -> TraceColumns | None:
+        """The packed columnar view, or ``None`` until :meth:`pack`."""
+        return self._columns
+
+    def pack(self) -> TraceColumns:
+        """Build (once) and return the columnar view of this trace."""
+        if self._columns is None:
+            self._columns = TraceColumns.from_instructions(
+                self._instructions
+            )
+        return self._columns
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.name!r}, instructions={len(self)}, "
+            f"seed={self.seed}, columnar={self._columns is not None})"
+        )
 
     def __len__(self) -> int:
-        return len(self.instructions)
+        if self._columns is not None:
+            return len(self._columns)
+        return len(self._instructions)
 
     def __iter__(self) -> Iterator[Instruction]:
         return iter(self.instructions)

@@ -53,6 +53,28 @@ class MemoryImage:
             word |= ((value >> (i * 8)) & 0xFF) << shift
             self._words[word_key] = word
 
+    def write_words(self, base: int, values, stride: int = 8) -> None:
+        """Bulk little-endian write of whole 8-byte words.
+
+        ``values[i]`` lands at ``base + i * stride``; both ``base`` and
+        ``stride`` must be 8-byte multiples so each value occupies one
+        backing word exactly.  One dict update replaces ``len(values)``
+        :meth:`write` calls -- workload builders pre-populate hundreds
+        of thousands of words, which dominates cold trace generation.
+        """
+        if base & 0b111 or stride & 0b111:
+            raise ValueError(
+                f"write_words needs 8-byte alignment: base={base:#x}, "
+                f"stride={stride}"
+            )
+        word_mask = mask(64)
+        step = stride >> self._WORD_SHIFT
+        first = base >> self._WORD_SHIFT
+        self._words.update(
+            (first + i * step, value & word_mask)
+            for i, value in enumerate(values)
+        )
+
     def __len__(self) -> int:
         return len(self._words)
 
@@ -64,6 +86,41 @@ class MemoryImage:
     # ------------------------------------------------------------------
     # Serialization (trace files persist the initial image)
     # ------------------------------------------------------------------
+
+    def to_packed(self) -> tuple[bytes, bytes]:
+        """Dump the non-zero words as two native ``array('Q')`` buffers.
+
+        Returns ``(keys, values)`` -- word indices and word contents in
+        matching order.  This is the binary-trace-store layout: two
+        ``frombytes`` calls rebuild the image, against thousands of
+        per-word ``hex()``/``int()`` conversions for the JSON word map.
+        """
+        from array import array
+
+        keys = array("Q")
+        values = array("Q")
+        for key, value in self._words.items():
+            if value:
+                keys.append(key)
+                values.append(value)
+        return keys.tobytes(), values.tobytes()
+
+    @classmethod
+    def from_packed(cls, keys: bytes, values: bytes) -> "MemoryImage":
+        """Inverse of :meth:`to_packed`."""
+        from array import array
+
+        key_arr = array("Q")
+        value_arr = array("Q")
+        key_arr.frombytes(keys)
+        value_arr.frombytes(values)
+        if len(key_arr) != len(value_arr):
+            raise ValueError(
+                "packed memory image has mismatched key/value lengths"
+            )
+        image = cls()
+        image._words = dict(zip(key_arr, value_arr))
+        return image
 
     def to_word_map(self) -> dict[str, str]:
         """Sparse word map with hex keys/values, for JSON embedding."""

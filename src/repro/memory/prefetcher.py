@@ -32,11 +32,19 @@ class StridePrefetcher:
         self.degree = degree
         self.block_bytes = block_bytes
         self.issued = 0
+        # (entry, tag) memo keyed by static load PC -- both hashes are
+        # pure functions of the PC (see LvpPredictor._hashes).
+        self._pc_slots: dict[int, tuple[_RptEntry, int]] = {}
 
     def observe(self, pc: int, addr: int) -> list[int]:
         """Record a demand load; return block addresses to prefetch."""
-        entry = self._table[pc_index(pc, self._index_bits)]
-        tag = pc_tag(pc, 12)
+        slot = self._pc_slots.get(pc)
+        if slot is None:
+            slot = self._pc_slots[pc] = (
+                self._table[pc_index(pc, self._index_bits)],
+                pc_tag(pc, 12),
+            )
+        entry, tag = slot
         if entry.tag != tag:
             entry.tag = tag
             entry.last_addr = addr

@@ -22,6 +22,22 @@ Value-prediction flow per predictable load (Figure 1 of the paper):
    per-component correctness verdicts (address predictions are judged
    by the *value* the probe returned, so a conflicting in-flight store
    or a wrong-but-coincidentally-equal address is decided exactly).
+
+Two loop implementations compute the same pass:
+
+* :meth:`CoreModel._run_objects` iterates ``trace.instructions`` --
+  the reference oracle, unchanged semantics since the seed;
+* :meth:`CoreModel._run_columnar` iterates the packed
+  :class:`repro.isa.columns.TraceColumns` directly, with prebound
+  locals and precomputed per-opclass dispatch tables instead of enum
+  property calls -- the hot path for generator/store traces.
+
+Both funnel every stateful step (branch unit, caches, predictor,
+memory probe resolution) through the same helpers with the same
+values in the same order, so their :class:`SimResult`\\ s are
+bit-identical (proven by randomized tests in
+``tests/test_columnar_equivalence.py``).  :meth:`CoreModel.run` picks
+the columnar path whenever the trace carries columns.
 """
 
 from __future__ import annotations
@@ -33,7 +49,20 @@ from repro.branch.ittage import IttageConfig
 from repro.branch.tage import TageConfig
 from repro.branch.unit import BranchUnit
 from repro.common.rng import DeterministicRng
-from repro.isa.instruction import NUM_ARCH_REGS, OpClass, REG_NONE
+from repro.isa.columns import (
+    FLAG_IS_CALL,
+    FLAG_PREDICTABLE,
+    FLAG_TAKEN,
+)
+from repro.isa.instruction import (
+    NUM_ARCH_REGS,
+    OP_BRANCH_FIRST,
+    OP_BRANCH_LAST,
+    OP_LOAD,
+    OP_STORE,
+    OpClass,
+    REG_NONE,
+)
 from repro.isa.trace import Trace
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.image import MemoryImage
@@ -43,6 +72,13 @@ from repro.pipeline.resources import LaneScheduler, WindowTracker
 from repro.pipeline.result import SimResult
 from repro.pipeline.vp import NoPredictor, ValuePredictorHost
 from repro.predictors.types import LoadOutcome, LoadProbe, PredictionKind
+
+# Raw opclass integers the dispatch tables key on; defined next to the
+# enum in repro.isa.instruction so the columnar loops cannot drift.
+_OP_LOAD = OP_LOAD
+_OP_STORE = OP_STORE
+_OP_BRANCH_LO = OP_BRANCH_FIRST
+_OP_BRANCH_HI = OP_BRANCH_LAST
 
 
 class SimulationInterrupted(RuntimeError):
@@ -88,6 +124,14 @@ class CoreModel:
         if bind is not None:
             bind(self.branch_unit.histories)
         self._last_correctness: dict[str, bool] = {}
+        # Per-opclass dispatch table: execution latency indexed by the
+        # raw opclass integer (no enum hashing in the hot loop).  LOAD
+        # has no table latency -- the hierarchy decides -- so its slot
+        # is a placeholder the loops never read.
+        self._latency_by_op = tuple(
+            self.config.latencies.get(OpClass(i), 0)
+            for i in range(len(OpClass))
+        )
 
     # ------------------------------------------------------------------
     # Main loop
@@ -98,6 +142,7 @@ class CoreModel:
         trace: Trace,
         interrupt=None,
         interrupt_interval: int = 1024,
+        columnar: bool | None = None,
     ) -> SimResult:
         """Simulate ``trace`` and return its :class:`SimResult`.
 
@@ -106,7 +151,35 @@ class CoreModel:
         returning a truthy value raises :class:`SimulationInterrupted`.
         This is the progress/cancellation seam the resilient harness
         uses for cooperative timeouts and the CLI for progress display.
+
+        ``columnar`` selects the loop implementation: ``None`` (the
+        default) takes the columnar fast path whenever the trace
+        carries packed columns, ``True`` insists on it (raising
+        :class:`ValueError` for an unpacked trace), ``False`` forces
+        the object-path reference oracle.  Both produce bit-identical
+        results.
         """
+        cols = trace.columns
+        if columnar is None:
+            columnar = cols is not None
+        elif columnar and cols is None:
+            raise ValueError(
+                f"trace {trace.name!r} has no packed columns; call "
+                "trace.pack() or pass columnar=False"
+            )
+        if columnar:
+            return self._run_columnar(
+                trace, interrupt, interrupt_interval
+            )
+        return self._run_objects(trace, interrupt, interrupt_interval)
+
+    def _run_objects(
+        self,
+        trace: Trace,
+        interrupt=None,
+        interrupt_interval: int = 1024,
+    ) -> SimResult:
+        """The object-path loop over ``trace.instructions`` (oracle)."""
         cfg = self.config
         predictor = self.predictor
         branch_unit = self.branch_unit
@@ -303,7 +376,8 @@ class CoreModel:
 
             if op is OpClass.LOAD:
                 complete, violation_store_pc, violation_ready = (
-                    self._load_complete(inst, issue, hierarchy, store_info,
+                    self._load_complete(inst.pc, inst.addr, inst.size,
+                                        issue, hierarchy, store_info,
                                         memdep, cfg)
                 )
                 if violation_store_pc is not None:
@@ -355,7 +429,7 @@ class CoreModel:
                     self._last_correctness = {}
                     if decision.confident:
                         writeback = self._validate_load(
-                            inst, decision, dispatch, complete,
+                            inst.value, decision, dispatch, complete,
                             mem, pending_stores, store_info, hierarchy,
                             l1d_hit, cfg, result, fetch, paq, vpe,
                         )
@@ -415,6 +489,423 @@ class CoreModel:
             _, _, d, o, c = heapq.heappop(pending_updates)
             predictor.validate_and_train(d, o, c)
 
+        return self._finish(result, last_commit, memdep)
+
+    def _run_columnar(
+        self,
+        trace: Trace,
+        interrupt=None,
+        interrupt_interval: int = 1024,
+    ) -> SimResult:
+        """The columnar loop over ``trace.columns`` (the hot path).
+
+        Same pass as :meth:`_run_objects`, restructured for speed:
+        column values are plain integers read from packed arrays,
+        opclass tests are integer compares against the module-level
+        ``_OP_*`` constants, execution latency comes from the
+        precomputed per-opclass dispatch table, and every method or
+        attribute that the loop touches per instruction is prebound to
+        a local.  Keep edits in lockstep with the object path -- the
+        equivalence suite will catch any divergence.
+        """
+        cols = trace.columns
+        cfg = self.config
+        predictor = self.predictor
+        branch_unit = self.branch_unit
+        hierarchy = self.hierarchy
+        histories = branch_unit.histories
+        l1d_hit = cfg.hierarchy.l1d.hit_latency
+        l1i_hit = cfg.hierarchy.l1i.hit_latency
+        depth = cfg.frontend_depth
+        fetch_width = cfg.fetch_width
+        commit_width = cfg.commit_width
+        latency_by_op = self._latency_by_op
+        store_latency = latency_by_op[_OP_STORE]
+        redirect_penalty = cfg.redirect_penalty
+        ldq_entries = cfg.ldq_entries
+
+        # Lane schedulers and window trackers, inlined: the per-lane
+        # min-heaps and release deques below replay LaneScheduler.acquire
+        # / WindowTracker.earliest_allocation+admit verbatim, shedding
+        # one Python frame per call at several calls per instruction.
+        ls_free = [0] * cfg.ls_lanes
+        generic_free = [0] * cfg.generic_lanes
+        rob_cap = cfg.rob_entries
+        iq_cap = cfg.iq_entries
+        ldq_cap = cfg.ldq_entries
+        stq_cap = cfg.stq_entries
+        rob_rel: deque[int] = deque()
+        iq_rel: deque[int] = deque()
+        ldq_rel: deque[int] = deque()
+        stq_rel: deque[int] = deque()
+        # PAQ/VPE stay real trackers: _validate_load owns their logic.
+        paq = WindowTracker(cfg.paq_entries)
+        vpe = WindowTracker(cfg.vpe_entries)
+
+        reg_avail = [0] * NUM_ARCH_REGS
+
+        fetch_cycle = 0
+        fetched_in_cycle = 0
+        next_fetch_allowed = 0
+        current_block = -1
+
+        last_commit = 0
+        committed_in_cycle = 0
+
+        mem = (
+            trace.initial_memory.copy()
+            if isinstance(trace.initial_memory, MemoryImage)
+            else MemoryImage()
+        )
+        pending_stores: deque[tuple[int, int, int, int]] = deque()
+        store_info: dict[int, tuple[int, int, int]] = {}
+
+        memdep = (
+            StoreSetPredictor(cfg.ssit_entries, cfg.lfst_entries)
+            if cfg.memory_dependence == "store-sets"
+            else None
+        )
+
+        inflight_loads: dict[int, deque[int]] = {}
+
+        pending_updates: list = []
+        update_seq = 0
+
+        result = SimResult(workload=trace.name, instructions=len(trace), cycles=0)
+        result.predictor_storage_bits = predictor.storage_bits()
+
+        if cfg.warm_l3:
+            self._warm_l3(trace)
+
+        # Column and callable prebinds (the whole point of this loop).
+        pcs = cols.pc
+        ops = cols.op
+        dests = cols.dest
+        addrs = cols.addr
+        sizes = cols.size
+        values = cols.value
+        targets = cols.target
+        flags_col = cols.flags
+        src_offsets = cols.src_offsets
+        src_regs = cols.src_regs
+        rob_append = rob_rel.append
+        rob_popleft = rob_rel.popleft
+        iq_append = iq_rel.append
+        iq_popleft = iq_rel.popleft
+        ldq_append = ldq_rel.append
+        ldq_popleft = ldq_rel.popleft
+        stq_append = stq_rel.append
+        stq_popleft = stq_rel.popleft
+        fetch_latency = hierarchy.fetch_latency
+        store_latency_fn = hierarchy.store_latency
+        push_memory = histories.push_memory
+        folded_values = histories.folded_values
+        predict = predictor.predict
+        validate_and_train = predictor.validate_and_train
+        tick_instructions = predictor.tick_instructions
+        fetch_branch_fields = branch_unit.fetch_branch_fields
+        resolve_fields = branch_unit.resolve_fields
+        load_complete = self._load_complete
+        validate_load = self._validate_load
+        inflight_get = inflight_loads.get
+        store_info_put = store_info.__setitem__
+        pending_stores_append = pending_stores.append
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        memdep_wait = memdep.load_wait_until if memdep is not None else None
+        memdep_note_store = memdep.note_store if memdep is not None else None
+
+        instructions_done = 0
+        next_interrupt_check = interrupt_interval if interrupt else None
+        name = trace.name
+        pending_ticks = 0
+
+        # Loop-owned result counters, accumulated in locals and folded
+        # into ``result`` after the loop (attribute stores are not free
+        # at this call rate).
+        n_loads = 0
+        n_predictable = 0
+        n_branch_misp = 0
+        n_violations = 0
+
+        for i in range(len(cols)):
+            if next_interrupt_check is not None:
+                instructions_done += 1
+                if instructions_done >= next_interrupt_check:
+                    next_interrupt_check += interrupt_interval
+                    if interrupt(instructions_done):
+                        raise SimulationInterrupted(name, instructions_done)
+            op = ops[i]
+            pc = pcs[i]
+
+            # ----------------------------------------------------------
+            # Fetch
+            # ----------------------------------------------------------
+            floor = next_fetch_allowed
+            window_floor = (
+                rob_rel[0] if len(rob_rel) == rob_cap else 0
+            ) - depth
+            other = (iq_rel[0] if len(iq_rel) == iq_cap else 0) - depth
+            if other > window_floor:
+                window_floor = other
+            if op == _OP_LOAD:
+                other = (
+                    ldq_rel[0] if len(ldq_rel) == ldq_cap else 0
+                ) - depth
+                if other > window_floor:
+                    window_floor = other
+            elif op == _OP_STORE:
+                other = (
+                    stq_rel[0] if len(stq_rel) == stq_cap else 0
+                ) - depth
+                if other > window_floor:
+                    window_floor = other
+            if window_floor > floor:
+                floor = window_floor
+            if fetch_cycle < floor:
+                fetch_cycle = floor
+                fetched_in_cycle = 0
+            elif fetched_in_cycle >= fetch_width:
+                fetch_cycle += 1
+                fetched_in_cycle = 0
+            block = pc >> 6
+            if block != current_block:
+                current_block = block
+                extra = fetch_latency(pc) - l1i_hit
+                if extra > 0:
+                    fetch_cycle += extra
+                    fetched_in_cycle = 0
+            fetch = fetch_cycle
+            fetched_in_cycle += 1
+
+            # ----------------------------------------------------------
+            # Branch prediction / histories / value-predictor probe
+            # ----------------------------------------------------------
+            branch_outcome = None
+            decision = None
+            predictable = 0
+            snap_direction = snap_path = snap_load_path = 0
+            snap_folded = ()
+            if _OP_BRANCH_LO <= op <= _OP_BRANCH_HI:
+                flags = flags_col[i]
+                taken = flags & FLAG_TAKEN
+                branch_outcome = fetch_branch_fields(
+                    pc, op, taken, targets[i], flags & FLAG_IS_CALL,
+                )
+                if branch_outcome.fetch_bubble:
+                    # Taken branch missed the BTB: decode redirect.
+                    fetch_cycle += branch_outcome.fetch_bubble
+                    fetched_in_cycle = 0
+                elif taken:
+                    # Can't fetch past a taken branch this cycle.
+                    fetched_in_cycle = fetch_width
+            elif op == _OP_LOAD:
+                predictable = flags_col[i] & FLAG_PREDICTABLE
+                # Deliver the instruction ticks accumulated since the
+                # last predictor interaction.  Epoch boundaries fire in
+                # the same order relative to predict/train calls as the
+                # per-instruction reference path, so this is
+                # bit-identical -- just fewer method calls.
+                if pending_ticks:
+                    tick_instructions(pending_ticks)
+                    pending_ticks = 0
+                # Apply predictor updates from loads that have completed
+                # by now -- the predictor state a fetch-time probe sees.
+                while pending_updates and pending_updates[0][0] <= fetch:
+                    _, _, d, o, c = heappop(pending_updates)
+                    validate_and_train(d, o, c)
+                snap_direction = histories.direction
+                snap_path = histories.path
+                snap_load_path = histories.load_path
+                if predictable:
+                    # Training is deferred until the load completes, by
+                    # which point younger events have advanced the live
+                    # fold registers -- so capture their values now.
+                    snap_folded = folded_values()
+                    flights = inflight_get(pc)
+                    inflight = 0
+                    if flights:
+                        while flights and flights[0] <= fetch:
+                            flights.popleft()
+                        inflight = len(flights)
+                    decision = predict(LoadProbe(
+                        pc=pc,
+                        direction_history=snap_direction,
+                        path_history=snap_path,
+                        load_path_history=snap_load_path,
+                        inflight_same_pc=inflight,
+                        folded=snap_folded,
+                    ))
+                push_memory(pc)
+            elif op == _OP_STORE:
+                push_memory(pc)
+
+            dispatch = fetch + depth
+
+            # ----------------------------------------------------------
+            # Issue and execute
+            # ----------------------------------------------------------
+            ready = dispatch + 1
+            for j in range(src_offsets[i], src_offsets[i + 1]):
+                avail = reg_avail[src_regs[j]]
+                if avail > ready:
+                    ready = avail
+            if op == _OP_LOAD:
+                if memdep_wait is not None:
+                    # Predicted-dependent loads wait for their store set.
+                    wait_until = memdep_wait(pc)
+                    if wait_until > ready:
+                        ready = wait_until
+                earliest = heappop(ls_free)
+                issue = ready if ready > earliest else earliest
+                heappush(ls_free, issue + 1)
+                addr = addrs[i]
+                size = sizes[i]
+                complete, violation_store_pc, violation_ready = load_complete(
+                    pc, addr, size, issue, hierarchy, store_info, memdep, cfg
+                )
+                if violation_store_pc is not None:
+                    # Memory-order violation: the load speculated past a
+                    # store whose data was not ready.  Flush younger
+                    # work and teach the store-set predictor.
+                    n_violations += 1
+                    memdep.record_violation(pc, violation_store_pc)
+                    redirect = violation_ready + redirect_penalty
+                    if redirect > next_fetch_allowed:
+                        next_fetch_allowed = redirect
+                    current_block = -1
+                flights = inflight_get(pc)
+                if flights is None:
+                    flights = inflight_loads[pc] = deque(maxlen=ldq_entries)
+                flights.append(complete)
+                n_loads += 1
+                if predictable:
+                    n_predictable += 1
+            elif op == _OP_STORE:
+                earliest = heappop(ls_free)
+                issue = ready if ready > earliest else earliest
+                heappush(ls_free, issue + 1)
+                addr = addrs[i]
+                size = sizes[i]
+                complete = issue + store_latency
+                word_lo = addr >> 3
+                word_hi = (addr + size - 1) >> 3
+                info = (issue, complete, pc)
+                for word in range(word_lo, word_hi + 1):
+                    store_info_put(word, info)
+                if memdep_note_store is not None:
+                    memdep_note_store(pc, complete)
+            else:
+                earliest = heappop(generic_free)
+                issue = ready if ready > earliest else earliest
+                heappush(generic_free, issue + 1)
+                complete = issue + latency_by_op[op]
+
+            # ----------------------------------------------------------
+            # Branch resolution
+            # ----------------------------------------------------------
+            if branch_outcome is not None:
+                resolve_fields(pc, taken, targets[i], branch_outcome)
+                if branch_outcome.mispredicted:
+                    n_branch_misp += 1
+                    redirect = complete + redirect_penalty
+                    if redirect > next_fetch_allowed:
+                        next_fetch_allowed = redirect
+                    current_block = -1
+
+            # ----------------------------------------------------------
+            # Value-prediction validation and training
+            # ----------------------------------------------------------
+            dest = dests[i]
+            if op == _OP_LOAD:
+                writeback = complete
+                if decision is not None:
+                    value = values[i]
+                    self._last_correctness = {}
+                    if decision.confident:
+                        writeback = validate_load(
+                            value, decision, dispatch, complete,
+                            mem, pending_stores, store_info, hierarchy,
+                            l1d_hit, cfg, result, fetch, paq, vpe,
+                        )
+                        if writeback < 0:  # flush sentinel
+                            writeback = complete
+                            redirect = complete + redirect_penalty
+                            if redirect > next_fetch_allowed:
+                                next_fetch_allowed = redirect
+                            current_block = -1
+                    outcome = LoadOutcome(
+                        pc=pc, addr=addr, size=size, value=value,
+                        direction_history=snap_direction,
+                        path_history=snap_path,
+                        load_path_history=snap_load_path,
+                        folded=snap_folded,
+                    )
+                    heappush(pending_updates, (
+                        complete, update_seq, decision, outcome,
+                        self._last_correctness,
+                    ))
+                    update_seq += 1
+                if dest != REG_NONE:
+                    reg_avail[dest] = writeback
+            elif dest != REG_NONE:
+                reg_avail[dest] = complete
+
+            # ----------------------------------------------------------
+            # Commit (in order, commit_width per cycle)
+            # ----------------------------------------------------------
+            commit = complete + 1
+            if commit < last_commit:
+                commit = last_commit
+            if commit == last_commit:
+                if committed_in_cycle >= commit_width:
+                    commit += 1
+                    committed_in_cycle = 1
+                else:
+                    committed_in_cycle += 1
+            else:
+                committed_in_cycle = 1
+            last_commit = commit
+
+            if op == _OP_STORE:
+                pending_stores_append((complete, addr, size, values[i]))
+                store_latency_fn(addr)
+                if len(stq_rel) >= stq_cap:
+                    stq_popleft()
+                stq_append(commit)
+            elif op == _OP_LOAD:
+                if len(ldq_rel) >= ldq_cap:
+                    ldq_popleft()
+                ldq_append(commit)
+            if len(rob_rel) >= rob_cap:
+                rob_popleft()
+            rob_append(commit)
+            if len(iq_rel) >= iq_cap:
+                iq_popleft()
+            iq_append(issue + 1)
+            pending_ticks += 1
+
+        if pending_ticks:
+            tick_instructions(pending_ticks)
+
+        # Drain the remaining deferred predictor updates so predictor
+        # statistics cover every predicted load in the trace.
+        while pending_updates:
+            _, _, d, o, c = heappop(pending_updates)
+            validate_and_train(d, o, c)
+
+        result.loads = n_loads
+        result.predictable_loads = n_predictable
+        result.branch_mispredictions = n_branch_misp
+        result.memory_order_violations = n_violations
+        return self._finish(result, last_commit, memdep)
+
+    def _finish(
+        self, result: SimResult, last_commit: int, memdep
+    ) -> SimResult:
+        """Fill the run's terminal cycle count and diagnostic extras."""
+        branch_unit = self.branch_unit
+        hierarchy = self.hierarchy
         result.cycles = last_commit
         l1d = hierarchy.l1d.stats
         result.l1d_miss_rate = 1.0 - l1d.hit_rate
@@ -459,6 +950,20 @@ class CoreModel:
         l3 = self.hierarchy.l3
         block = self.hierarchy.config.l3.block_bytes
         seen: set[int] = set()
+        cols = trace.columns
+        if cols is not None:
+            ops = cols.op
+            addrs = cols.addr
+            fill = l3.fill
+            for i in range(len(cols)):
+                op = ops[i]
+                if op == _OP_LOAD or op == _OP_STORE:
+                    addr = addrs[i]
+                    blk = addr // block
+                    if blk not in seen:
+                        seen.add(blk)
+                        fill(addr)
+            return
         for inst in trace.instructions:
             if inst.op.is_memory:
                 blk = inst.addr // block
@@ -470,8 +975,8 @@ class CoreModel:
     # Load helpers
     # ------------------------------------------------------------------
 
-    def _load_complete(self, inst, issue, hierarchy, store_info, memdep,
-                       cfg) -> tuple[int, int | None, int]:
+    def _load_complete(self, pc, addr, size, issue, hierarchy, store_info,
+                       memdep, cfg) -> tuple[int, int | None, int]:
         """Execution of a demand load.
 
         Returns ``(complete, violating_store_pc, store_data_ready)``.
@@ -480,8 +985,8 @@ class CoreModel:
         memory-order violation under store-set speculation.  With the
         perfect-disambiguation oracle the load silently waits instead.
         """
-        word_lo = inst.addr >> 3
-        word_hi = (inst.addr + inst.size - 1) >> 3
+        word_lo = addr >> 3
+        word_hi = (addr + size - 1) >> 3
         forward_from = -1
         forward_pc = None
         for word in range(word_lo, word_hi + 1):
@@ -502,20 +1007,21 @@ class CoreModel:
             # issue, or the oracle made the load wait).
             begin = issue if issue > forward_from else forward_from
             return begin + cfg.store_forward_latency, None, 0
-        return issue + hierarchy.load_latency(inst.pc, inst.addr), None, 0
+        return issue + hierarchy.load_latency(pc, addr), None, 0
 
     def _validate_load(
-        self, inst, decision, dispatch, complete,
+        self, value, decision, dispatch, complete,
         mem, pending_stores, store_info, hierarchy, l1d_hit, cfg, result,
         fetch, paq, vpe,
     ) -> int:
         """Resolve predictions for one load.
 
-        Returns the cycle at which the load's destination register is
-        available to consumers, or a negative sentinel if a value
-        misprediction flushed the pipeline (the caller applies the
-        redirect).  Also leaves the per-component correctness verdicts
-        in ``self._last_correctness`` for the training call.
+        ``value`` is the load's architectural result.  Returns the
+        cycle at which the load's destination register is available to
+        consumers, or a negative sentinel if a value misprediction
+        flushed the pipeline (the caller applies the redirect).  Also
+        leaves the per-component correctness verdicts in
+        ``self._last_correctness`` for the training call.
 
         The PAQ probe launches from the front end (the predictor is
         probed at fetch; Figure 1 step 2), so predicted-address data can
@@ -525,18 +1031,18 @@ class CoreModel:
         # Apply stores committed by probe time (commit cycles are
         # monotonic, so a single pointer sweep is exact).
         while pending_stores and pending_stores[0][0] <= t_probe:
-            _, addr, size, value = pending_stores.popleft()
-            mem.write(addr, size, value)
+            _, addr, size, stored = pending_stores.popleft()
+            mem.write(addr, size, stored)
 
         correctness: dict[str, bool] = {}
         probe_hit = False
         chosen = decision.chosen
         for name, prediction in decision.confident.items():
             if prediction.kind is PredictionKind.VALUE:
-                correctness[name] = prediction.value == inst.value
+                correctness[name] = prediction.value == value
             else:
                 probe_value = mem.read(prediction.addr, prediction.size)
-                correctness[name] = probe_value == inst.value
+                correctness[name] = probe_value == value
                 if chosen is not None and name == chosen.component:
                     probe_hit, _ = hierarchy.probe_l1d(prediction.addr)
         self._last_correctness = correctness
@@ -574,9 +1080,9 @@ class CoreModel:
             # older in-flight store to the predicted address whose
             # *address is already known* (issued by probe time) makes
             # the probe drop the prediction rather than forward stale
-            # data.  A store whose address resolves after the probe is
-            # invisible to the CAM -- the stale forward proceeds and is
-            # caught at validation (the genuine misprediction case).
+            # data.  A store whose address resolves later is invisible
+            # to the CAM -- the stale forward proceeds and is caught at
+            # validation (the genuine misprediction case).
             word_lo = chosen.addr >> 3
             word_hi = (chosen.addr + max(chosen.size, 1) - 1) >> 3
             for word in range(word_lo, word_hi + 1):
@@ -601,13 +1107,17 @@ def simulate(
     seed: int = 0,
     interrupt=None,
     interrupt_interval: int = 1024,
+    columnar: bool | None = None,
 ) -> SimResult:
     """Convenience wrapper: build a core and run one trace.
 
     ``interrupt`` is forwarded to :meth:`CoreModel.run`: a callable
     polled every ``interrupt_interval`` instructions whose truthy
     return aborts the run with :class:`SimulationInterrupted`.
+    ``columnar`` forwards to :meth:`CoreModel.run` (``None`` = take the
+    columnar fast path when the trace carries packed columns).
     """
     return CoreModel(config=config, predictor=predictor, seed=seed).run(
-        trace, interrupt=interrupt, interrupt_interval=interrupt_interval
+        trace, interrupt=interrupt, interrupt_interval=interrupt_interval,
+        columnar=columnar,
     )

@@ -46,13 +46,27 @@ class LvpPredictor(ComponentPredictor):
                  confidence_threshold: int | None = None) -> None:
         super().__init__(entries, rng, confidence_threshold)
         self._table: BankedTable[_LvpEntry] = BankedTable(entries, _LvpEntry)
+        # (index, tag) memo: both hashes are pure functions of the PC
+        # (fixed rewiring in hardware), so one dict probe replaces two
+        # hash computations per predict/train.  Grows with the number
+        # of *static* load PCs, which is small and bounded per trace.
+        self._pc_hashes: dict[int, tuple[int, int]] = {}
 
     def _tables(self) -> list:
         return [self._table]
 
+    def _hashes(self, pc: int) -> tuple[int, int]:
+        cached = self._pc_hashes.get(pc)
+        if cached is None:
+            cached = self._pc_hashes[pc] = (
+                pc_index(pc, self._table.index_bits),
+                pc_tag(pc, _TAG_BITS),
+            )
+        return cached
+
     def predict(self, probe: LoadProbe) -> Prediction | None:
-        index = pc_index(probe.pc, self._table.index_bits)
-        entry = self._table.find(index, pc_tag(probe.pc, _TAG_BITS))
+        index, tag = self._hashes(probe.pc)
+        entry = self._table.find(index, tag)
         if entry is None or not self._is_confident(entry):
             return None
         return Prediction(
@@ -60,8 +74,7 @@ class LvpPredictor(ComponentPredictor):
         )
 
     def train(self, outcome: LoadOutcome) -> None:
-        index = pc_index(outcome.pc, self._table.index_bits)
-        tag = pc_tag(outcome.pc, _TAG_BITS)
+        index, tag = self._hashes(outcome.pc)
         value = outcome.value & _VALUE_MASK
         entry, hit = self._table.find_or_victim(index, tag)
         if hit and entry.value == value:

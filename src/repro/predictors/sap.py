@@ -55,13 +55,25 @@ class SapPredictor(ComponentPredictor):
                  confidence_threshold: int | None = None) -> None:
         super().__init__(entries, rng, confidence_threshold)
         self._table: BankedTable[_SapEntry] = BankedTable(entries, _SapEntry)
+        # (index, tag) memo keyed by static load PC; see LvpPredictor.
+        self._pc_hashes: dict[int, tuple[int, int]] = {}
 
     def _tables(self) -> list:
         return [self._table]
 
+    def _hashes(self, pc: int) -> tuple[int, int]:
+        """(index, tag) memo -- both are pure functions of the PC."""
+        cached = self._pc_hashes.get(pc)
+        if cached is None:
+            cached = self._pc_hashes[pc] = (
+                pc_index(pc, self._table.index_bits),
+                pc_tag(pc, _TAG_BITS),
+            )
+        return cached
+
     def predict(self, probe: LoadProbe) -> Prediction | None:
-        index = pc_index(probe.pc, self._table.index_bits)
-        entry = self._table.find(index, pc_tag(probe.pc, _TAG_BITS))
+        index, tag = self._hashes(probe.pc)
+        entry = self._table.find(index, tag)
         if entry is None or not self._is_confident(entry):
             return None
         stride = sign_extend(entry.stride, _STRIDE_BITS)
@@ -76,8 +88,7 @@ class SapPredictor(ComponentPredictor):
         )
 
     def train(self, outcome: LoadOutcome) -> None:
-        index = pc_index(outcome.pc, self._table.index_bits)
-        tag = pc_tag(outcome.pc, _TAG_BITS)
+        index, tag = self._hashes(outcome.pc)
         addr = outcome.addr & _ADDR_MASK
         entry, hit = self._table.find_or_victim(index, tag)
         if hit:
@@ -104,8 +115,8 @@ class SapPredictor(ComponentPredictor):
         The address may have matched (conflicting store), so training
         alone would keep the entry confident and re-flush next time.
         """
-        index = pc_index(outcome.pc, self._table.index_bits)
-        entry = self._table.find(index, pc_tag(outcome.pc, _TAG_BITS))
+        index, tag = self._hashes(outcome.pc)
+        entry = self._table.find(index, tag)
         if entry is not None:
             entry.confidence = 0
 
@@ -113,8 +124,8 @@ class SapPredictor(ComponentPredictor):
         """Drop the entry for this load (smart-training rule: a correct
         SAP prediction that is not chosen for training would have a
         broken stride anyway, so the composite invalidates it)."""
-        index = pc_index(outcome.pc, self._table.index_bits)
-        entry = self._table.find(index, pc_tag(outcome.pc, _TAG_BITS))
+        index, tag = self._hashes(outcome.pc)
+        entry = self._table.find(index, tag)
         if entry is not None:
             entry.tag = INVALID_TAG
             entry.confidence = 0

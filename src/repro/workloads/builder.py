@@ -75,7 +75,15 @@ class ProgramBuilder:
 
         ``value_fn(i)`` supplies element *i*'s value.  Pre-populated
         data models memory initialized before the traced window starts.
+        Whole aligned words (the overwhelmingly common case --
+        ``alloc_data`` aligns to 64 bytes) take the image's bulk path;
+        sub-word elements fall back to per-element writes.
         """
+        if size == 8 and not base & 0b111:
+            self.memory.write_words(
+                base, (value_fn(i) for i in range(count))
+            )
+            return
         for i in range(count):
             self.memory.write(base + i * size, size, value_fn(i))
 

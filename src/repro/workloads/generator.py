@@ -7,6 +7,7 @@ from functools import lru_cache
 
 from repro.common.rng import DeterministicRng
 from repro.isa.trace import Trace
+from repro.workloads import store as trace_store
 from repro.workloads.builder import ProgramBuilder
 from repro.workloads.kernels import KERNEL_CLASSES, MemsetScanKernel
 from repro.workloads.profiles import profile_for
@@ -17,6 +18,13 @@ from repro.workloads.profiles import profile_for
 #: environment variable (set before first import) when sweeping more
 #: than 256 distinct (workload, length, seed) triples per process.
 CACHE_SIZE = int(os.environ.get("REPRO_CACHE_SIZE", "256"))
+
+#: Version of the generation logic, part of the on-disk trace store's
+#: content-addressed key (:mod:`repro.workloads.store`).  Bump whenever
+#: kernels, profiles, or the interleaving scheduler change the emitted
+#: instruction stream -- stale store entries then stop matching instead
+#: of silently serving old traces.
+GENERATOR_VERSION = 1
 
 
 def _build_listing1(length: int, seed: int) -> Trace:
@@ -67,12 +75,63 @@ def generate_trace(name: str, length: int = 50_000, seed: int = 0) -> Trace:
     is deterministic in ``(name, length, seed)`` and cached per process
     (:data:`CACHE_SIZE` entries) because experiments re-run the same
     workload against many predictor configurations.
+
+    Three caching layers stack here, checked cheapest-first: the
+    in-process LRU memo, then the on-disk trace store (when
+    ``REPRO_TRACE_CACHE_DIR`` is set -- loading packed columns is ~an
+    order of magnitude cheaper than regenerating), then generation.  A
+    fresh generation is packed columnar and written back to the store
+    so sibling processes (``--workers N`` sweeps) load instead of
+    regenerate.
     """
     return _generate_cached(name, length, seed)
 
 
 @lru_cache(maxsize=CACHE_SIZE)
 def _generate_cached(name: str, length: int, seed: int) -> Trace:
+    store = trace_store.active_store()
+    if store is not None:
+        cached = store.load(name, length, seed, GENERATOR_VERSION)
+        if cached is not None:
+            return cached
+    trace = _generate(name, length, seed)
+    trace.pack()
+    if store is not None:
+        store.save(trace, length, GENERATOR_VERSION)
+    return trace
+
+
+def ensure_stored(name: str, length: int, seed: int = 0) -> bool:
+    """Make sure the trace for this triple is in the on-disk store.
+
+    Returns ``True`` when a store is active and the entry exists
+    afterwards (already present or written now).  Used by the resilient
+    harness to pre-warm the store once in the supervisor before fanning
+    a sweep out to worker processes.
+    """
+    store = trace_store.active_store()
+    if store is None:
+        return False
+    if store.entry_path(name, length, seed, GENERATOR_VERSION).exists():
+        return True
+    generate_trace(name, length, seed)
+    return store.entry_path(name, length, seed, GENERATOR_VERSION).exists()
+
+
+def clear_trace_caches() -> None:
+    """Reset every trace-caching layer owned by this module.
+
+    Drops the in-process generation memo *and* the ambient trace-store
+    handle (its per-process stats with it).  On-disk entries are left
+    alone -- they are content addressed, so a stale handle is the only
+    process-local state.  :func:`repro.harness.runner.clear_caches`
+    calls this so "clear the caches" means every layer at once.
+    """
+    _generate_cached.cache_clear()
+    trace_store.reset_active_store()
+
+
+def _generate(name: str, length: int, seed: int) -> Trace:
     special = SPECIAL_WORKLOAD_BUILDERS.get(name)
     if special is not None:
         return special(length, seed)

@@ -593,8 +593,9 @@ class MissConstantsKernel(Kernel):
         self.sentinel = sentinel & _VALUE_MASK
         if self.sentinel:
             # One word per 64-byte block, matching the loop's accesses.
-            for i in range(self.blocks):
-                builder.memory.write(self.region + i * 64, 8, self.sentinel)
+            builder.memory.write_words(
+                self.region, (self.sentinel,) * self.blocks, stride=64
+            )
         # LOAD + sentinel branch + ADD acc + ADD idx + CMP + backedge
         self.code = builder.alloc_code(6)
         regs = builder.alloc_regs(4)

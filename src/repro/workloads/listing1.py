@@ -40,7 +40,7 @@ def listing1_trace(
     instructions: list = []
     for _ in range(outer_m):
         kernel.emit(instructions, budget=0)  # one outer iteration per call
-    return Trace(
+    trace = Trace(
         name="listing1",
         instructions=instructions,
         seed=seed,
@@ -52,3 +52,7 @@ def listing1_trace(
         },
         initial_memory=initial_memory,
     )
+    # Pack the columnar view up front so Table-V replays take the
+    # simulator's columnar fast path like generator-produced traces do.
+    trace.pack()
+    return trace

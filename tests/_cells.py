@@ -14,3 +14,30 @@ def echo_cell(spec):
 def boom_cell(spec):
     """Raise a deterministic (non-transient) error."""
     raise ValueError(f"deterministic boom for {spec!r}")
+
+
+def trace_store_probe_cell(spec):
+    """Acquire a trace and report this process's trace-store traffic.
+
+    Used by the cross-process store-reuse tests: a pool worker running
+    this cell should *hit* the on-disk store (populated by the
+    supervisor's pre-warm) rather than regenerate.  Resets the
+    process-local caches first so an inline run measures the same thing
+    a fresh worker process would.
+    """
+    import os
+
+    from repro.workloads import store as trace_store
+    from repro.workloads.generator import clear_trace_caches, generate_trace
+
+    clear_trace_caches()
+    trace = generate_trace(
+        spec["workload"], spec["length"], spec.get("seed", 0)
+    )
+    store = trace_store.active_store()
+    return {
+        "pid": os.getpid(),
+        "instructions": len(trace),
+        "columnar": trace.columns is not None,
+        "store": store.stats.as_dict() if store is not None else None,
+    }

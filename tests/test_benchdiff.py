@@ -1,0 +1,78 @@
+"""Tests for the bench delta-table formatter (repro.harness.benchdiff)."""
+
+import json
+
+import pytest
+
+from repro.harness.benchdiff import diff_payloads, format_markdown, main
+
+
+def _payload(medians, quick=False):
+    return {
+        "schema": "repro-bench/1",
+        "config": {"quick": quick},
+        "benchmarks": {
+            name: {"median_ns": ns} for name, ns in medians.items()
+        },
+    }
+
+
+class TestDiff:
+    def test_speedup_and_delta(self):
+        rows = diff_payloads(
+            _payload({"baseline_sim": 200}), _payload({"baseline_sim": 100})
+        )
+        (row,) = rows
+        assert row["speedup"] == pytest.approx(2.0)
+        assert row["delta_ns"] == -100
+
+    def test_new_and_removed_lanes(self):
+        rows = diff_payloads(
+            _payload({"old": 100}), _payload({"new": 100})
+        )
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["new"]["baseline_ns"] is None
+        assert by_name["old"]["fresh_ns"] is None
+
+    def test_component_probe_skipped(self):
+        fresh = _payload({"trace_gen": 10})
+        fresh["benchmarks"]["component_probe"] = {"lvp": {"probes": 5}}
+        assert [r["name"] for r in diff_payloads(fresh, fresh)] == [
+            "trace_gen"
+        ]
+
+
+class TestFormat:
+    def test_markdown_table_shape(self):
+        rows = diff_payloads(
+            _payload({"a": 2_000_000}), _payload({"a": 1_000_000})
+        )
+        text = format_markdown(rows)
+        assert "| benchmark |" in text
+        assert "| a | 2.0 | 1.0 | -50.0% | 2.00x |" in text
+
+    def test_quick_note_appended(self):
+        text = format_markdown([], note="_quick_")
+        assert text.rstrip().endswith("_quick_")
+
+
+class TestMain:
+    def test_happy_path(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        base.write_text(json.dumps(_payload({"a": 200})))
+        fresh.write_text(json.dumps(_payload({"a": 100}, quick=True)))
+        assert main([str(base), str(fresh)]) == 0
+        out = capsys.readouterr().out
+        assert "2.00x" in out
+        assert "Quick mode" in out
+
+    def test_bad_usage_exits_2(self, capsys):
+        assert main(["only-one.json"]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_unreadable_input_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main([str(bad), str(bad)]) == 2
+        assert capsys.readouterr().err.startswith("error:")

@@ -158,6 +158,68 @@ class TestPredictorSpecValidation:
         assert "missing 'name'" in err
 
 
+class TestCacheCommand:
+    @pytest.fixture(autouse=True)
+    def _no_ambient_store(self, monkeypatch):
+        from repro.harness import runner
+        from repro.workloads.store import ENV_VAR
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        runner.clear_caches()
+        yield
+        runner.clear_caches()
+
+    def _populate(self, root):
+        from repro.workloads.generator import GENERATOR_VERSION, _generate
+        from repro.workloads.store import TraceStore
+
+        trace = _generate("coremark", 800, 0)
+        trace.pack()
+        TraceStore(root).save(trace, 800, GENERATOR_VERSION)
+
+    def test_stats_reports_entries(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        self._populate(root)
+        assert main(["cache", "--stats", "--dir", str(root)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["total_bytes"] > 0
+        assert "process_stats" not in payload
+
+    def test_stats_uses_env_var(self, tmp_path, monkeypatch, capsys):
+        from repro.workloads.store import ENV_VAR
+
+        root = tmp_path / "store"
+        self._populate(root)
+        monkeypatch.setenv(ENV_VAR, str(root))
+        assert main(["cache", "--stats"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 1
+
+    def test_clear_removes_entries(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        self._populate(root)
+        assert main(["cache", "--clear", "--dir", str(root)]) == 0
+        assert "removed 1 file(s)" in capsys.readouterr().out
+        assert main(["cache", "--stats", "--dir", str(root)]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_no_store_configured_exits_2(self, capsys):
+        assert main(["cache", "--stats"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no trace store configured" in err
+
+    def test_store_path_is_a_file_exits_2(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        assert main(["cache", "--stats", "--dir", str(not_a_dir)]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_stats_and_clear_are_exclusive(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["cache", "--stats", "--clear", "--dir", str(tmp_path)])
+
+
 CLI_DRIVER = """\
 import sys
 from repro import cli

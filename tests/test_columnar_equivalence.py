@@ -1,0 +1,147 @@
+"""Randomized bit-exact equivalence: columnar loop vs object oracle.
+
+The columnar fast path in :meth:`repro.pipeline.core.CoreModel.run`
+re-implements the per-instruction pass over packed arrays.  These tests
+are the contract that keeps it honest: for randomized workloads, seeds,
+and predictor assemblies, the full :class:`SimResult` -- every counter,
+the cycle count, and the nested ``extra`` diagnostics -- must be
+*identical* between ``columnar=True`` and ``columnar=False``.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.composite.composite import CompositePredictor
+from repro.composite.config import CompositeConfig
+from repro.eves.eves import eves_8kb
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import CoreModel, simulate
+from repro.pipeline.vp import EvesAdapter, SingleComponentAdapter
+from repro.predictors import make_component
+from repro.workloads.generator import clear_trace_caches, generate_trace
+
+
+@pytest.fixture(autouse=True)
+def _no_store(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE_CACHE_DIR", raising=False)
+    clear_trace_caches()
+    yield
+    clear_trace_caches()
+
+
+def run_both(trace, make_predictor, config=None, seed=0):
+    """One trace through both loops with independently built state."""
+    obj = CoreModel(
+        config=config, predictor=make_predictor(), seed=seed
+    ).run(trace, columnar=False)
+    col = CoreModel(
+        config=config, predictor=make_predictor(), seed=seed
+    ).run(trace, columnar=True)
+    return asdict(obj), asdict(col)
+
+
+def assert_bit_identical(trace, make_predictor, config=None, seed=0):
+    obj, col = run_both(trace, make_predictor, config, seed)
+    diff = {k: (obj[k], col[k]) for k in obj if obj[k] != col[k]}
+    assert not diff, f"columnar/object divergence on {trace.name}: {diff}"
+
+
+WORKLOADS = ("astar", "mcf", "coremark", "listing1")
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("seed", (0, 3))
+    def test_baseline(self, workload, seed):
+        trace = generate_trace(workload, 3000, seed)
+        assert_bit_identical(trace, lambda: None, seed=seed)
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("seed", (0, 7))
+    def test_composite(self, workload, seed):
+        trace = generate_trace(workload, 3000, seed)
+        assert_bit_identical(
+            trace,
+            lambda: CompositePredictor(CompositeConfig().homogeneous(128)),
+            seed=seed,
+        )
+
+    @pytest.mark.parametrize("workload", ("astar", "listing1"))
+    def test_eves(self, workload):
+        trace = generate_trace(workload, 3000, 1)
+        assert_bit_identical(trace, lambda: EvesAdapter(eves_8kb()), seed=1)
+
+    @pytest.mark.parametrize("component", ("lvp", "sap", "cvp", "cap"))
+    def test_single_components(self, component):
+        trace = generate_trace("mcf", 2500, 2)
+        assert_bit_identical(
+            trace,
+            lambda: SingleComponentAdapter(make_component(component, 128)),
+            seed=2,
+        )
+
+    def test_no_memory_dependence_config(self):
+        trace = generate_trace("astar", 2500, 4)
+        config = CoreConfig(memory_dependence="oracle")
+        assert_bit_identical(
+            trace,
+            lambda: CompositePredictor(CompositeConfig().homogeneous(64)),
+            config=config,
+            seed=4,
+        )
+
+    def test_cold_l3_config(self):
+        trace = generate_trace("mcf", 2500, 6)
+        config = CoreConfig(warm_l3=False)
+        assert_bit_identical(trace, lambda: None, config=config, seed=6)
+
+
+class TestDispatch:
+    def test_packed_trace_defaults_to_columnar(self):
+        trace = generate_trace("astar", 1500, 0)
+        assert trace.columns is not None
+        default = simulate(trace, seed=0)
+        forced = simulate(trace, seed=0, columnar=True)
+        assert asdict(default) == asdict(forced)
+
+    def test_unpacked_trace_uses_object_path(self):
+        from repro.isa.trace import Trace
+
+        packed = generate_trace("astar", 1500, 0)
+        unpacked = Trace(
+            name=packed.name,
+            instructions=list(packed.instructions),
+            seed=packed.seed,
+            metadata=dict(packed.metadata),
+            initial_memory=packed.initial_memory,
+        )
+        assert unpacked.columns is None
+        assert asdict(simulate(unpacked)) == asdict(simulate(packed))
+
+    def test_forcing_columnar_without_columns_raises(self):
+        from repro.isa.trace import Trace
+
+        packed = generate_trace("astar", 1500, 0)
+        unpacked = Trace(
+            name=packed.name,
+            instructions=list(packed.instructions),
+            seed=packed.seed,
+            initial_memory=packed.initial_memory,
+        )
+        with pytest.raises(ValueError, match="no packed columns"):
+            simulate(unpacked, columnar=True)
+
+    def test_interrupt_hook_fires_on_columnar_path(self):
+        from repro.pipeline.core import SimulationInterrupted
+
+        trace = generate_trace("astar", 1500, 0)
+        calls = []
+        with pytest.raises(SimulationInterrupted):
+            simulate(
+                trace,
+                interrupt=lambda done: calls.append(done) or len(calls) > 1,
+                interrupt_interval=256,
+                columnar=True,
+            )
+        assert calls == [256, 512]
