@@ -1,0 +1,55 @@
+"""Smoke lane for the prediction-service benchmarks.
+
+Runs ``repro-lvp loadgen``'s benchmark at tiny sizes and checks the
+payload's structure, the shared ``repro-bench/1`` schema, and the
+zero-failure contract -- never absolute timings or the batching
+speedup itself, which would flake on shared CI runners (the real
+numbers come from the artifact-producing perf job).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.serve.loadgen import run_benchmark, total_failures
+
+
+def test_quick_serve_benchmark_structure():
+    seen = []
+    payload = run_benchmark(
+        workload="coremark", length=1200, sessions=3,
+        events_per_request=64, quick=True, progress=seen.append,
+    )
+
+    assert payload["schema"] == "repro-bench/1"
+    assert payload["suite"] == "serve"
+    assert payload["config"]["quick"] is True
+    assert payload["config"]["sessions"] == 3
+    assert seen == [
+        "serve_single", "serve_concurrent3", "serve_concurrent3_unbatched",
+    ]
+
+    assert total_failures(payload) == 0
+    for lane in payload["benchmarks"].values():
+        assert lane["requests_ok"] > 0
+        assert lane["median_ns"] > 0
+        assert lane["p50_ns"] <= lane["p95_ns"] <= lane["p99_ns"] \
+            <= lane["max_ns"]
+        assert lane["events_applied"] > 0
+        assert lane["server"]["protocol_errors"] == 0
+
+    comparison = payload["comparison"]
+    assert comparison["micro_batching_throughput_speedup"] > 0
+    assert comparison["micro_batching_p50_speedup"] > 0
+
+    json.loads(json.dumps(payload))
+
+
+def test_quick_caps_sizes():
+    payload = run_benchmark(
+        workload="coremark", length=50_000, sessions=32,
+        events_per_request=512, quick=True,
+    )
+    assert payload["config"]["length"] <= 2000
+    assert payload["config"]["sessions"] <= 4
+    assert payload["config"]["events_per_request"] <= 128

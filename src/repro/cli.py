@@ -7,6 +7,8 @@ Examples::
     repro-lvp run table6 --scale smoke  # smaller/faster
     repro-lvp run fig12 --json out.json # machine-readable results
     repro-lvp cache --stats             # on-disk trace store contents
+    repro-lvp serve --port 7341         # online prediction service
+    repro-lvp loadgen --quick           # latency lanes -> BENCH_serve.json
 
 Resilient execution (long sweeps)::
 
@@ -140,6 +142,10 @@ def _build_parser() -> argparse.ArgumentParser:
              "BENCH_simcore.json",
     )
     bench.add_argument(
+        "--workload", default="gcc2k", metavar="NAME",
+        help="workload driving the benchmarks (default: gcc2k)",
+    )
+    bench.add_argument(
         "-o", "--output", metavar="PATH", default="BENCH_simcore.json",
         help="output JSON file (default: BENCH_simcore.json, "
              "written atomically)",
@@ -156,6 +162,107 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--quick", action="store_true",
         help="small sizes / fewer repeats (CI smoke configuration)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the online prediction server (drains cleanly on "
+             "SIGTERM/SIGINT)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="TCP port; 0 binds an ephemeral port and prints it "
+             "(default: 0)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=1024, metavar="N",
+        help="bounded request queue; overflow gets explicit "
+             "backpressure responses (default: 1024)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16, metavar="N",
+        help="most requests coalesced per scheduler wakeup (default: 16)",
+    )
+    serve.add_argument(
+        "--no-batching", action="store_true",
+        help="process one request per event-loop tick (comparison mode)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="queue-wait budget per request; 0 disables (default: 30)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=64, metavar="N",
+        help="LRU-evict idle sessions beyond this count (default: 64)",
+    )
+    serve.add_argument(
+        "--max-session-bytes", type=int, default=None, metavar="N",
+        help="estimated byte budget across all sessions (default: none)",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay a trace against the prediction service and write "
+             "BENCH_serve.json",
+    )
+    loadgen.add_argument(
+        "--workload", default="gcc2k", metavar="NAME",
+        help="workload to replay (default: gcc2k)",
+    )
+    loadgen.add_argument(
+        "--length", type=int, default=8000, metavar="N",
+        help="instructions in the replayed trace (default: 8000)",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="workload seed (default: 0)",
+    )
+    loadgen.add_argument(
+        "--predictor", default="composite",
+        help="predictor each session runs (default: composite)",
+    )
+    loadgen.add_argument(
+        "--entries", type=int, default=256, metavar="N",
+        help="entries per component (default: 256)",
+    )
+    loadgen.add_argument(
+        "--sessions", type=int, default=16, metavar="N",
+        help="concurrent sessions on the concurrent lane (default: 16)",
+    )
+    loadgen.add_argument(
+        "--events-per-request", type=int, default=32, metavar="N",
+        help="instruction events per apply request (default: 32)",
+    )
+    loadgen.add_argument(
+        "--pipeline-depth", type=int, default=4, metavar="N",
+        help="in-flight requests per session (default: 4)",
+    )
+    loadgen.add_argument(
+        "--max-queue", type=int, default=1024, metavar="N",
+        help="server queue bound for the benchmark lanes (default: 1024)",
+    )
+    loadgen.add_argument(
+        "--max-batch", type=int, default=16, metavar="N",
+        help="server batch cap for the benchmark lanes (default: 16)",
+    )
+    loadgen.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="drive an already-running server instead of the "
+             "self-hosted benchmark lanes (prints one lane, writes "
+             "no file)",
+    )
+    loadgen.add_argument(
+        "--quick", action="store_true",
+        help="small sizes (CI smoke configuration)",
+    )
+    loadgen.add_argument(
+        "-o", "--output", metavar="PATH", default="BENCH_serve.json",
+        help="output JSON file for benchmark mode (default: "
+             "BENCH_serve.json, written atomically)",
     )
 
     cache = sub.add_parser(
@@ -236,6 +343,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "bench":
         return _bench_command(args)
 
+    if args.command == "serve":
+        return _serve_command(args)
+
+    if args.command == "loadgen":
+        return _loadgen_command(args)
+
     if args.command == "cache":
         return _cache_command(args)
 
@@ -300,6 +413,26 @@ def _run_command(args) -> int:
     return 0
 
 
+def _check_workload(name: str) -> str | None:
+    """None when ``name`` is a known workload, else the error message."""
+    valid = tuple(ALL_WORKLOADS) + tuple(SPECIAL_WORKLOADS)
+    if name in valid:
+        return None
+    return f"unknown workload {name!r}; valid names: " + ", ".join(valid)
+
+
+def _check_predictor(name: str) -> str | None:
+    """None when ``name`` is a known predictor, else the error message."""
+    from repro.serve.session import PREDICTOR_NAMES
+
+    if name in PREDICTOR_NAMES:
+        return None
+    return (
+        f"unknown predictor {name!r}; valid names: "
+        + ", ".join(PREDICTOR_NAMES)
+    )
+
+
 def _bench_command(args) -> int:
     """The ``bench`` subcommand: micro-benchmarks -> BENCH_simcore.json."""
     from repro.harness.microbench import run_benchmarks
@@ -308,15 +441,165 @@ def _bench_command(args) -> int:
         return _fail(f"--repeats must be >= 1, got {args.repeats}")
     if args.length < 100:
         return _fail(f"--length must be >= 100, got {args.length}")
+    problem = _check_workload(args.workload)
+    if problem:
+        return _fail(problem)
     payload = run_benchmarks(
         length=args.length,
         repeats=args.repeats,
         quick=args.quick,
+        workload=args.workload,
         progress=lambda name: print(f"bench: {name} ...", file=sys.stderr),
     )
     atomic_write_json(args.output, payload)
     print(json.dumps(payload, indent=2))
     print(f"# wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _serve_command(args) -> int:
+    """The ``serve`` subcommand: run the server until SIGTERM/SIGINT."""
+    import asyncio
+
+    from repro.serve.server import PredictionServer, ServerConfig
+
+    if not 0 <= args.port <= 65535:
+        return _fail(f"--port must be in [0, 65535], got {args.port}")
+    if args.max_queue < 1:
+        return _fail(f"--max-queue must be >= 1, got {args.max_queue}")
+    if args.max_batch < 1:
+        return _fail(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.request_timeout < 0:
+        return _fail(
+            f"--request-timeout must be >= 0, got {args.request_timeout}"
+        )
+    if args.max_sessions < 1:
+        return _fail(f"--max-sessions must be >= 1, got {args.max_sessions}")
+    if args.max_session_bytes is not None and args.max_session_bytes < 1:
+        return _fail(
+            f"--max-session-bytes must be >= 1, got {args.max_session_bytes}"
+        )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        micro_batching=not args.no_batching,
+        request_timeout=args.request_timeout or None,
+        max_sessions=args.max_sessions,
+        max_session_bytes=args.max_session_bytes,
+    )
+
+    async def _serve() -> dict:
+        server = PredictionServer(config)
+        await server.start()
+        # The one line scripts parse to learn the ephemeral port.
+        print(f"serving on {config.host}:{server.port}", flush=True)
+        await server.serve_until_shutdown()
+        return server.stats()
+
+    try:
+        stats = asyncio.run(_serve())
+    except OSError as exc:
+        return _fail(f"cannot bind {args.host}:{args.port}: {exc}")
+    except KeyboardInterrupt:
+        return 130
+    print(json.dumps(stats, indent=2))
+    print("# drained cleanly", file=sys.stderr)
+    return 0
+
+
+def _loadgen_command(args) -> int:
+    """The ``loadgen`` subcommand: benchmark lanes or a one-off burst."""
+    import asyncio
+
+    from repro.serve import loadgen
+    from repro.serve.session import SessionError, spec_from_name
+    from repro.workloads.generator import ensure_stored, generate_trace
+
+    for flag, value in (
+        ("--length", args.length), ("--sessions", args.sessions),
+        ("--events-per-request", args.events_per_request),
+        ("--pipeline-depth", args.pipeline_depth),
+        ("--max-queue", args.max_queue), ("--max-batch", args.max_batch),
+        ("--entries", args.entries),
+    ):
+        if value < 1:
+            return _fail(f"{flag} must be >= 1, got {value}")
+    if args.length < 100:
+        return _fail(f"--length must be >= 100, got {args.length}")
+    if args.seed < 0:
+        return _fail(f"--seed must be >= 0, got {args.seed}")
+    problem = _check_workload(args.workload)
+    if problem:
+        return _fail(problem)
+    try:
+        spec = spec_from_name(args.predictor.lower(), args.entries)
+    except SessionError as exc:
+        return _fail(str(exc))
+
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            port = -1
+        if not host or not 0 < port <= 65535:
+            return _fail(
+                f"--connect expects HOST:PORT, got {args.connect!r}"
+            )
+        ensure_stored(args.workload, args.length, args.seed)
+        events = loadgen.trace_to_events(
+            generate_trace(args.workload, args.length, args.seed)
+        )
+        try:
+            lane = asyncio.run(loadgen.run_loadgen(
+                host, port, events, spec,
+                workload={
+                    "name": args.workload, "length": args.length,
+                    "seed": args.seed,
+                },
+                sessions=args.sessions,
+                events_per_request=args.events_per_request,
+                pipeline_depth=args.pipeline_depth,
+            ))
+        except (ConnectionError, OSError) as exc:
+            return _fail(f"cannot reach server at {args.connect}: {exc}")
+        print(json.dumps(lane, indent=2))
+        failed = lane["requests_failed"] + lane["stream_errors"]
+        if failed:
+            print(
+                f"# {failed} request(s) failed (see 'error_codes')",
+                file=sys.stderr,
+            )
+            return EXIT_PARTIAL_FAILURE
+        return 0
+
+    payload = loadgen.run_benchmark(
+        workload=args.workload,
+        length=args.length,
+        seed=args.seed,
+        predictor=args.predictor.lower(),
+        entries=args.entries,
+        sessions=args.sessions,
+        events_per_request=args.events_per_request,
+        pipeline_depth=args.pipeline_depth,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        quick=args.quick,
+        progress=lambda name: print(f"loadgen: {name} ...", file=sys.stderr),
+    )
+    atomic_write_json(args.output, payload)
+    print(json.dumps(payload, indent=2))
+    print(f"# wrote {args.output}", file=sys.stderr)
+    failures = loadgen.total_failures(payload)
+    if failures:
+        print(
+            f"# {failures} request(s) failed or hit protocol/internal "
+            "errors across lanes",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL_FAILURE
     return 0
 
 
@@ -377,6 +660,9 @@ def _simulate_command(args) -> int:
         )
 
     name = args.predictor.lower()
+    problem = _check_predictor(name)
+    if problem:
+        return _fail(problem)
     try:
         if name == "none":
             predictor = None

@@ -1,14 +1,21 @@
-"""Compare two ``repro-bench/1`` payloads and render a delta table.
+"""The ``repro-bench/1`` payload schema: one writer, one differ.
 
-CI's non-gating perf job runs a fresh ``repro-lvp bench`` and diffs it
-against the checked-in ``BENCH_simcore.json`` so every PR's job summary
-shows the per-benchmark movement (median nanoseconds, signed delta, and
-speedup factor) without anyone downloading artifacts.  Timings on
-shared runners are indicative only, so this module *never* fails a
-build -- it formats; humans judge.
+Every benchmark artifact in this repository -- ``BENCH_simcore.json``
+from ``repro-lvp bench`` and ``BENCH_serve.json`` from ``repro-lvp
+loadgen`` -- is built by :func:`make_payload`, so all suites share one
+schema (suite + config + environment fingerprint + per-lane entries
+with ``median_ns``) and CI's diff step handles any of them with the
+same command.
 
-Usable as a library (:func:`diff_payloads` / :func:`format_markdown`)
-or as a command::
+CI's non-gating perf job runs a fresh benchmark and diffs it against
+the checked-in baseline so every PR's job summary shows the per-lane
+movement (median nanoseconds, signed delta, and speedup factor)
+without anyone downloading artifacts.  Timings on shared runners are
+indicative only, so this module *never* fails a build -- it formats;
+humans judge.
+
+Usable as a library (:func:`make_payload` / :func:`diff_payloads` /
+:func:`format_markdown`) or as a command::
 
     python -m repro.harness.benchdiff BENCH_simcore.json fresh.json \
         >> "$GITHUB_STEP_SUMMARY"
@@ -17,11 +24,78 @@ or as a command::
 from __future__ import annotations
 
 import json
+import platform
+import statistics
 import sys
+import time
 from typing import Any
+
+#: The one schema tag every benchmark payload carries.
+SCHEMA = "repro-bench/1"
 
 #: Benchmarks whose entry is not a single ``median_ns`` timing.
 _STRUCTURED = ("component_probe",)
+
+#: Human titles for the known suites (diff table headings).
+_SUITE_TITLES = {
+    "simcore": "Simulator-core micro-benchmarks",
+    "serve": "Prediction-service benchmarks",
+}
+
+
+# ----------------------------------------------------------------------
+# Shared payload writer
+# ----------------------------------------------------------------------
+
+def environment_fingerprint() -> dict:
+    """The environment facts recorded with every benchmark payload."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+    }
+
+
+def median_lane(runs_ns, **metadata) -> dict:
+    """One timed lane: median-of-N plus the raw runs and any metadata.
+
+    ``median_ns`` is what :func:`diff_payloads` compares across
+    payloads; everything else rides along for humans and smoke tests.
+    """
+    runs = [int(run) for run in runs_ns]
+    if not runs:
+        raise ValueError("a timed lane needs at least one run")
+    return {
+        "median_ns": int(statistics.median(runs)),
+        "runs_ns": runs,
+        **metadata,
+    }
+
+
+def make_payload(
+    suite: str,
+    config: dict,
+    benchmarks: dict,
+    reference: dict | None = None,
+) -> dict:
+    """Assemble one ``repro-bench/1`` payload (any suite).
+
+    ``config`` should record everything needed to tell whether two
+    payloads are comparable (sizes, repeats, quick mode); the
+    environment fingerprint and UTC timestamp are added here so no
+    suite forgets them.
+    """
+    payload = {
+        "schema": SCHEMA,
+        "suite": suite,
+        "config": dict(config),
+        "environment": environment_fingerprint(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "benchmarks": benchmarks,
+    }
+    if reference is not None:
+        payload["reference"] = reference
+    return payload
 
 
 def _median_table(payload: dict) -> dict[str, int]:
@@ -64,10 +138,14 @@ def _fmt_ns(value: int | None) -> str:
     return f"{value / 1e6:,.1f}" if value else "--"
 
 
-def format_markdown(rows: list[dict[str, Any]], note: str = "") -> str:
+def format_markdown(
+    rows: list[dict[str, Any]],
+    note: str = "",
+    title: str = _SUITE_TITLES["simcore"],
+) -> str:
     """Render diff rows as a GitHub-flavoured markdown table."""
     lines = [
-        "### Simulator-core micro-benchmarks",
+        f"### {title}",
         "",
         "| benchmark | baseline (ms) | fresh (ms) | delta | speedup |",
         "|---|---:|---:|---:|---:|",
@@ -121,7 +199,9 @@ def main(argv: list[str] | None = None) -> int:
             "_Quick mode (tiny inputs, shared runner): deltas are "
             "indicative, not gating._"
         )
-    print(format_markdown(diff_payloads(baseline, fresh), note))
+    suite = fresh.get("suite", "")
+    title = _SUITE_TITLES.get(suite, f"{suite or 'Unknown-suite'} benchmarks")
+    print(format_markdown(diff_payloads(baseline, fresh), note, title=title))
     return 0
 
 

@@ -18,11 +18,10 @@ visible in the artifact trail.
 
 from __future__ import annotations
 
-import platform
-import statistics
-import sys
 import time
 from typing import Callable
+
+from repro.harness.benchdiff import make_payload, median_lane
 
 #: Benchmarked workload: branchy integer code, the profile that
 #: stresses history folding hardest.
@@ -68,7 +67,7 @@ def _median_ns(fn: Callable[[], None], repeats: int) -> dict:
         start = time.perf_counter_ns()
         fn()
         runs.append(time.perf_counter_ns() - start)
-    return {"median_ns": int(statistics.median(runs)), "runs_ns": runs}
+    return median_lane(runs)
 
 
 def _collect_probes(trace):
@@ -115,6 +114,7 @@ def run_benchmarks(
     length: int = 20000,
     repeats: int = 5,
     quick: bool = False,
+    workload: str = WORKLOAD,
     progress: Callable[[str], None] | None = None,
 ) -> dict:
     """Run the simulator-core micro-benchmark suite.
@@ -149,7 +149,7 @@ def run_benchmarks(
     def regen() -> None:
         """One trace acquisition with the in-process memo dropped."""
         _generate_cached.cache_clear()
-        generate_trace(WORKLOAD, length)
+        generate_trace(workload, length)
 
     # trace_gen (warm): the store-backed path sweep workers take after
     # the supervisor's pre-warm -- load packed columns from a populated
@@ -164,7 +164,7 @@ def run_benchmarks(
         trace_store.reset_active_store()
         _generate_cached.cache_clear()
         try:
-            ensure_stored(WORKLOAD, length)
+            ensure_stored(workload, length)
             store = trace_store.active_store()
             before = store.stats.as_dict()
             benchmarks["trace_gen"] = _median_ns(regen, repeats)
@@ -199,7 +199,7 @@ def run_benchmarks(
             os.environ[trace_store.ENV_VAR] = saved_env
         trace_store.reset_active_store()
 
-    trace = generate_trace(WORKLOAD, length)
+    trace = generate_trace(workload, length)
 
     note("baseline_sim")
     benchmarks["baseline_sim"] = _median_ns(
@@ -243,11 +243,10 @@ def run_benchmarks(
         }
     benchmarks["component_probe"] = probe_costs
 
-    payload = {
-        "schema": "repro-bench/1",
-        "suite": "simcore",
-        "config": {
-            "workload": WORKLOAD,
+    payload = make_payload(
+        "simcore",
+        {
+            "workload": workload,
             "length": length,
             "repeats": repeats,
             "warmup": 1,
@@ -255,15 +254,9 @@ def run_benchmarks(
             "timer": "time.perf_counter_ns",
             "statistic": "median",
         },
-        "environment": {
-            "python": sys.version.split()[0],
-            "implementation": platform.python_implementation(),
-            "platform": platform.platform(),
-        },
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "benchmarks": benchmarks,
-    }
-    if not quick and length == 20000:
+        benchmarks,
+    )
+    if not quick and length == 20000 and workload == WORKLOAD:
         pre_columnar_speedup = {
             name: round(ref / benchmarks[name]["median_ns"], 3)
             for name, ref in PRE_COLUMNAR_REFERENCE_NS.items()

@@ -1,0 +1,35 @@
+"""Online prediction service: stateful sessions over the wire.
+
+Everything else in the repository drives the composite predictor from
+inside the offline batch simulator; this package turns it into an
+*online* component -- the way LDBP and the speculative-execution
+literature treat value prediction, as a low-latency service on the
+fetch path.  Four layers:
+
+* :mod:`repro.serve.session` -- a standalone stateful
+  ``predict``/``train`` API over any :func:`repro.harness.runner.
+  build_predictor` spec, decoupled from the timing model, with
+  per-session memory accounting and LRU eviction.
+* :mod:`repro.serve.protocol` -- length-prefixed binary framing and
+  the structured error vocabulary shared by server and client.
+* :mod:`repro.serve.server` -- an asyncio server with a micro-batching
+  scheduler, bounded queues with explicit backpressure, per-request
+  timeouts, and graceful drain on SIGTERM.
+* :mod:`repro.serve.client` / :mod:`repro.serve.loadgen` -- a
+  pipelining client and a trace-replaying load generator that measures
+  throughput and p50/p95/p99 latency into ``BENCH_serve.json``.
+"""
+
+from repro.serve.session import (
+    PredictorSession,
+    SessionError,
+    SessionManager,
+    spec_from_name,
+)
+
+__all__ = [
+    "PredictorSession",
+    "SessionError",
+    "SessionManager",
+    "spec_from_name",
+]

@@ -1,0 +1,165 @@
+"""Asyncio client for the prediction service, with pipelining.
+
+A :class:`ServeClient` multiplexes any number of in-flight requests
+over one connection: :meth:`submit` writes a frame and returns a
+future immediately, a background reader task resolves futures as
+responses arrive (matched by request id), and :meth:`request` is the
+await-one-response convenience.  The load generator keeps a window of
+submitted requests open per session, which is what lets the server's
+micro-batching scheduler actually see batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve import protocol
+
+
+class ServeError(Exception):
+    """A structured error response from the server."""
+
+    def __init__(
+        self, code: str, message: str, request_id: int | None = None
+    ) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.request_id = request_id
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.PredictionServer`."""
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        #: Stream-level ERROR frames the server sent (not tied to a
+        #: request id); tests and diagnostics read these.
+        self.stream_errors: list[dict] = []
+        self._read_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+        self._fail_pending(ConnectionError("client closed"))
+
+    # ------------------------------------------------------------------
+    # Core request machinery
+    # ------------------------------------------------------------------
+
+    async def submit(self, op: str, **params) -> asyncio.Future:
+        """Send one request; resolve the returned future later."""
+        self._next_id += 1
+        request_id = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        body = {"id": request_id, "op": op, **params}
+        try:
+            await protocol.write_frame(self._writer, protocol.REQUEST, body)
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            raise ConnectionError(f"server connection lost: {exc}") from exc
+        return future
+
+    async def request(self, op: str, **params) -> dict:
+        """Send one request and await its result (or :class:`ServeError`)."""
+        return await (await self.submit(op, **params))
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame_type, body = await protocol.read_frame(self._reader)
+                if frame_type == protocol.ERROR:
+                    self.stream_errors.append(body)
+                    continue
+                if not isinstance(body, dict):
+                    continue
+                request_id = body.get("id")
+                future = self._pending.pop(request_id, None)
+                if future is None or future.done():
+                    continue
+                if body.get("ok"):
+                    future.set_result(body.get("result", {}))
+                else:
+                    error = body.get("error", {})
+                    future.set_exception(ServeError(
+                        error.get("code", "unknown"),
+                        error.get("message", ""),
+                        request_id,
+                    ))
+        except (asyncio.IncompleteReadError, ConnectionError, OSError,
+                protocol.ProtocolError) as exc:
+            self._fail_pending(
+                ConnectionError(f"server connection lost: {exc}")
+            )
+        except asyncio.CancelledError:
+            raise
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Convenience verbs
+    # ------------------------------------------------------------------
+
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+    async def open_session(
+        self,
+        session: str,
+        spec: dict | None = None,
+        workload: dict | None = None,
+    ) -> dict:
+        params: dict = {"session": session, "spec": spec}
+        if workload is not None:
+            params["workload"] = workload
+        return await self.request("open", **params)
+
+    async def close_session(self, session: str) -> dict:
+        return await self.request("close", session=session)
+
+    async def apply(self, session: str, events: list[dict]) -> dict:
+        return await self.request("apply", session=session, events=events)
+
+    async def predict(self, session: str, pc: int) -> dict:
+        return await self.request("predict", session=session, pc=pc)
+
+    async def train(
+        self, session: str, addr: int, size: int, value: int
+    ) -> dict:
+        return await self.request(
+            "train", session=session,
+            outcome={"addr": addr, "size": size, "value": value},
+        )
+
+
+__all__ = ["ServeClient", "ServeError"]

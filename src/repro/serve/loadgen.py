@@ -1,0 +1,383 @@
+"""Trace-replaying load generator and the serve benchmark lanes.
+
+The generator turns a workload trace (store-backed when
+``REPRO_TRACE_CACHE_DIR`` is set) into the instruction-event stream a
+:class:`~repro.serve.session.PredictorSession` consumes, then drives N
+concurrent sessions -- each over its own connection, each with a
+pipeline window of in-flight ``apply`` requests -- against a server
+while recording per-request latency.  :func:`run_benchmark` packages
+three lanes into a ``repro-bench/1`` payload (``BENCH_serve.json``):
+
+* ``serve_single`` -- one session, micro-batching on (baseline);
+* ``serve_concurrent<N>`` -- N sessions, micro-batching on;
+* ``serve_concurrent<N>_unbatched`` -- N sessions, one request per
+  event-loop tick, the path micro-batching must beat.
+
+Each lane reports ``median_ns`` (the p50 request latency, which is
+what ``benchdiff`` tracks across commits) plus p95/p99, throughput in
+requests and events per second, and the server's own counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable
+
+from repro.harness.benchdiff import make_payload
+from repro.isa.instruction import OpClass
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import PredictionServer, ServerConfig
+from repro.serve.session import spec_from_name
+
+#: Resubmissions of one chunk after ``backpressure`` before giving up.
+MAX_BACKPRESSURE_RETRIES = 200
+
+
+def trace_to_events(trace) -> list[dict]:
+    """Flatten a trace into the session event vocabulary.
+
+    Branches, stores, and loads become explicit events; runs of
+    instructions the predictor never sees (ALU work) coalesce into
+    ``tick`` events so the epoch clock still advances instruction-for-
+    instruction (sessions tick once per explicit event themselves).
+    """
+    events: list[dict] = []
+    ticks = 0
+    for inst in trace.instructions:
+        op = inst.op
+        if op.is_branch:
+            if ticks:
+                events.append({"k": "t", "n": ticks})
+                ticks = 0
+            events.append({
+                "k": "b", "pc": inst.pc, "taken": bool(inst.taken),
+                "cond": op is OpClass.BRANCH_COND,
+            })
+        elif op is OpClass.STORE:
+            if ticks:
+                events.append({"k": "t", "n": ticks})
+                ticks = 0
+            events.append({
+                "k": "s", "pc": inst.pc, "addr": inst.addr,
+                "size": inst.size, "value": inst.value,
+            })
+        elif op is OpClass.LOAD:
+            if ticks:
+                events.append({"k": "t", "n": ticks})
+                ticks = 0
+            events.append({
+                "k": "l", "pc": inst.pc, "addr": inst.addr,
+                "size": inst.size, "value": inst.value,
+                "pred": inst.predictable,
+            })
+        else:
+            ticks += 1
+    if ticks:
+        events.append({"k": "t", "n": ticks})
+    return events
+
+
+def percentile_ns(sorted_ns: list[int], fraction: float) -> int:
+    """Nearest-rank percentile of an ascending latency list."""
+    if not sorted_ns:
+        return 0
+    rank = max(1, -(-len(sorted_ns) * fraction // 1))  # ceil
+    return sorted_ns[min(len(sorted_ns), int(rank)) - 1]
+
+
+async def _drive_session(
+    host: str,
+    port: int,
+    session_id: str,
+    spec: dict | None,
+    workload: dict | None,
+    chunks: list[list[dict]],
+    pipeline_depth: int,
+    latencies: list[int],
+    tallies: dict,
+) -> None:
+    """Replay one session's chunks with a window of in-flight requests."""
+    client = await ServeClient.connect(host, port)
+    try:
+        await client.open_session(session_id, spec, workload=workload)
+        window: deque = deque()
+        for chunk in chunks:
+            while len(window) >= pipeline_depth:
+                await _settle(client, session_id, window.popleft(),
+                              latencies, tallies)
+            window.append(await _launch(client, session_id, chunk))
+        while window:
+            await _settle(client, session_id, window.popleft(),
+                          latencies, tallies)
+        closed = await client.close_session(session_id)
+        tallies["sessions"].append(closed["closed"])
+        tallies["stream_errors"] += len(client.stream_errors)
+    finally:
+        await client.close()
+
+
+async def _launch(client: ServeClient, session_id: str, chunk: list[dict]):
+    start = time.perf_counter_ns()
+    future = await client.submit("apply", session=session_id, events=chunk)
+    return start, future, chunk
+
+
+async def _settle(
+    client: ServeClient,
+    session_id: str,
+    inflight,
+    latencies: list[int],
+    tallies: dict,
+) -> None:
+    """Await one in-flight request; retry (re-submit) on backpressure."""
+    start, future, chunk = inflight
+    for attempt in range(MAX_BACKPRESSURE_RETRIES + 1):
+        try:
+            await future
+        except ServeError as exc:
+            if (exc.code == "backpressure"
+                    and attempt < MAX_BACKPRESSURE_RETRIES):
+                tallies["backpressure_retries"] += 1
+                # An explicitly rejected request was never applied, so
+                # resubmitting the same chunk is safe.
+                await asyncio.sleep(0.0005 * (attempt + 1))
+                start = time.perf_counter_ns()
+                future = await client.submit(
+                    "apply", session=session_id, events=chunk
+                )
+                continue
+            tallies["errors"] += 1
+            code_counts = tallies["error_codes"]
+            code_counts[exc.code] = code_counts.get(exc.code, 0) + 1
+            return
+        latencies.append(time.perf_counter_ns() - start)
+        tallies["ok"] += 1
+        return
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    events: list[dict],
+    spec: dict | None,
+    workload: dict | None = None,
+    sessions: int = 1,
+    events_per_request: int = 256,
+    pipeline_depth: int = 4,
+) -> dict:
+    """Drive ``sessions`` concurrent replays; returns the lane dict."""
+    chunks = [
+        events[i:i + events_per_request]
+        for i in range(0, len(events), events_per_request)
+    ]
+    latencies: list[int] = []
+    tallies: dict = {
+        "ok": 0, "errors": 0, "backpressure_retries": 0,
+        "stream_errors": 0, "error_codes": {}, "sessions": [],
+    }
+    started = time.perf_counter()
+    await asyncio.gather(*[
+        _drive_session(
+            host, port, f"loadgen-{index}", spec, workload,
+            chunks, pipeline_depth, latencies, tallies,
+        )
+        for index in range(sessions)
+    ])
+    elapsed = time.perf_counter() - started
+    ordered = sorted(latencies)
+    closed = tallies["sessions"]
+    events_applied = sum(s["events"] for s in closed)
+    loads = sum(s["loads"] for s in closed)
+    predicted = sum(s["predicted_loads"] for s in closed)
+    correct = sum(s["correct_predictions"] for s in closed)
+    return {
+        # benchdiff tracks median_ns: the p50 apply-request latency.
+        "median_ns": percentile_ns(ordered, 0.50),
+        "p50_ns": percentile_ns(ordered, 0.50),
+        "p95_ns": percentile_ns(ordered, 0.95),
+        "p99_ns": percentile_ns(ordered, 0.99),
+        "max_ns": ordered[-1] if ordered else 0,
+        "requests_ok": tallies["ok"],
+        "requests_failed": tallies["errors"],
+        "error_codes": tallies["error_codes"],
+        "backpressure_retries": tallies["backpressure_retries"],
+        "stream_errors": tallies["stream_errors"],
+        "sessions": sessions,
+        "events_per_request": events_per_request,
+        "pipeline_depth": pipeline_depth,
+        "events_applied": events_applied,
+        "loads": loads,
+        "predicted_loads": predicted,
+        "accuracy": (correct / predicted) if predicted else 1.0,
+        "elapsed_s": elapsed,
+        "throughput_rps": tallies["ok"] / elapsed if elapsed else 0.0,
+        "throughput_eps": events_applied / elapsed if elapsed else 0.0,
+    }
+
+
+async def _run_lane(
+    events: list[dict],
+    spec: dict | None,
+    workload: dict | None,
+    sessions: int,
+    events_per_request: int,
+    pipeline_depth: int,
+    micro_batching: bool,
+    max_queue: int,
+    max_batch: int,
+) -> dict:
+    """One benchmark lane against a fresh in-process server."""
+    server = PredictionServer(ServerConfig(
+        port=0,
+        max_queue=max_queue,
+        max_batch=max_batch,
+        micro_batching=micro_batching,
+        max_sessions=sessions + 4,
+        request_timeout=None,
+    ))
+    await server.start()
+    try:
+        lane = await run_loadgen(
+            "127.0.0.1", server.port, events, spec,
+            workload=workload, sessions=sessions,
+            events_per_request=events_per_request,
+            pipeline_depth=pipeline_depth,
+        )
+        counters = server.counters.as_dict()
+        lane["server"] = {
+            "micro_batching": micro_batching,
+            "batches": counters["batches"],
+            "mean_batch_size": counters["mean_batch_size"],
+            "max_batch_seen": counters["max_batch_seen"],
+            "peak_queue_depth": counters["peak_queue_depth"],
+            "backpressure": counters["backpressure"],
+            "timeouts": counters["timeouts"],
+            "protocol_errors": counters["protocol_errors"],
+            "internal_errors": counters["internal_errors"],
+            "evictions": server.sessions.evictions,
+        }
+    finally:
+        await server.drain()
+    return lane
+
+
+def run_benchmark(
+    workload: str = "gcc2k",
+    length: int = 8000,
+    seed: int = 0,
+    predictor: str = "composite",
+    entries: int = 256,
+    sessions: int = 16,
+    events_per_request: int = 32,
+    pipeline_depth: int = 4,
+    max_queue: int = 1024,
+    max_batch: int = 16,
+    quick: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """The ``repro-lvp loadgen`` benchmark: three lanes, one payload.
+
+    The defaults (32 events per request, batches capped at 16) keep the
+    per-request compute small enough that scheduling overhead is
+    visible, and the batch cap below the total in-flight window
+    (``sessions * pipeline_depth``) so the scheduler never swallows a
+    whole request wave in one event-loop tick and convoys the clients.
+    """
+    from repro.workloads.generator import ensure_stored, generate_trace
+
+    if quick:
+        length = min(length, 2000)
+        sessions = min(sessions, 4)
+        events_per_request = min(events_per_request, 128)
+    note = progress or (lambda name: None)
+
+    spec = spec_from_name(predictor, entries)
+    ensure_stored(workload, length, seed)  # no-op without a store
+    trace = generate_trace(workload, length, seed)
+    events = trace_to_events(trace)
+    workload_desc = {"name": workload, "length": length, "seed": seed}
+
+    async def _all_lanes() -> dict:
+        lanes = {}
+        note("serve_single")
+        lanes["serve_single"] = await _run_lane(
+            events, spec, workload_desc, 1, events_per_request,
+            pipeline_depth, True, max_queue, max_batch,
+        )
+        concurrent = f"serve_concurrent{sessions}"
+        note(concurrent)
+        lanes[concurrent] = await _run_lane(
+            events, spec, workload_desc, sessions, events_per_request,
+            pipeline_depth, True, max_queue, max_batch,
+        )
+        note(f"{concurrent}_unbatched")
+        lanes[f"{concurrent}_unbatched"] = await _run_lane(
+            events, spec, workload_desc, sessions, events_per_request,
+            pipeline_depth, False, max_queue, max_batch,
+        )
+        return lanes
+
+    benchmarks = asyncio.run(_all_lanes())
+
+    concurrent = benchmarks[f"serve_concurrent{sessions}"]
+    unbatched = benchmarks[f"serve_concurrent{sessions}_unbatched"]
+    payload = make_payload(
+        "serve",
+        {
+            "workload": workload,
+            "length": length,
+            "seed": seed,
+            "predictor": predictor,
+            "entries": entries,
+            "sessions": sessions,
+            "events_per_request": events_per_request,
+            "pipeline_depth": pipeline_depth,
+            "max_queue": max_queue,
+            "max_batch": max_batch,
+            "quick": quick,
+            "timer": "time.perf_counter_ns",
+            "statistic": "median (p50 request latency)",
+        },
+        benchmarks,
+    )
+    payload["comparison"] = {
+        "description": (
+            "micro-batching vs one-request-per-tick on the "
+            f"{sessions}-session concurrent lane (>1 means batching wins)"
+        ),
+        "micro_batching_throughput_speedup": (
+            round(concurrent["throughput_eps"]
+                  / unbatched["throughput_eps"], 3)
+            if unbatched["throughput_eps"] else None
+        ),
+        "micro_batching_p50_speedup": (
+            round(unbatched["p50_ns"] / concurrent["p50_ns"], 3)
+            if concurrent["p50_ns"] else None
+        ),
+    }
+    return payload
+
+
+def total_failures(payload: dict) -> int:
+    """Failed requests + protocol errors across every lane."""
+    total = 0
+    for lane in payload.get("benchmarks", {}).values():
+        if not isinstance(lane, dict):
+            continue
+        total += lane.get("requests_failed", 0)
+        total += lane.get("stream_errors", 0)
+        total += lane.get("server", {}).get("protocol_errors", 0)
+        total += lane.get("server", {}).get("internal_errors", 0)
+    return total
+
+
+__all__ = [
+    "MAX_BACKPRESSURE_RETRIES",
+    "percentile_ns",
+    "run_benchmark",
+    "run_loadgen",
+    "total_failures",
+    "trace_to_events",
+]

@@ -1,0 +1,471 @@
+"""Asyncio prediction server with a micro-batching scheduler.
+
+Request lifecycle: connection read-loops decode frames and validate
+envelopes, then enqueue requests on one bounded queue.  A single
+scheduler task drains the queue in **micro-batches** -- every request
+that has accumulated by the time it wakes, up to ``max_batch`` -- and
+answers each batch with one buffered write per connection, so under
+concurrency the per-response event-loop and flow-control overhead is
+amortized across the batch (``micro_batching=False`` keeps the
+one-request-per-tick path for comparison; ``BENCH_serve.json``'s
+concurrent lane measures the difference).
+
+Overload and failure policy:
+
+* a full queue answers **immediately** with a structured
+  ``backpressure`` error response -- requests are never silently
+  dropped;
+* requests that waited longer than ``request_timeout`` before the
+  scheduler reached them are answered with a ``timeout`` error;
+* malformed frames and bodies get structured error frames and never
+  crash the server (see :mod:`repro.serve.protocol` for which ones
+  also keep the connection);
+* SIGTERM/SIGINT (:meth:`PredictionServer.serve_until_shutdown`)
+  triggers a graceful drain: no new requests are accepted (they get
+  ``shutting-down`` responses), every already-queued request is
+  processed and answered, then connections close and the server exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.serve import protocol
+from repro.serve.session import SessionError, SessionManager
+
+#: Ceiling on instruction events in one ``apply`` request.
+MAX_EVENTS_PER_REQUEST = 8192
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs for one :class:`PredictionServer`."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (read it back from ``server.port``).
+    port: int = 0
+    #: Bounded request queue; overflow answers with ``backpressure``.
+    max_queue: int = 1024
+    #: Most requests one scheduler wakeup will coalesce.
+    max_batch: int = 64
+    #: False = process one request per event-loop tick (the comparison
+    #: path for the serve benchmarks).
+    micro_batching: bool = True
+    #: Queue-wait budget per request, seconds (None = unlimited).
+    request_timeout: float | None = 30.0
+    max_sessions: int = 64
+    #: Byte budget across all sessions (estimated; None = unlimited).
+    max_session_bytes: int | None = None
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+
+
+@dataclass
+class ServeCounters:
+    """Server-wide counters behind the ``stats`` RPC."""
+
+    connections: int = 0
+    requests: int = 0
+    responses_ok: int = 0
+    responses_error: int = 0
+    protocol_errors: int = 0
+    backpressure: int = 0
+    timeouts: int = 0
+    internal_errors: int = 0
+    dropped_responses: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    max_batch_seen: int = 0
+    peak_queue_depth: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "connections": self.connections,
+            "requests": self.requests,
+            "responses_ok": self.responses_ok,
+            "responses_error": self.responses_error,
+            "protocol_errors": self.protocol_errors,
+            "backpressure": self.backpressure,
+            "timeouts": self.timeouts,
+            "internal_errors": self.internal_errors,
+            "dropped_responses": self.dropped_responses,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "mean_batch_size": (
+                self.batched_requests / self.batches if self.batches else 0.0
+            ),
+            "max_batch_seen": self.max_batch_seen,
+            "peak_queue_depth": self.peak_queue_depth,
+        }
+
+
+class _Connection:
+    """One client connection plus the write lock serializing replies."""
+
+    __slots__ = ("reader", "writer", "lock", "alive")
+
+    def __init__(self, reader, writer) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.alive = True
+
+    async def send(self, frame_type: int, body: dict) -> bool:
+        return await self.send_raw(protocol.encode_frame(frame_type, body))
+
+    async def send_raw(self, data: bytes) -> bool:
+        """Write pre-encoded frames; False when the peer is gone."""
+        if not self.alive:
+            return False
+        try:
+            async with self.lock:
+                self.writer.write(data)
+                await self.writer.drain()
+            return True
+        except (ConnectionError, OSError, RuntimeError):
+            self.alive = False
+            return False
+
+
+@dataclass(slots=True)
+class _Request:
+    id: int
+    op: str
+    body: dict
+    conn: _Connection
+    enqueued: float
+
+
+class PredictionServer:
+    """The online prediction service (see module docstring)."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.sessions = SessionManager(
+            max_sessions=self.config.max_sessions,
+            max_total_bytes=self.config.max_session_bytes,
+        )
+        self.counters = ServeCounters()
+        self._queue: asyncio.Queue[_Request] = asyncio.Queue(
+            maxsize=self.config.max_queue
+        )
+        self._conns: set[_Connection] = set()
+        self._server: asyncio.AbstractServer | None = None
+        self._scheduler: asyncio.Task | None = None
+        self._draining = False
+        self._shutdown = asyncio.Event()
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, start accepting connections, start the scheduler."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._scheduler = asyncio.create_task(self._run_scheduler())
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until SIGTERM/SIGINT (or :meth:`request_shutdown`)."""
+        loop = asyncio.get_running_loop()
+        installed = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._shutdown.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+        try:
+            await self._shutdown.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+        await self.drain()
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (idempotent; safe from handlers)."""
+        self._shutdown.set()
+
+    async def drain(self) -> None:
+        """Graceful stop: answer everything queued, then close."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Every queued request is processed and its response written
+        # (task_done fires only after the write attempt).
+        await self._queue.join()
+        if self._scheduler is not None:
+            self._scheduler.cancel()
+            try:
+                await self._scheduler
+            except asyncio.CancelledError:
+                pass
+        for conn in list(self._conns):
+            conn.alive = False
+            try:
+                conn.writer.close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Connection read loop
+    # ------------------------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        conn = _Connection(reader, writer)
+        self._conns.add(conn)
+        self.counters.connections += 1
+        try:
+            await self._read_loop(conn)
+        finally:
+            self._conns.discard(conn)
+            conn.alive = False
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        while True:
+            try:
+                frame_type, body = await protocol.read_frame(
+                    conn.reader, self.config.max_frame_bytes
+                )
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return
+            except protocol.ProtocolError as exc:
+                self.counters.protocol_errors += 1
+                await conn.send(
+                    protocol.ERROR,
+                    protocol.error_response(exc.code, str(exc)),
+                )
+                if not exc.recoverable:
+                    return
+                continue
+            if frame_type != protocol.REQUEST:
+                self.counters.protocol_errors += 1
+                await conn.send(
+                    protocol.ERROR,
+                    protocol.error_response(
+                        "bad-frame",
+                        f"expected a REQUEST frame, got type {frame_type}",
+                    ),
+                )
+                continue
+            try:
+                request_id, op = protocol.validate_request(body)
+            except protocol.ProtocolError as exc:
+                self.counters.protocol_errors += 1
+                await conn.send(
+                    protocol.ERROR,
+                    protocol.error_response(exc.code, str(exc)),
+                )
+                continue
+            self.counters.requests += 1
+            if self._draining:
+                self.counters.responses_error += 1
+                await conn.send(
+                    protocol.RESPONSE,
+                    protocol.error_response(
+                        "shutting-down", "server is draining", request_id
+                    ),
+                )
+                continue
+            request = _Request(
+                id=request_id, op=op, body=body, conn=conn,
+                enqueued=time.perf_counter(),
+            )
+            try:
+                self._queue.put_nowait(request)
+            except asyncio.QueueFull:
+                self.counters.backpressure += 1
+                self.counters.responses_error += 1
+                await conn.send(
+                    protocol.RESPONSE,
+                    protocol.error_response(
+                        "backpressure",
+                        f"request queue full "
+                        f"({self.config.max_queue} pending); retry",
+                        request_id,
+                    ),
+                )
+                continue
+            depth = self._queue.qsize()
+            if depth > self.counters.peak_queue_depth:
+                self.counters.peak_queue_depth = depth
+
+    # ------------------------------------------------------------------
+    # Scheduler: micro-batch dispatch
+    # ------------------------------------------------------------------
+
+    async def _run_scheduler(self) -> None:
+        while True:
+            request = await self._queue.get()
+            batch = [request]
+            if self.config.micro_batching:
+                while len(batch) < self.config.max_batch:
+                    try:
+                        batch.append(self._queue.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+            self.counters.batches += 1
+            self.counters.batched_requests += len(batch)
+            if len(batch) > self.counters.max_batch_seen:
+                self.counters.max_batch_seen = len(batch)
+
+            # Compute every response first, then write once per
+            # connection -- the write amortization micro-batching buys.
+            per_conn: dict[_Connection, list[bytes]] = {}
+            for req in batch:
+                response = self._dispatch(req)
+                per_conn.setdefault(req.conn, []).append(
+                    protocol.encode_frame(protocol.RESPONSE, response)
+                )
+            if self.config.micro_batching:
+                for conn, frames in per_conn.items():
+                    if not await conn.send_raw(b"".join(frames)):
+                        self.counters.dropped_responses += len(frames)
+            else:
+                for conn, frames in per_conn.items():
+                    for frame in frames:
+                        if not await conn.send_raw(frame):
+                            self.counters.dropped_responses += 1
+                        # One request per event-loop tick.
+                        await asyncio.sleep(0)
+            for _ in batch:
+                self._queue.task_done()
+
+    def _dispatch(self, request: _Request) -> dict:
+        """Execute one request; always returns a response body."""
+        timeout = self.config.request_timeout
+        if timeout is not None:
+            waited = time.perf_counter() - request.enqueued
+            if waited > timeout:
+                self.counters.timeouts += 1
+                self.counters.responses_error += 1
+                return protocol.error_response(
+                    "timeout",
+                    f"request waited {waited:.3f}s in queue "
+                    f"(budget {timeout:.3f}s)",
+                    request.id,
+                )
+        try:
+            result = self._execute(request.op, request.body)
+        except SessionError as exc:
+            self.counters.responses_error += 1
+            return protocol.error_response(exc.code, str(exc), request.id)
+        except ValueError as exc:
+            # Bad predictor specs from build_predictor, etc.
+            self.counters.responses_error += 1
+            return protocol.error_response("bad-spec", str(exc), request.id)
+        except Exception as exc:  # the server must never crash
+            self.counters.internal_errors += 1
+            self.counters.responses_error += 1
+            return protocol.error_response(
+                "internal", f"{type(exc).__name__}: {exc}", request.id
+            )
+        self.counters.responses_ok += 1
+        return protocol.ok_response(request.id, result)
+
+    def _execute(self, op: str, body: dict) -> dict:
+        if op == "open":
+            session = self.sessions.open(
+                body.get("session"), body.get("spec"),
+                workload=body.get("workload"),
+            )
+            return {
+                "session": session.session_id,
+                "storage_bits": session.predictor.storage_bits(),
+            }
+        if op == "close":
+            return {"closed": self.sessions.close(body.get("session"))}
+        if op == "apply":
+            session = self.sessions.get(body.get("session"))
+            events = body.get("events")
+            if not isinstance(events, list):
+                raise SessionError(
+                    f"'events' must be a list, got "
+                    f"{type(events).__name__}"
+                )
+            if len(events) > MAX_EVENTS_PER_REQUEST:
+                raise SessionError(
+                    f"{len(events)} events in one request exceeds the "
+                    f"{MAX_EVENTS_PER_REQUEST}-event limit"
+                )
+            results = []
+            for index, event in enumerate(events):
+                try:
+                    results.append(session.apply_event(event))
+                except SessionError as exc:
+                    # Earlier events in the request stay applied; the
+                    # error names the offender so the client can tell.
+                    raise SessionError(
+                        f"event {index}: {exc}", code=exc.code
+                    ) from exc
+            self.sessions.touch_bytes(session)
+            return {"results": results}
+        if op == "predict":
+            session = self.sessions.get(body.get("session"))
+            return {"prediction": session.predict(body.get("pc"))}
+        if op == "train":
+            session = self.sessions.get(body.get("session"))
+            outcome = body.get("outcome")
+            if not isinstance(outcome, dict):
+                raise SessionError(
+                    f"'outcome' must be a dict, got "
+                    f"{type(outcome).__name__}"
+                )
+            fields = []
+            for key in ("addr", "size", "value"):
+                field_value = outcome.get(key)
+                if (not isinstance(field_value, int)
+                        or isinstance(field_value, bool)):
+                    raise SessionError(
+                        f"train outcome needs an int {key!r}, got "
+                        f"{field_value!r}"
+                    )
+                fields.append(field_value)
+            return {"trained": session.train(*fields)}
+        if op == "stats":
+            return self.stats()
+        if op == "ping":
+            return {"pong": True}
+        raise SessionError(
+            f"unknown op {op!r}; valid ops: " + ", ".join(protocol.OPS),
+            code="unknown-op",
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The ``stats`` RPC payload: counters, sessions, queue."""
+        return {
+            "sessions": self.sessions.snapshot(),
+            "counters": self.counters.as_dict(),
+            "queue_depth": self._queue.qsize(),
+            "draining": self._draining,
+            "config": {
+                "max_queue": self.config.max_queue,
+                "max_batch": self.config.max_batch,
+                "micro_batching": self.config.micro_batching,
+                "request_timeout": self.config.request_timeout,
+                "max_sessions": self.config.max_sessions,
+            },
+        }
+
+
+__all__ = [
+    "MAX_EVENTS_PER_REQUEST",
+    "PredictionServer",
+    "ServeCounters",
+    "ServerConfig",
+]

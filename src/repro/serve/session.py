@@ -1,0 +1,575 @@
+"""Stateful predictor sessions: the serving layer's core abstraction.
+
+A :class:`PredictorSession` owns one predictor assembly (built from the
+same declarative specs :func:`repro.harness.runner.build_predictor`
+accepts), its speculative histories, and a private memory image, and
+exposes the predictor as a standalone online API -- ``predict(pc)`` /
+``train(outcome)`` plus a streaming ``apply_event`` form that replays
+instruction events (branches, stores, loads, ticks) exactly the way the
+functional harness does, so a session driven over the wire is
+bit-identical to the same spec driven in-process
+(``tests/test_serve_equivalence.py``).
+
+:class:`SessionManager` holds many sessions keyed by id, accounts their
+estimated memory, and LRU-evicts the idlest sessions when a count or
+byte budget is exceeded -- the server never grows without bound under
+session churn.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict, deque
+
+from repro.branch.history import HistorySet
+from repro.composite.config import CompositeConfig
+from repro.memory.image import MemoryImage
+from repro.pipeline.vp import NoPredictor
+from repro.predictors.types import LoadOutcome, LoadProbe, PredictionKind
+
+#: Access sizes a session accepts for load/store events (the ISA's).
+_VALID_SIZES = (1, 2, 4, 8)
+
+#: Longest workload a remote ``open`` may ask the server to resolve
+#: (initial-memory lookup); bounds per-session resolve cost.
+MAX_WORKLOAD_LENGTH = 2_000_000
+
+#: Predictor short names accepted on the wire and by the CLI, mapping
+#: to :func:`spec_from_name` specs.
+PREDICTOR_NAMES = (
+    "none", "composite", "eves-8kb", "eves-32kb",
+    "lvp", "sap", "cvp", "cap", "lap", "svp",
+)
+
+
+class SessionError(ValueError):
+    """A session-layer failure with a wire-friendly error code."""
+
+    def __init__(self, message: str, code: str = "bad-event") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def spec_from_name(name: str, entries: int = 256) -> dict | None:
+    """Map a CLI/wire predictor short name to a declarative spec.
+
+    Raises :class:`SessionError` (code ``bad-spec``) for unknown names,
+    with a message that lists every valid one.
+    """
+    if name == "none":
+        return None
+    if name == "composite":
+        return {"kind": "composite", "entries": entries}
+    if name in ("eves-8kb", "eves-32kb"):
+        return {"kind": "eves", "variant": name.split("-")[1]}
+    if name in ("lvp", "sap", "cvp", "cap", "lap", "svp"):
+        return {"kind": "component", "name": name, "entries": entries}
+    raise SessionError(
+        f"unknown predictor {name!r}; valid names: "
+        + ", ".join(PREDICTOR_NAMES),
+        code="bad-spec",
+    )
+
+
+def resolve_spec(spec: dict | None) -> dict | None:
+    """Normalize a JSON wire spec into a ``build_predictor`` spec.
+
+    Wire specs are plain JSON, so a composite config arrives as a dict
+    of :class:`CompositeConfig` field overrides (plus an optional
+    ``entries`` shorthand for a homogeneous sizing) rather than as a
+    dataclass instance.  Unknown config fields fail with a message that
+    lists the valid ones.
+    """
+    if spec is None or not isinstance(spec, dict):
+        return spec  # build_predictor produces the canonical error
+    if spec.get("kind") != "composite":
+        return spec
+    config = spec.get("config", {})
+    entries = spec.get("entries")
+    if isinstance(config, CompositeConfig):
+        return {"kind": "composite", "config": config}
+    if not isinstance(config, dict):
+        raise SessionError(
+            "composite 'config' must be a dict of CompositeConfig "
+            f"fields, got {type(config).__name__}",
+            code="bad-spec",
+        )
+    valid = {f.name for f in dataclasses.fields(CompositeConfig)}
+    unknown = sorted(set(config) - valid)
+    if unknown:
+        raise SessionError(
+            f"unknown CompositeConfig fields {unknown}; valid fields: "
+            + ", ".join(sorted(valid)),
+            code="bad-spec",
+        )
+    fields = dict(config)
+    extra = fields.get("extra_components")
+    if extra is not None:
+        # JSON has no tuples; accept [[name, entries], ...].
+        fields["extra_components"] = tuple(
+            (pair[0], pair[1]) for pair in extra
+        )
+    try:
+        built = CompositeConfig(**fields)
+    except TypeError as exc:
+        raise SessionError(f"bad composite config: {exc}", code="bad-spec")
+    if entries is not None:
+        if not isinstance(entries, int) or entries <= 0:
+            raise SessionError(
+                f"composite 'entries' must be a positive int, got "
+                f"{entries!r}",
+                code="bad-spec",
+            )
+        built = built.homogeneous(entries)
+    return {"kind": "composite", "config": built}
+
+
+def _field(event: dict, key: str, kind: str) -> int:
+    """A required non-negative int field of one instruction event."""
+    value = event.get(key)
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise SessionError(
+            f"{kind} event needs a non-negative int {key!r}, got "
+            f"{value!r}"
+        )
+    return value
+
+
+class PredictorSession:
+    """One client's predictor, histories, memory, and counters."""
+
+    __slots__ = (
+        "session_id", "predictor", "histories", "memory", "last_used",
+        "events", "instructions", "loads", "predicted_loads",
+        "correct_predictions", "_pending",
+    )
+
+    def __init__(
+        self,
+        spec: dict | None,
+        session_id: str = "",
+        initial_memory: MemoryImage | None = None,
+    ) -> None:
+        from repro.harness.runner import build_predictor
+
+        self.session_id = session_id
+        self.predictor = build_predictor(resolve_spec(spec)) or NoPredictor()
+        self.histories = HistorySet()
+        bind = getattr(self.predictor, "bind_history", None)
+        if bind is not None:
+            bind(self.histories)
+        self.memory = (
+            initial_memory.copy() if initial_memory is not None
+            else MemoryImage()
+        )
+        self.last_used = 0
+        self.events = 0
+        self.instructions = 0
+        self.loads = 0
+        self.predicted_loads = 0
+        self.correct_predictions = 0
+        #: predict() decisions not yet consumed by train(), oldest first.
+        self._pending: deque = deque()
+
+    # ------------------------------------------------------------------
+    # Low-level verbs: the predictor API, decoupled from any trace
+    # ------------------------------------------------------------------
+
+    def predict(self, pc: int) -> dict:
+        """Probe the predictor for the load at ``pc``.
+
+        The decision is queued until the matching :meth:`train` arrives
+        (training is deferred past prediction on a real fetch path).
+        Histories are *not* advanced -- the event stream drives those.
+        """
+        decision = self.predictor.predict(self._probe(pc))
+        self._pending.append(decision)
+        return self._record(decision, None)
+
+    def train(self, addr: int, size: int, value: int) -> dict:
+        """Resolve the oldest outstanding prediction with its outcome."""
+        if not self._pending:
+            raise SessionError("train without a pending predict")
+        if size not in _VALID_SIZES:
+            raise SessionError(
+                f"train size must be one of {_VALID_SIZES}, got {size!r}"
+            )
+        decision = self._pending.popleft()
+        return self._validate(decision, addr, size, value)
+
+    @property
+    def pending(self) -> int:
+        """Outstanding predict() calls not yet train()ed."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Streaming form: replay instruction events (the loadgen path)
+    # ------------------------------------------------------------------
+
+    def apply_event(self, event: dict) -> dict | None:
+        """Apply one instruction event; returns a record for loads.
+
+        Event vocabulary (``k`` selects the kind):
+
+        * ``{"k": "b", "pc", "taken", "cond"}`` -- a branch;
+        * ``{"k": "s", "pc", "addr", "size", "value"}`` -- a store;
+        * ``{"k": "l", "pc", "addr", "size", "value", "pred"}`` -- a
+          load (``pred`` false = not value-prediction eligible);
+        * ``{"k": "t", "n": N}`` -- N instructions of no interest to
+          the predictor (ALU work), advancing the epoch clock.
+
+        Branch/store/load events each tick the epoch clock by one, so a
+        trace replayed as events is instruction-for-instruction
+        identical to :func:`repro.harness.functional.run_functional`.
+        """
+        if not isinstance(event, dict):
+            raise SessionError(
+                f"event must be a dict, got {type(event).__name__}"
+            )
+        kind = event.get("k")
+        self.events += 1
+        record = None
+        if kind == "b":
+            pc = _field(event, "pc", "branch")
+            if event.get("cond", True):
+                self.histories.push_branch(pc, bool(event.get("taken")))
+            else:
+                self.histories.push_unconditional(pc)
+        elif kind == "s":
+            pc = _field(event, "pc", "store")
+            addr = _field(event, "addr", "store")
+            size = _field(event, "size", "store")
+            if size not in _VALID_SIZES:
+                raise SessionError(
+                    f"store size must be one of {_VALID_SIZES}, got {size!r}"
+                )
+            value = event.get("value")
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SessionError(
+                    f"store event needs an int 'value', got {value!r}"
+                )
+            self.memory.write(addr, size, value)
+            self.histories.push_memory(pc)
+        elif kind == "l":
+            record = self._load_event(event)
+        elif kind == "t":
+            count = _field(event, "n", "tick")
+            self.instructions += count
+            self.predictor.tick_instructions(count)
+            return None
+        else:
+            raise SessionError(f"unknown event kind {kind!r}")
+        self.instructions += 1
+        self.predictor.tick_instructions(1)
+        return record
+
+    def _load_event(self, event: dict) -> dict:
+        """One load, in run_functional's exact order of operations."""
+        pc = _field(event, "pc", "load")
+        addr = _field(event, "addr", "load")
+        size = _field(event, "size", "load")
+        if size not in _VALID_SIZES:
+            raise SessionError(
+                f"load size must be one of {_VALID_SIZES}, got {size!r}"
+            )
+        value = event.get("value")
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise SessionError(
+                f"load event needs an int 'value', got {value!r}"
+            )
+        record = None
+        if event.get("pred", True):
+            decision = self.predictor.predict(self._probe(pc))
+            record = self._validate(decision, addr, size, value)
+        self.histories.push_memory(pc)
+        return record
+
+    # ------------------------------------------------------------------
+    # Shared internals
+    # ------------------------------------------------------------------
+
+    def _probe(self, pc: int) -> LoadProbe:
+        if not isinstance(pc, int) or isinstance(pc, bool) or pc < 0:
+            raise SessionError(f"pc must be a non-negative int, got {pc!r}")
+        h = self.histories
+        return LoadProbe(
+            pc=pc,
+            direction_history=h.direction,
+            path_history=h.path,
+            load_path_history=h.load_path,
+            inflight_same_pc=0,
+            folded=h.folded_values(),
+        )
+
+    def _validate(
+        self, decision, addr: int, size: int, value: int
+    ) -> dict:
+        """Score every confident component, train, update counters."""
+        self.loads += 1
+        correctness = {}
+        for name, prediction in decision.confident.items():
+            if prediction.kind is PredictionKind.VALUE:
+                speculative = prediction.value
+            else:
+                speculative = self.memory.read(prediction.addr,
+                                               prediction.size)
+            correctness[name] = speculative == value
+        correct = None
+        if decision.chosen is not None:
+            self.predicted_loads += 1
+            correct = correctness[decision.chosen.component]
+            if correct:
+                self.correct_predictions += 1
+        probe = decision.probe
+        self.predictor.validate_and_train(
+            decision,
+            LoadOutcome(
+                pc=probe.pc, addr=addr, size=size, value=value,
+                direction_history=probe.direction_history,
+                path_history=probe.path_history,
+                load_path_history=probe.load_path_history,
+                folded=probe.folded,
+            ),
+            correctness,
+        )
+        return self._record(decision, correct)
+
+    @staticmethod
+    def _record(decision, correct: bool | None) -> dict:
+        """JSON-friendly, deterministic image of one decision."""
+        chosen = decision.chosen
+        record = {
+            "predicted": chosen is not None,
+            "component": chosen.component if chosen else None,
+            "kind": chosen.kind.value if chosen else None,
+            "confident": sorted(decision.confident),
+            "squashed": sorted(decision.squashed),
+        }
+        if chosen is not None:
+            if chosen.kind is PredictionKind.VALUE:
+                record["value"] = chosen.value
+            else:
+                record["addr"] = chosen.addr
+                record["size"] = chosen.size
+        if correct is not None:
+            record["correct"] = correct
+        return record
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def estimated_bytes(self) -> int:
+        """Rough resident footprint, for the manager's byte budget."""
+        # Table state is modelled exactly (storage_bits); the memory
+        # image is a python dict of 8-byte words (~100 B/entry resident,
+        # but 16 B/entry is the right *relative* weight between
+        # sessions); the constant covers histories and bookkeeping.
+        return self.predictor.storage_bits() // 8 + len(self.memory) * 16 + 2048
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predicted_loads:
+            return 1.0
+        return self.correct_predictions / self.predicted_loads
+
+    @property
+    def coverage(self) -> float:
+        return self.predicted_loads / self.loads if self.loads else 0.0
+
+    def snapshot(self) -> dict:
+        """Counter snapshot for the ``stats`` RPC and ``close``."""
+        return {
+            "session": self.session_id,
+            "events": self.events,
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "predicted_loads": self.predicted_loads,
+            "correct_predictions": self.correct_predictions,
+            "accuracy": self.accuracy,
+            "coverage": self.coverage,
+            "pending": self.pending,
+            "estimated_bytes": self.estimated_bytes(),
+        }
+
+
+def _resolve_initial_memory(workload: dict) -> MemoryImage | None:
+    """Resolve an ``open`` request's workload identity to its memory.
+
+    Sessions replaying a stored trace need the trace's initial memory
+    image for address-prediction validation; the client names the
+    ``(workload, length, seed)`` identity and the server resolves it
+    through the normal trace path (in-process memo, then the on-disk
+    trace store, then generation) -- a prewarmed store makes this a
+    cheap column load shared across sessions.
+    """
+    from repro.workloads.generator import SPECIAL_WORKLOADS, generate_trace
+    from repro.workloads.profiles import ALL_WORKLOADS
+
+    if not isinstance(workload, dict):
+        raise SessionError(
+            f"'workload' must be a dict, got {type(workload).__name__}",
+            code="bad-spec",
+        )
+    name = workload.get("name")
+    valid = tuple(ALL_WORKLOADS) + tuple(SPECIAL_WORKLOADS)
+    if name not in valid:
+        raise SessionError(
+            f"unknown workload {name!r}; valid names: " + ", ".join(valid),
+            code="unknown-workload",
+        )
+    length = workload.get("length", 50_000)
+    if (not isinstance(length, int) or isinstance(length, bool)
+            or not 100 <= length <= MAX_WORKLOAD_LENGTH):
+        raise SessionError(
+            f"workload length must be an int in "
+            f"[100, {MAX_WORKLOAD_LENGTH}], got {length!r}",
+            code="bad-spec",
+        )
+    seed = workload.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+        raise SessionError(
+            f"workload seed must be a non-negative int, got {seed!r}",
+            code="bad-spec",
+        )
+    return generate_trace(name, length, seed).initial_memory
+
+
+class SessionManager:
+    """Sessions keyed by id, with LRU eviction under resource budgets."""
+
+    def __init__(
+        self,
+        max_sessions: int = 64,
+        max_total_bytes: int | None = None,
+    ) -> None:
+        self.max_sessions = max(1, max_sessions)
+        self.max_total_bytes = max_total_bytes
+        self._sessions: OrderedDict[str, PredictorSession] = OrderedDict()
+        self._clock = 0
+        self.opened = 0
+        self.closed = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def open(
+        self,
+        session_id: str,
+        spec: dict | None,
+        workload: dict | None = None,
+    ) -> PredictorSession:
+        """Create a session; evicts the idlest ones if over budget."""
+        if not isinstance(session_id, str) or not session_id:
+            raise SessionError(
+                f"session id must be a non-empty string, got {session_id!r}",
+                code="bad-spec",
+            )
+        if session_id in self._sessions:
+            raise SessionError(
+                f"session {session_id!r} already exists",
+                code="session-exists",
+            )
+        memory = (
+            _resolve_initial_memory(workload) if workload is not None
+            else None
+        )
+        session = PredictorSession(
+            spec, session_id=session_id, initial_memory=memory
+        )
+        self._sessions[session_id] = session
+        self.opened += 1
+        self._touch(session)
+        self._enforce_limits(keep=session_id)
+        return session
+
+    def get(self, session_id) -> PredictorSession:
+        """Look up (and LRU-touch) a session."""
+        session = (
+            self._sessions.get(session_id)
+            if isinstance(session_id, str) else None
+        )
+        if session is None:
+            raise SessionError(
+                f"unknown session {session_id!r}", code="unknown-session"
+            )
+        self._touch(session)
+        return session
+
+    def close(self, session_id) -> dict:
+        """Remove a session, returning its final counter snapshot."""
+        session = (
+            self._sessions.pop(session_id, None)
+            if isinstance(session_id, str) else None
+        )
+        if session is None:
+            raise SessionError(
+                f"unknown session {session_id!r}", code="unknown-session"
+            )
+        self.closed += 1
+        return session.snapshot()
+
+    def touch_bytes(self, session: PredictorSession) -> None:
+        """Re-check budgets after a session grew (e.g. store events)."""
+        self._enforce_limits(keep=session.session_id)
+
+    def _touch(self, session: PredictorSession) -> None:
+        self._clock += 1
+        session.last_used = self._clock
+        self._sessions.move_to_end(session.session_id)
+
+    def _enforce_limits(self, keep: str) -> None:
+        while len(self._sessions) > self.max_sessions:
+            if not self._evict_one(keep):
+                break
+        if self.max_total_bytes is not None:
+            while (len(self._sessions) > 1
+                   and self.total_bytes() > self.max_total_bytes):
+                if not self._evict_one(keep):
+                    break
+
+    def _evict_one(self, keep: str) -> bool:
+        """Evict the least-recently-used session other than ``keep``."""
+        for session_id in self._sessions:
+            if session_id != keep:
+                del self._sessions[session_id]
+                self.evictions += 1
+                return True
+        return False
+
+    def total_bytes(self) -> int:
+        return sum(s.estimated_bytes() for s in self._sessions.values())
+
+    def snapshot(self) -> dict:
+        """Manager-level counters for the ``stats`` RPC."""
+        sessions = list(self._sessions.values())
+        loads = sum(s.loads for s in sessions)
+        predicted = sum(s.predicted_loads for s in sessions)
+        correct = sum(s.correct_predictions for s in sessions)
+        return {
+            "active": len(sessions),
+            "opened": self.opened,
+            "closed": self.closed,
+            "evictions": self.evictions,
+            "max_sessions": self.max_sessions,
+            "total_bytes": self.total_bytes(),
+            "loads": loads,
+            "predicted_loads": predicted,
+            "correct_predictions": correct,
+            "accuracy": (correct / predicted) if predicted else 1.0,
+        }
+
+
+__all__ = [
+    "MAX_WORKLOAD_LENGTH",
+    "PREDICTOR_NAMES",
+    "PredictorSession",
+    "SessionError",
+    "SessionManager",
+    "resolve_spec",
+    "spec_from_name",
+]

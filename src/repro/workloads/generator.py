@@ -114,7 +114,15 @@ def ensure_stored(name: str, length: int, seed: int = 0) -> bool:
         return False
     if store.entry_path(name, length, seed, GENERATOR_VERSION).exists():
         return True
-    generate_trace(name, length, seed)
+    trace = generate_trace(name, length, seed)
+    if not store.entry_path(name, length, seed, GENERATOR_VERSION).exists():
+        # The memo can predate the store: if the trace was generated
+        # before REPRO_TRACE_CACHE_DIR was exported, generate_trace
+        # hits the in-process cache and never reaches the save path.
+        # Write the entry explicitly so pre-warming works regardless
+        # of when the store appeared.
+        trace.pack()
+        store.save(trace, length, GENERATOR_VERSION)
     return store.entry_path(name, length, seed, GENERATOR_VERSION).exists()
 
 

@@ -1,10 +1,17 @@
-"""Tests for the bench delta-table formatter (repro.harness.benchdiff)."""
+"""Tests for the shared benchmark schema/writer and its diff formatter."""
 
 import json
 
 import pytest
 
-from repro.harness.benchdiff import diff_payloads, format_markdown, main
+from repro.harness.benchdiff import (
+    SCHEMA,
+    diff_payloads,
+    format_markdown,
+    main,
+    make_payload,
+    median_lane,
+)
 
 
 def _payload(medians, quick=False):
@@ -15,6 +22,61 @@ def _payload(medians, quick=False):
             name: {"median_ns": ns} for name, ns in medians.items()
         },
     }
+
+
+class TestSharedWriter:
+    def test_make_payload_schema_and_fingerprint(self):
+        payload = make_payload(
+            "serve", {"sessions": 4}, {"lane": {"median_ns": 10}}
+        )
+        assert payload["schema"] == SCHEMA
+        assert payload["suite"] == "serve"
+        assert payload["config"] == {"sessions": 4}
+        assert payload["environment"]["python"]
+        assert payload["environment"]["platform"]
+        assert payload["generated_at"].endswith("Z")
+        assert "reference" not in payload
+
+    def test_make_payload_copies_config(self):
+        config = {"length": 1}
+        payload = make_payload("simcore", config, {})
+        config["length"] = 2
+        assert payload["config"]["length"] == 1
+
+    def test_reference_attached_when_given(self):
+        payload = make_payload("simcore", {}, {}, reference={"x": 1})
+        assert payload["reference"] == {"x": 1}
+
+    def test_median_lane_median_of_n(self):
+        lane = median_lane([30, 10, 20])
+        assert lane["median_ns"] == 20
+        assert lane["runs_ns"] == [30, 10, 20]
+
+    def test_median_lane_metadata_rides_along(self):
+        lane = median_lane([5], mode="warm")
+        assert lane["mode"] == "warm"
+
+    def test_median_lane_rejects_empty(self):
+        with pytest.raises(ValueError):
+            median_lane([])
+
+    def test_suites_share_one_diffable_shape(self):
+        simcore = make_payload("simcore", {}, {"a": median_lane([100])})
+        serve = make_payload("serve", {}, {"a": median_lane([50])})
+        (row,) = diff_payloads(simcore, serve)
+        assert row["speedup"] == pytest.approx(2.0)
+
+    def test_main_title_follows_fresh_suite(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        base.write_text(json.dumps(
+            make_payload("serve", {}, {"lane": {"median_ns": 100}})
+        ))
+        fresh.write_text(json.dumps(
+            make_payload("serve", {}, {"lane": {"median_ns": 90}})
+        ))
+        assert main([str(base), str(fresh)]) == 0
+        assert "Prediction-service benchmarks" in capsys.readouterr().out
 
 
 class TestDiff:

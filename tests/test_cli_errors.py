@@ -113,6 +113,73 @@ class TestRunFlags:
         assert "cached" in captured.err
 
 
+class TestUnknownNamesListValid:
+    """Unknown workload/predictor names exit 2 and list the valid ones."""
+
+    def test_simulate_unknown_predictor(self, tmp_path, capsys):
+        from repro.workloads.generator import generate_trace
+
+        trace_file = tmp_path / "t.jsonl"
+        generate_trace("coremark", 500).save(trace_file)
+        rc = main([
+            "simulate", str(trace_file), "--predictor", "oracle9000",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown predictor 'oracle9000'" in err
+        for name in ("composite", "eves-8kb", "lvp", "svp"):
+            assert name in err
+
+    def test_bench_unknown_workload(self, capsys):
+        assert main(["bench", "--workload", "spec2077"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'spec2077'" in err
+        assert "gcc2k" in err and "listing1" in err
+
+    def test_loadgen_unknown_workload(self, capsys):
+        assert main(["loadgen", "--workload", "spec2077"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'spec2077'" in err
+        assert "coremark" in err
+
+    def test_loadgen_unknown_predictor(self, capsys):
+        assert main(["loadgen", "--predictor", "oracle9000"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown predictor 'oracle9000'" in err
+        assert "composite" in err
+
+
+class TestServeLoadgenFlagErrors:
+    @pytest.mark.parametrize("argv,fragment", [
+        (["serve", "--port", "70000"], "--port"),
+        (["serve", "--max-queue", "0"], "--max-queue"),
+        (["serve", "--max-batch", "0"], "--max-batch"),
+        (["serve", "--request-timeout", "-1"], "--request-timeout"),
+        (["serve", "--max-sessions", "0"], "--max-sessions"),
+        (["serve", "--max-session-bytes", "0"], "--max-session-bytes"),
+        (["loadgen", "--sessions", "0"], "--sessions"),
+        (["loadgen", "--length", "50"], "--length"),
+        (["loadgen", "--seed", "-1"], "--seed"),
+        (["loadgen", "--events-per-request", "0"], "--events-per-request"),
+        (["loadgen", "--pipeline-depth", "0"], "--pipeline-depth"),
+        (["loadgen", "--connect", "nonsense"], "--connect"),
+        (["loadgen", "--connect", "host:notaport"], "--connect"),
+    ])
+    def test_bad_flag_values_exit_2(self, argv, fragment, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert fragment in err
+
+    def test_loadgen_connect_to_dead_server_exits_2(self, capsys):
+        rc = main([
+            "loadgen", "--connect", "127.0.0.1:1",
+            "--workload", "coremark", "--length", "500",
+        ])
+        assert rc == 2
+        assert "cannot reach server" in capsys.readouterr().err
+
+
 class TestPredictorSpecValidation:
     """Malformed predictor specs raise ValueError, never KeyError."""
 

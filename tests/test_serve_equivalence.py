@@ -1,0 +1,135 @@
+"""Bit-exactness: a session over the wire == the same spec in-process.
+
+The acceptance proof for the serving layer.  One workload trace is
+flattened to instruction events and replayed three ways with the same
+predictor spec:
+
+1. :func:`repro.harness.functional.run_functional` (the reference
+   program-order evaluation loop);
+2. a local :class:`PredictorSession` fed ``apply_event`` directly;
+3. a session on a live server, driven over TCP in chunks.
+
+All three must agree on every aggregate counter, and (2) vs (3) must
+produce *bit-identical per-load decision records* -- same chosen
+component, same speculative value/address, same confident and
+squashed sets, load by load.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.composite.composite import CompositePredictor
+from repro.composite.config import CompositeConfig
+from repro.harness.functional import run_functional
+from repro.serve.client import ServeClient
+from repro.serve.loadgen import trace_to_events
+from repro.serve.server import PredictionServer, ServerConfig
+from repro.serve.session import PredictorSession, spec_from_name
+from repro.workloads.generator import generate_trace
+
+WORKLOAD = "gcc2k"
+LENGTH = 4000
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WORKLOAD, LENGTH, SEED)
+
+
+@pytest.fixture(scope="module")
+def events(trace):
+    return trace_to_events(trace)
+
+
+def _local_records(spec, trace, events):
+    session = PredictorSession(spec, initial_memory=trace.initial_memory)
+    records = []
+    for event in events:
+        record = session.apply_event(event)
+        if record is not None:
+            records.append(record)
+    return session, records
+
+
+def _wire_records(spec, events, chunk_size=257):
+    async def scenario():
+        server = PredictionServer(ServerConfig())
+        await server.start()
+        try:
+            async with await ServeClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                await client.open_session(
+                    "wire", spec,
+                    workload={
+                        "name": WORKLOAD, "length": LENGTH, "seed": SEED,
+                    },
+                )
+                records = []
+                for start in range(0, len(events), chunk_size):
+                    applied = await client.apply(
+                        "wire", events[start:start + chunk_size]
+                    )
+                    records.extend(
+                        r for r in applied["results"] if r is not None
+                    )
+                closed = await client.close_session("wire")
+                assert not client.stream_errors
+                return closed["closed"], records
+        finally:
+            await server.drain()
+    return asyncio.run(scenario())
+
+
+class TestEventStreamEquivalence:
+    def test_event_stream_preserves_instruction_count(self, trace, events):
+        session = PredictorSession(None)
+        for event in events:
+            session.apply_event(event)
+        assert session.instructions == len(trace)
+
+    @pytest.mark.parametrize("predictor", ["composite", "lvp", "eves-8kb"])
+    def test_session_matches_run_functional(self, trace, events, predictor):
+        spec = spec_from_name(predictor, 256)
+        session, _ = _local_records(spec, trace, events)
+
+        if predictor == "composite":
+            reference_host = CompositePredictor(
+                CompositeConfig().homogeneous(256)
+            )
+        else:
+            from repro.harness.runner import build_predictor
+
+            reference_host = build_predictor(spec)
+        reference = run_functional(trace, reference_host)
+
+        assert session.loads == reference.loads
+        assert session.predicted_loads == reference.predicted_loads
+        assert session.correct_predictions == reference.correct_predictions
+        assert session.instructions == reference.instructions
+
+
+class TestWireEquivalence:
+    def test_wire_records_bit_identical_to_in_process(self, trace, events):
+        spec = spec_from_name("composite", 256)
+        local_session, local_records = _local_records(spec, trace, events)
+        wire_snapshot, wire_records = _wire_records(spec, events)
+
+        assert len(wire_records) == len(local_records)
+        for index, (wire, local) in enumerate(
+            zip(wire_records, local_records)
+        ):
+            assert wire == local, f"decision {index} diverged"
+
+        local_snapshot = local_session.snapshot()
+        for key in ("events", "instructions", "loads", "predicted_loads",
+                    "correct_predictions", "accuracy", "coverage"):
+            assert wire_snapshot[key] == local_snapshot[key]
+
+    def test_chunking_does_not_change_decisions(self, trace, events):
+        spec = spec_from_name("composite", 128)
+        _, small_chunks = _wire_records(spec, events, chunk_size=64)
+        _, one_shot = _wire_records(spec, events, chunk_size=8192)
+        assert small_chunks == one_shot

@@ -1,0 +1,130 @@
+"""Load-generator tests: event flattening, percentiles, benchmark lanes.
+
+The end-to-end proof rides here too: a quick ``run_benchmark`` over a
+store-backed workload must finish with zero failed requests, zero
+protocol errors, and a payload in the shared ``repro-bench/1`` schema.
+"""
+
+import pytest
+
+from repro.harness.benchdiff import SCHEMA
+from repro.isa.instruction import OpClass
+from repro.serve.loadgen import (
+    percentile_ns,
+    run_benchmark,
+    total_failures,
+    trace_to_events,
+)
+from repro.workloads.generator import generate_trace
+
+
+class TestTraceToEvents:
+    def test_events_cover_every_instruction_exactly_once(self):
+        trace = generate_trace("coremark", 3000)
+        events = trace_to_events(trace)
+        explicit = sum(1 for e in events if e["k"] != "t")
+        ticked = sum(e["n"] for e in events if e["k"] == "t")
+        assert explicit + ticked == len(trace)
+
+    def test_event_kinds_match_opclasses(self):
+        trace = generate_trace("coremark", 3000)
+        events = trace_to_events(trace)
+        loads = sum(
+            1 for i in trace.instructions if i.op is OpClass.LOAD
+        )
+        stores = sum(
+            1 for i in trace.instructions if i.op is OpClass.STORE
+        )
+        branches = sum(
+            1 for i in trace.instructions if i.op.is_branch
+        )
+        assert sum(1 for e in events if e["k"] == "l") == loads
+        assert sum(1 for e in events if e["k"] == "s") == stores
+        assert sum(1 for e in events if e["k"] == "b") == branches
+
+    def test_tick_runs_are_coalesced(self):
+        trace = generate_trace("coremark", 3000)
+        events = trace_to_events(trace)
+        for first, second in zip(events, events[1:]):
+            assert not (first["k"] == "t" and second["k"] == "t"), \
+                "adjacent tick events should have been merged"
+
+
+class TestPercentiles:
+    def test_empty_is_zero(self):
+        assert percentile_ns([], 0.5) == 0
+
+    def test_nearest_rank_on_known_list(self):
+        ordered = list(range(1, 101))  # 1..100
+        assert percentile_ns(ordered, 0.50) == 50
+        assert percentile_ns(ordered, 0.95) == 95
+        assert percentile_ns(ordered, 0.99) == 99
+        assert percentile_ns(ordered, 1.0) == 100
+
+    def test_single_sample(self):
+        assert percentile_ns([7], 0.99) == 7
+
+
+class TestTotalFailures:
+    def test_sums_failures_across_lanes(self):
+        payload = {"benchmarks": {
+            "a": {"requests_failed": 1, "stream_errors": 0,
+                  "server": {"protocol_errors": 2, "internal_errors": 0}},
+            "b": {"requests_failed": 0, "stream_errors": 3,
+                  "server": {"protocol_errors": 0, "internal_errors": 4}},
+        }}
+        assert total_failures(payload) == 10
+
+    def test_empty_payload_is_clean(self):
+        assert total_failures({}) == 0
+
+
+@pytest.mark.slow
+class TestBenchmarkEndToEnd:
+    def test_quick_benchmark_zero_failures(self, tmp_path, monkeypatch):
+        from repro.harness import runner
+        from repro.workloads.store import ENV_VAR
+
+        # Store-backed, as the acceptance criterion requires.
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "store"))
+        runner.clear_caches()
+        try:
+            payload = run_benchmark(
+                workload="coremark", length=1500, sessions=4,
+                events_per_request=64, quick=True,
+            )
+        finally:
+            runner.clear_caches()
+
+        assert payload["schema"] == SCHEMA
+        assert payload["suite"] == "serve"
+        assert total_failures(payload) == 0
+
+        lanes = payload["benchmarks"]
+        assert set(lanes) == {
+            "serve_single", "serve_concurrent4",
+            "serve_concurrent4_unbatched",
+        }
+        for lane in lanes.values():
+            assert lane["requests_ok"] > 0
+            assert lane["requests_failed"] == 0
+            assert lane["median_ns"] == lane["p50_ns"] > 0
+            assert lane["p50_ns"] <= lane["p95_ns"] <= lane["p99_ns"]
+            assert lane["throughput_rps"] > 0
+            assert lane["throughput_eps"] > 0
+            assert 0.0 <= lane["accuracy"] <= 1.0
+            assert lane["server"]["protocol_errors"] == 0
+            assert lane["server"]["internal_errors"] == 0
+        assert lanes["serve_concurrent4"]["server"]["micro_batching"]
+        assert not (
+            lanes["serve_concurrent4_unbatched"]["server"]["micro_batching"]
+        )
+        # Batching actually batched; the comparison lane did not.
+        assert lanes["serve_concurrent4"]["server"]["max_batch_seen"] > 1
+        assert (
+            lanes["serve_concurrent4_unbatched"]["server"]["max_batch_seen"]
+            == 1
+        )
+        comparison = payload["comparison"]
+        assert comparison["micro_batching_throughput_speedup"] is not None
+        assert comparison["micro_batching_p50_speedup"] is not None

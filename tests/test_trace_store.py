@@ -178,6 +178,49 @@ class TestMaintenance:
         runner.clear_caches()
         assert not ensure_stored(WORKLOAD, LENGTH, SEED)
 
+    def test_ensure_stored_after_late_env_export(
+        self, tmp_path, monkeypatch
+    ):
+        """The store must populate even when the trace was memoized
+        before REPRO_TRACE_CACHE_DIR existed (a long-running server
+        whose env var is exported after first use)."""
+        monkeypatch.delenv(ENV_VAR)
+        trace_store.reset_active_store()
+        generate_trace(WORKLOAD, LENGTH, SEED)  # memoized, store-less
+
+        late_root = tmp_path / "late-store"
+        monkeypatch.setenv(ENV_VAR, str(late_root))
+        # active_store resolves the env var at call time, so the new
+        # handle appears without any cache reset...
+        assert trace_store.active_store() is not None
+        # ...and ensure_stored writes the entry despite the memo hit.
+        assert ensure_stored(WORKLOAD, LENGTH, SEED)
+        assert trace_store.active_store().entry_path(
+            WORKLOAD, LENGTH, SEED, GENERATOR_VERSION
+        ).exists()
+
+    def test_cache_cli_resolves_env_at_call_time(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """`repro-lvp cache --stats/--clear` read the env var when the
+        command runs, not when the module was imported."""
+        import json
+
+        from repro.cli import main
+
+        root = tmp_path / "cli-store"
+        _generate()  # populates the fixture store, not `root`
+        monkeypatch.setenv(ENV_VAR, str(root))
+        root.mkdir()
+        assert main(["cache", "--stats"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+        runner.clear_caches()
+        generate_trace(WORKLOAD, LENGTH, SEED)
+        assert main(["cache", "--stats"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 1
+        assert main(["cache", "--clear"]) == 0
+        assert "removed 1 file(s)" in capsys.readouterr().out
+
 
 def _probe_cells(count: int) -> list[Cell]:
     return [
