@@ -26,7 +26,8 @@ def test_quick_serve_benchmark_structure():
     assert payload["config"]["quick"] is True
     assert payload["config"]["sessions"] == 3
     assert seen == [
-        "serve_single", "serve_concurrent3", "serve_concurrent3_unbatched",
+        "serve_single", "serve_durable",
+        "serve_concurrent3", "serve_concurrent3_unbatched",
     ]
 
     assert total_failures(payload) == 0
@@ -38,9 +39,18 @@ def test_quick_serve_benchmark_structure():
         assert lane["events_applied"] > 0
         assert lane["server"]["protocol_errors"] == 0
 
+    durable = payload["benchmarks"]["serve_durable"]
+    assert durable["durable"] is True
+    assert durable["server"]["durability"]["wal_appends"] \
+        >= durable["requests_ok"]
+    assert durable["server"]["durability"]["wal_bytes"] > 0
+    assert payload["benchmarks"]["serve_single"]["durable"] is False
+
     comparison = payload["comparison"]
     assert comparison["micro_batching_throughput_speedup"] > 0
     assert comparison["micro_batching_p50_speedup"] > 0
+    assert comparison["durability_p50_overhead"] > 0
+    assert comparison["durability_throughput_cost"] > 0
 
     json.loads(json.dumps(payload))
 

@@ -8,7 +8,9 @@ Examples::
     repro-lvp run fig12 --json out.json # machine-readable results
     repro-lvp cache --stats             # on-disk trace store contents
     repro-lvp serve --port 7341         # online prediction service
+    repro-lvp serve --data-dir ./state  # ... with durable sessions
     repro-lvp loadgen --quick           # latency lanes -> BENCH_serve.json
+    repro-lvp crashtest --kills 3       # SIGKILL/recover chaos harness
 
 Resilient execution (long sweeps)::
 
@@ -203,6 +205,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-session-bytes", type=int, default=None, metavar="N",
         help="estimated byte budget across all sessions (default: none)",
     )
+    durability = serve.add_argument_group(
+        "durability",
+        "write-ahead logged sessions that survive crashes: sessions "
+        "opened durable are WAL-logged + checkpointed under --data-dir "
+        "and recovered by replay on startup",
+    )
+    durability.add_argument(
+        "--data-dir", metavar="PATH",
+        help="root directory for session WALs and checkpoints "
+             "(default: durability disabled)",
+    )
+    durability.add_argument(
+        "--fsync-interval", type=float, default=0.02, metavar="SECONDS",
+        help="max seconds between WAL fsyncs; 0 fsyncs every append "
+             "(default: 0.02)",
+    )
+    durability.add_argument(
+        "--checkpoint-every", type=int, default=2000, metavar="N",
+        help="WAL records between full-state checkpoints (default: 2000)",
+    )
+    durability.add_argument(
+        "--wal-segment-bytes", type=int, default=1 << 20, metavar="N",
+        help="rotate WAL segments past this size (default: 1048576)",
+    )
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -256,6 +282,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "no file)",
     )
     loadgen.add_argument(
+        "--durable", action="store_true",
+        help="with --connect: open durable sessions and seq-stamp "
+             "requests (the target server needs --data-dir)",
+    )
+    loadgen.add_argument(
         "--quick", action="store_true",
         help="small sizes (CI smoke configuration)",
     )
@@ -263,6 +294,61 @@ def _build_parser() -> argparse.ArgumentParser:
         "-o", "--output", metavar="PATH", default="BENCH_serve.json",
         help="output JSON file for benchmark mode (default: "
              "BENCH_serve.json, written atomically)",
+    )
+
+    crashtest = sub.add_parser(
+        "crashtest",
+        help="SIGKILL the server mid-load repeatedly and prove zero "
+             "acknowledged-event loss (the durability acceptance gate)",
+    )
+    crashtest.add_argument(
+        "--workload", default="gcc2k", metavar="NAME",
+        help="workload to replay (default: gcc2k)",
+    )
+    crashtest.add_argument(
+        "--length", type=int, default=4000, metavar="N",
+        help="instructions in the replayed trace (default: 4000)",
+    )
+    crashtest.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="workload seed (default: 0)",
+    )
+    crashtest.add_argument(
+        "--predictor", default="lvp",
+        help="predictor the durable session runs (default: lvp)",
+    )
+    crashtest.add_argument(
+        "--entries", type=int, default=256, metavar="N",
+        help="entries per component (default: 256)",
+    )
+    crashtest.add_argument(
+        "--kills", type=int, default=3, metavar="N",
+        help="SIGKILL/restart cycles spread across the load (default: 3)",
+    )
+    crashtest.add_argument(
+        "--events-per-request", type=int, default=64, metavar="N",
+        help="instruction events per apply request (default: 64)",
+    )
+    crashtest.add_argument(
+        "--data-dir", metavar="PATH",
+        help="durable state directory (default: a fresh temp dir)",
+    )
+    crashtest.add_argument(
+        "--fsync-interval", type=float, default=0.005, metavar="SECONDS",
+        help="server WAL fsync batching window (default: 0.005)",
+    )
+    crashtest.add_argument(
+        "--checkpoint-every", type=int, default=200, metavar="N",
+        help="server checkpoint cadence in WAL records (default: 200)",
+    )
+    crashtest.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="abort the campaign if it has not finished by then "
+             "(default: 300)",
+    )
+    crashtest.add_argument(
+        "-o", "--output", metavar="PATH",
+        help="also write the full report dict as JSON (atomically)",
     )
 
     cache = sub.add_parser(
@@ -348,6 +434,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "loadgen":
         return _loadgen_command(args)
+
+    if args.command == "crashtest":
+        return _crashtest_command(args)
 
     if args.command == "cache":
         return _cache_command(args)
@@ -479,6 +568,9 @@ def _serve_command(args) -> int:
         return _fail(
             f"--max-session-bytes must be >= 1, got {args.max_session_bytes}"
         )
+    problem = _check_durability_flags(args)
+    if problem:
+        return _fail(problem)
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -488,11 +580,22 @@ def _serve_command(args) -> int:
         request_timeout=args.request_timeout or None,
         max_sessions=args.max_sessions,
         max_session_bytes=args.max_session_bytes,
+        data_dir=args.data_dir,
+        fsync_interval=args.fsync_interval,
+        checkpoint_every=args.checkpoint_every,
+        wal_segment_bytes=args.wal_segment_bytes,
     )
 
     async def _serve() -> dict:
         server = PredictionServer(config)
         await server.start()
+        if server.recovery.get("recovered_sessions"):
+            print(
+                f"# recovered {server.recovery['recovered_sessions']} "
+                f"durable session(s) by replaying "
+                f"{server.recovery['replayed_records']} WAL record(s)",
+                file=sys.stderr, flush=True,
+            )
         # The one line scripts parse to learn the ephemeral port.
         print(f"serving on {config.host}:{server.port}", flush=True)
         await server.serve_until_shutdown()
@@ -506,6 +609,95 @@ def _serve_command(args) -> int:
         return 130
     print(json.dumps(stats, indent=2))
     print("# drained cleanly", file=sys.stderr)
+    return 0
+
+
+def _check_durability_flags(args) -> str | None:
+    """Shared flag validation for ``serve`` and ``crashtest``."""
+    from pathlib import Path
+
+    if args.fsync_interval < 0:
+        return f"--fsync-interval must be >= 0, got {args.fsync_interval}"
+    if args.checkpoint_every < 1:
+        return f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+    segment_bytes = getattr(args, "wal_segment_bytes", None)
+    if segment_bytes is not None and segment_bytes < 4096:
+        return f"--wal-segment-bytes must be >= 4096, got {segment_bytes}"
+    if args.data_dir is not None:
+        path = Path(args.data_dir)
+        if path.exists() and not path.is_dir():
+            return f"--data-dir exists and is not a directory: {path}"
+    return None
+
+
+def _crashtest_command(args) -> int:
+    """The ``crashtest`` subcommand: the durability acceptance gate."""
+    from repro.serve.crashtest import CrashTestError, run_crashtest
+    from repro.serve.session import SessionError, spec_from_name
+
+    if args.length < 100:
+        return _fail(f"--length must be >= 100, got {args.length}")
+    if args.seed < 0:
+        return _fail(f"--seed must be >= 0, got {args.seed}")
+    if args.kills < 1:
+        return _fail(f"--kills must be >= 1, got {args.kills}")
+    if args.entries < 1:
+        return _fail(f"--entries must be >= 1, got {args.entries}")
+    if args.events_per_request < 1:
+        return _fail(
+            f"--events-per-request must be >= 1, "
+            f"got {args.events_per_request}"
+        )
+    if args.timeout <= 0:
+        return _fail(f"--timeout must be > 0, got {args.timeout}")
+    problem = _check_workload(args.workload) or _check_durability_flags(args)
+    if problem:
+        return _fail(problem)
+    try:
+        spec_from_name(args.predictor.lower(), args.entries)
+    except SessionError as exc:
+        return _fail(str(exc))
+
+    try:
+        report = run_crashtest(
+            workload=args.workload,
+            length=args.length,
+            seed=args.seed,
+            predictor=args.predictor.lower(),
+            entries=args.entries,
+            kills=args.kills,
+            events_per_request=args.events_per_request,
+            data_dir=args.data_dir,
+            fsync_interval=args.fsync_interval,
+            checkpoint_every=args.checkpoint_every,
+            timeout=args.timeout,
+            progress=lambda msg: print(f"crashtest: {msg}", file=sys.stderr),
+        )
+    except CrashTestError as exc:
+        return _fail(str(exc), code=1)
+    except KeyboardInterrupt:
+        return 130
+    if args.output:
+        atomic_write_json(args.output, report)
+        print(f"# wrote {args.output}", file=sys.stderr)
+    # The full per-chunk payloads are for the report file; the printed
+    # summary keeps the verdict and the evidence.
+    summary = {
+        key: report[key] for key in (
+            "workload", "predictor", "chunks", "events", "kills_done",
+            "reconnects", "retries", "acked_chunks", "lost_acks",
+            "mismatched_chunks", "final_state_match", "final_state",
+            "durability", "equivalent",
+        )
+    }
+    print(json.dumps(summary, indent=2))
+    if not report["equivalent"]:
+        print(
+            "# crashtest FAILED: acknowledged state diverged from the "
+            "uninterrupted reference run",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL_FAILURE
     return 0
 
 
@@ -537,6 +729,11 @@ def _loadgen_command(args) -> int:
         spec = spec_from_name(args.predictor.lower(), args.entries)
     except SessionError as exc:
         return _fail(str(exc))
+    if args.durable and not args.connect:
+        return _fail(
+            "--durable only applies with --connect (the self-hosted "
+            "benchmark always includes a serve_durable lane)"
+        )
 
     if args.connect:
         host, _, port_text = args.connect.rpartition(":")
@@ -562,6 +759,7 @@ def _loadgen_command(args) -> int:
                 sessions=args.sessions,
                 events_per_request=args.events_per_request,
                 pipeline_depth=args.pipeline_depth,
+                durable=args.durable,
             ))
         except (ConnectionError, OSError) as exc:
             return _fail(f"cannot reach server at {args.connect}: {exc}")

@@ -7,6 +7,14 @@ responses arrive (matched by request id), and :meth:`request` is the
 await-one-response convenience.  The load generator keeps a window of
 submitted requests open per session, which is what lets the server's
 micro-batching scheduler actually see batches.
+
+:class:`DurableClient` layers reconnect-and-resume on top for one
+*durable* session: every mutating request carries the session's next
+``seq``, a dropped connection (server crash, restart, network blip)
+triggers reconnect + an idempotent ``open`` resume, and the request is
+retried **with the same seq** -- the server's write-ahead log and
+replay cache guarantee it executes exactly once whether or not the
+original attempt landed.
 """
 
 from __future__ import annotations
@@ -39,6 +47,13 @@ class ServeClient:
         #: Stream-level ERROR frames the server sent (not tied to a
         #: request id); tests and diagnostics read these.
         self.stream_errors: list[dict] = []
+        #: Set once the connection is unusable.  Crucial for the case
+        #: where the server's last response and its EOF arrive in the
+        #: same scheduling window with *no* requests outstanding: the
+        #: read loop exits with nothing to fail, and without this
+        #: marker a later :meth:`submit` would write into the dead
+        #: socket and await a future nobody will ever resolve.
+        self._conn_lost: Exception | None = None
         self._read_task = asyncio.create_task(self._read_loop())
 
     @classmethod
@@ -53,6 +68,8 @@ class ServeClient:
         await self.close()
 
     async def close(self) -> None:
+        if self._conn_lost is None:
+            self._conn_lost = ConnectionError("client closed")
         self._read_task.cancel()
         try:
             await self._read_task
@@ -71,6 +88,10 @@ class ServeClient:
 
     async def submit(self, op: str, **params) -> asyncio.Future:
         """Send one request; resolve the returned future later."""
+        if self._conn_lost is not None:
+            raise ConnectionError(
+                f"server connection lost: {self._conn_lost}"
+            ) from self._conn_lost
         self._next_id += 1
         request_id = self._next_id
         future: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -111,6 +132,7 @@ class ServeClient:
                     ))
         except (asyncio.IncompleteReadError, ConnectionError, OSError,
                 protocol.ProtocolError) as exc:
+            self._conn_lost = exc
             self._fail_pending(
                 ConnectionError(f"server connection lost: {exc}")
             )
@@ -162,4 +184,151 @@ class ServeClient:
         )
 
 
-__all__ = ["ServeClient", "ServeError"]
+class DurableClient:
+    """Exactly-once driver for one durable session.
+
+    Usage::
+
+        client = DurableClient(host, port, "sess", spec, workload=wl)
+        await client.connect()          # durable open (fresh or resume)
+        await client.apply(events)      # seq-stamped, retried safely
+        await client.close_session()    # tombstoned close
+        await client.close()
+
+    Error codes that are *retryable* (``backpressure``,
+    ``shutting-down``, ``timeout``) and any transport loss trigger the
+    reconnect/resume/retry loop; every other error response is the
+    request's real (possibly replay-cached) answer and is raised.
+    """
+
+    #: Error codes that mean "the request was not applied; try again".
+    RETRYABLE = ("backpressure", "shutting-down", "timeout")
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        session_id: str,
+        spec: dict | None = None,
+        workload: dict | None = None,
+        max_reconnects: int = 60,
+        reconnect_delay: float = 0.05,
+    ) -> None:
+        self.host = host
+        #: Mutable: a crashtest harness restarts the server on a new
+        #: ephemeral port and points the client at it before resuming.
+        self.port = port
+        self.session_id = session_id
+        self.spec = spec
+        self.workload = workload
+        self.max_reconnects = max_reconnects
+        self.reconnect_delay = reconnect_delay
+        self._client: ServeClient | None = None
+        #: seq of the next request to send (server has applied
+        #: everything below it that this client sent).
+        self.next_seq = 1
+        self.reconnects = 0
+        self.retries = 0
+        self.resumed = False
+
+    async def connect(self) -> dict:
+        """Connect and durably open (or resume) the session."""
+        if self._client is not None:
+            await self._client.close()
+        self._client = await ServeClient.connect(self.host, self.port)
+        params: dict = {
+            "session": self.session_id, "spec": self.spec, "durable": True,
+        }
+        if self.workload is not None:
+            params["workload"] = self.workload
+        opened = await self._client.request("open", **params)
+        self.resumed = bool(opened.get("resumed"))
+        applied = int(opened.get("applied_seq", 1))
+        # Never move next_seq backwards: the server may have applied a
+        # request whose response we lost, and we still hold its seq so
+        # the retry fetches the cached answer.
+        self.next_seq = max(self.next_seq, applied + 1)
+        return opened
+
+    async def close(self) -> None:
+        """Drop the connection (the session stays durable on disk)."""
+        if self._client is not None:
+            await self._client.close()
+            self._client = None
+
+    async def _reconnect(self) -> None:
+        last_error: Exception | None = None
+        for attempt in range(self.max_reconnects):
+            await asyncio.sleep(self.reconnect_delay * min(attempt + 1, 10))
+            try:
+                await self.connect()
+                self.reconnects += 1
+                return
+            except (ConnectionError, OSError, ServeError) as exc:
+                last_error = exc
+        raise ConnectionError(
+            f"could not reconnect to {self.host}:{self.port} after "
+            f"{self.max_reconnects} attempts: {last_error}"
+        )
+
+    async def call(self, op: str, **params) -> dict:
+        """One mutating request, executed exactly once.
+
+        Stamps the session's next ``seq``, retries the *same* seq
+        across reconnects and retryable rejections, and only advances
+        the seq once an authoritative response (success or a real
+        error) arrives.
+        """
+        seq = self.next_seq
+        attempt = 0
+        while True:
+            if self._client is None:
+                await self._reconnect()
+            try:
+                result = await self._client.request(
+                    op, session=self.session_id, seq=seq, **params
+                )
+            except ConnectionError:
+                self.retries += 1
+                await self._reconnect()
+                continue
+            except ServeError as exc:
+                if exc.code in self.RETRYABLE:
+                    self.retries += 1
+                    attempt += 1
+                    await asyncio.sleep(
+                        min(0.0005 * attempt, self.reconnect_delay)
+                    )
+                    continue
+                self.next_seq = seq + 1  # the error IS the outcome
+                raise
+            self.next_seq = seq + 1
+            return result
+
+    # -- seq-stamped verbs ---------------------------------------------
+
+    async def apply(self, events: list[dict]) -> dict:
+        return await self.call("apply", events=events)
+
+    async def predict(self, pc: int) -> dict:
+        return await self.call("predict", pc=pc)
+
+    async def train(self, addr: int, size: int, value: int) -> dict:
+        return await self.call(
+            "train", outcome={"addr": addr, "size": size, "value": value}
+        )
+
+    async def close_session(self) -> dict:
+        return await self.call("close")
+
+    async def stats(self) -> dict:
+        if self._client is None:
+            await self._reconnect()
+        try:
+            return await self._client.stats()
+        except ConnectionError:
+            await self._reconnect()
+            return await self._client.stats()
+
+
+__all__ = ["DurableClient", "ServeClient", "ServeError"]

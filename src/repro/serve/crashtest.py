@@ -1,0 +1,279 @@
+"""Crash-test harness: SIGKILL the server mid-load, prove nothing lost.
+
+The acceptance gate for the durability subsystem (``repro-lvp
+crashtest``).  One run:
+
+1. computes a **reference**: the same event chunks applied to a local
+   :class:`~repro.serve.session.PredictorSession` (the serving layer's
+   own execution helpers, so reference and server share code paths);
+2. starts a real server subprocess with ``--data-dir``, drives one
+   durable session through every chunk with a
+   :class:`~repro.serve.client.DurableClient`;
+3. at ``kills`` evenly spaced points it SIGKILLs the server **while a
+   request is in flight**, restarts it (fresh process, same data dir),
+   repoints the client, and lets the idempotent retry machinery
+   resume -- the retried seq must return the request's one true
+   response whether or not the killed server had applied it;
+4. asserts *zero acknowledged-event loss*: every acknowledged response
+   is record-by-record identical to the reference, and the final
+   ``close`` snapshot (counters, accuracy, pending depth) is bit-exact
+   against the uninterrupted reference run.
+
+Any divergence is reported per-chunk in the result dict;
+``equivalent`` is the overall verdict the CLI turns into exit code 3.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.serve.client import DurableClient
+from repro.serve.loadgen import trace_to_events
+from repro.serve.session import (
+    PredictorSession,
+    _resolve_initial_memory,
+    apply_events,
+    spec_from_name,
+)
+
+#: Seconds to wait for a (re)started server to print its port.
+SERVER_START_TIMEOUT = 30.0
+
+
+class CrashTestError(RuntimeError):
+    """The harness itself failed (server would not start, etc.)."""
+
+
+class _ServerProc:
+    """One ``repro-lvp serve`` subprocess under harness control."""
+
+    def __init__(self, data_dir: str, fsync_interval: float,
+                 checkpoint_every: int) -> None:
+        self.data_dir = data_dir
+        self.fsync_interval = fsync_interval
+        self.checkpoint_every = checkpoint_every
+        self.proc: subprocess.Popen | None = None
+        self.port: int | None = None
+
+    def start(self) -> int:
+        """Launch the server; returns the bound (ephemeral) port."""
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--data-dir", self.data_dir,
+                "--fsync-interval", str(self.fsync_interval),
+                "--checkpoint-every", str(self.checkpoint_every),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        deadline = time.monotonic() + SERVER_START_TIMEOUT
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise CrashTestError(
+                    f"server exited during startup "
+                    f"(code {self.proc.poll()})"
+                )
+            if line.startswith("serving on"):
+                self.port = int(line.rsplit(":", 1)[1])
+                return self.port
+        raise CrashTestError("server never reported its port")
+
+    def kill(self) -> None:
+        """SIGKILL: no drain, no atexit, no flush -- a real crash."""
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait()
+
+    def terminate(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+
+
+def _reference_run(
+    spec: dict | None, workload_desc: dict, chunks: list[list[dict]]
+) -> tuple[list[dict], dict]:
+    """The uninterrupted ground truth: results per chunk + final state."""
+    session = PredictorSession(
+        spec,
+        session_id="crashtest",
+        initial_memory=_resolve_initial_memory(workload_desc),
+    )
+    results = [apply_events(session, chunk) for chunk in chunks]
+    return results, session.snapshot()
+
+
+async def _drive(
+    client: DurableClient,
+    server: _ServerProc,
+    chunks: list[list[dict]],
+    kill_at: set[int],
+    note: Callable[[str], None],
+) -> tuple[list[dict], int]:
+    """Apply every chunk, SIGKILLing/restarting at the chosen points."""
+    await client.connect()
+    acked: list[dict] = []
+    kills_done = 0
+    for index, chunk in enumerate(chunks):
+        if index in kill_at:
+            # Launch the request first so the kill lands with it in
+            # flight: the server may or may not have applied it, and
+            # the retried seq must resolve that ambiguity exactly-once.
+            task = asyncio.create_task(client.apply(chunk))
+            await asyncio.sleep(0)  # let the frame reach the wire
+            server.kill()
+            kills_done += 1
+            port = server.start()
+            client.port = port
+            note(
+                f"kill {kills_done}: SIGKILL at chunk {index}, "
+                f"restarted on port {port}"
+            )
+            acked.append(await task)
+        else:
+            acked.append(await client.apply(chunk))
+    return acked, kills_done
+
+
+def run_crashtest(
+    workload: str = "gcc2k",
+    length: int = 4000,
+    seed: int = 0,
+    predictor: str = "lvp",
+    entries: int = 256,
+    kills: int = 3,
+    events_per_request: int = 64,
+    data_dir: str | None = None,
+    fsync_interval: float = 0.005,
+    checkpoint_every: int = 200,
+    timeout: float = 300.0,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run one crash-test campaign; returns the report dict.
+
+    ``equivalent`` is True only when every acknowledged response and
+    the final close snapshot match the uninterrupted reference run.
+    """
+    from repro.workloads.generator import ensure_stored, generate_trace
+
+    note = progress or (lambda message: None)
+    spec = spec_from_name(predictor, entries)
+    workload_desc = {"name": workload, "length": length, "seed": seed}
+    ensure_stored(workload, length, seed)
+    events = trace_to_events(generate_trace(workload, length, seed))
+    chunks = [
+        events[i:i + events_per_request]
+        for i in range(0, len(events), events_per_request)
+    ]
+    note(f"{len(events)} events in {len(chunks)} chunks; "
+         f"{kills} SIGKILL cycle(s) planned")
+
+    expected, expected_final = _reference_run(spec, workload_desc, chunks)
+
+    spacing = max(1, len(chunks) // (kills + 1))
+    kill_at = {spacing * (i + 1) for i in range(kills)}
+    kill_at = {k for k in kill_at if k < len(chunks)}
+
+    owned_tmp = None
+    if data_dir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="repro-crashtest-")
+        data_dir = owned_tmp.name
+
+    server = _ServerProc(data_dir, fsync_interval, checkpoint_every)
+    client = DurableClient(
+        "127.0.0.1", 0, "crashtest", spec, workload=workload_desc
+    )
+
+    async def _campaign() -> dict:
+        client.port = server.start()
+        try:
+            acked, kills_done = await _drive(
+                client, server, chunks, kill_at, note
+            )
+            stats = await client.stats()
+            closed = await client.close_session()
+            return {
+                "acked": acked,
+                "kills_done": kills_done,
+                "final": closed.get("closed"),
+                "durability": stats.get("durability", {}),
+            }
+        finally:
+            await client.close()
+            server.terminate()
+
+    async def _bounded() -> dict:
+        # Backstop: a harness/client bug must surface as a failure, not
+        # a hung CI job.  Cancellation still runs _campaign's cleanup.
+        try:
+            return await asyncio.wait_for(_campaign(), timeout)
+        except asyncio.TimeoutError:
+            raise CrashTestError(
+                f"campaign did not finish within {timeout:.0f}s"
+            ) from None
+
+    try:
+        outcome = asyncio.run(_bounded())
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+
+    acked = outcome["acked"]
+    mismatches = [
+        index for index, (got, want) in enumerate(zip(acked, expected))
+        if got != want
+    ]
+    lost_acks = len(expected) - len(acked)
+    final_match = outcome["final"] == expected_final
+    equivalent = not mismatches and lost_acks == 0 and final_match
+    report = {
+        "workload": workload_desc,
+        "predictor": predictor,
+        "entries": entries,
+        "chunks": len(chunks),
+        "events": len(events),
+        "events_per_request": events_per_request,
+        "kills_requested": kills,
+        "kills_done": outcome["kills_done"],
+        "reconnects": client.reconnects,
+        "retries": client.retries,
+        "acked_chunks": len(acked),
+        "lost_acks": lost_acks,
+        "mismatched_chunks": mismatches,
+        "final_state_match": final_match,
+        "final_state": outcome["final"],
+        "reference_final_state": expected_final,
+        "durability": outcome["durability"],
+        "equivalent": equivalent,
+    }
+    note(
+        f"verdict: {'EQUIVALENT' if equivalent else 'DIVERGED'} "
+        f"({len(acked)}/{len(chunks)} chunks acked, "
+        f"{outcome['kills_done']} kills, {client.reconnects} reconnects)"
+    )
+    return report
+
+
+__all__ = ["CrashTestError", "run_crashtest", "SERVER_START_TIMEOUT"]

@@ -1,0 +1,703 @@
+"""Durability and crash recovery for the serving layer.
+
+Every state-mutating request on a *durable* session (``open``,
+``apply``, ``predict``, ``train``, ``close``) is appended to a
+per-session write-ahead log **before** it executes -- and therefore
+before its response frame is written -- so a server killed at any
+instant can rebuild every acknowledged byte of session state by
+replay.  The paper's update rules are fully deterministic (epoch-based
+accuracy throttling, smart-training order, fusion reallocation), which
+is what makes replay-based recovery *bit-exact* rather than
+best-effort: ``tests/test_durability.py`` proves a recovered session
+and an uninterrupted one emit identical per-load decision records.
+
+On-disk layout, under ``--data-dir``::
+
+    data_dir/sessions/<safe-id>/
+        wal-00000001.log     CRC-tagged JSONL segments (rotated)
+        checkpoint.ckpt      header JSON + pickled session state
+        closed.json          tombstone: final seq + cached response
+
+**WAL format.**  One record per line: ``crc32(json) as 8 hex chars, a
+space, then the compact JSON record`` -- ``{"seq": N, "op": ...,
+"body": {...}}``.  Appends are flushed to the OS on every record
+(surviving SIGKILL) and fsync'd in batches no further apart than
+``fsync_interval`` seconds (``0`` = every append; batching trades a
+bounded power-loss window for throughput).  Segments are created
+tmp+rename with a header record naming the session, and rotate at
+``segment_bytes``.  A torn or bit-rotted tail record fails its CRC;
+recovery truncates the file back to the last intact record and counts
+it -- mirroring ``workloads/store.py``'s corrupt-entry policy.
+
+**Checkpoints.**  Every ``checkpoint_every`` WAL records the full
+session state (predictor + bound histories + memory image + pending
+predictions, one pickled object graph) is written tmp+rename with a
+SHA-256 body checksum, bounding recovery cost to one unpickle plus the
+WAL tail.  A torn or corrupt checkpoint is detected, evicted, and
+recovery falls back to full replay from the ``open`` record -- WAL
+segments are retained for exactly this reason.
+
+**Exactly-once.**  Each handle owns the session's
+:class:`~repro.serve.session.SeqTracker`; replaying the WAL rebuilds
+both the state *and* the response cache, so a client retrying a
+request the server applied just before dying gets the original
+response, not a double execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import struct
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from zlib import crc32
+
+from repro.harness.journal import atomic_write_json, stable_digest
+from repro.serve.session import (
+    SEQ_CACHE_SIZE,
+    PredictorSession,
+    SeqTracker,
+    SessionError,
+    _resolve_initial_memory,
+    apply_events,
+    train_from_body,
+)
+
+#: WAL line / checkpoint layout version; bump on any format change.
+WAL_FORMAT = 1
+
+_WAL_PREFIX = "wal-"
+_WAL_SUFFIX = ".log"
+_CHECKPOINT = "checkpoint.ckpt"
+_TOMBSTONE = "closed.json"
+_CKPT_MAGIC = b"RLVPCKP\x01"
+
+#: Ops that mutate session state and therefore hit the WAL.
+MUTATING_OPS = ("open", "apply", "predict", "train", "close")
+
+
+@dataclass
+class DurabilityStats:
+    """Server-wide durability counters (the ``stats`` RPC's view)."""
+
+    wal_appends: int = 0
+    wal_bytes: int = 0
+    wal_fsyncs: int = 0
+    wal_segments: int = 0
+    checkpoint_count: int = 0
+    checkpoint_bytes: int = 0
+    checkpoint_failures: int = 0
+    recovered_sessions: int = 0
+    replayed_records: int = 0
+    corrupt_tail_records: int = 0
+    spills: int = 0
+    closed_sessions: int = 0
+    durable_opens: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "wal_appends": self.wal_appends,
+            "wal_bytes": self.wal_bytes,
+            "wal_fsyncs": self.wal_fsyncs,
+            "wal_segments": self.wal_segments,
+            "checkpoint_count": self.checkpoint_count,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "checkpoint_failures": self.checkpoint_failures,
+            "recovered_sessions": self.recovered_sessions,
+            "replayed_records": self.replayed_records,
+            "corrupt_tail_records": self.corrupt_tail_records,
+            "spills": self.spills,
+            "closed_sessions": self.closed_sessions,
+            "durable_opens": self.durable_opens,
+        }
+
+
+# ----------------------------------------------------------------------
+# WAL record encoding
+# ----------------------------------------------------------------------
+
+
+def encode_record(record: dict) -> bytes:
+    """One WAL line: ``crc32-hex8 SP compact-json LF``."""
+    raw = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    return b"%08x " % crc32(raw) + raw + b"\n"
+
+
+def decode_line(line: bytes) -> dict | None:
+    """Decode one WAL line; ``None`` for torn/corrupt/foreign bytes."""
+    if len(line) < 11 or not line.endswith(b"\n") or line[8:9] != b" ":
+        return None
+    raw = line[9:-1]
+    try:
+        if crc32(raw) != int(line[:8], 16):
+            return None
+        record = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def scan_wal_file(path: Path) -> tuple[list[dict], int, int]:
+    """Read one segment: ``(records, valid_bytes, dropped_lines)``.
+
+    ``valid_bytes`` is the offset of the first byte past the last
+    intact record -- the truncation point for tail-corruption repair.
+    Everything from the first bad line on is dropped (records are only
+    meaningful in unbroken order).
+    """
+    records: list[dict] = []
+    valid = 0
+    dropped = 0
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return records, 0, 0
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            dropped += 1  # torn final line (no newline ever made it)
+            break
+        record = decode_line(data[offset:newline + 1])
+        if record is None:
+            dropped += 1 + data.count(b"\n", newline + 1)
+            break
+        records.append(record)
+        offset = newline + 1
+        valid = offset
+    return records, valid, dropped
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+
+
+def write_checkpoint(path: Path, header: dict, blob: bytes) -> None:
+    """Atomically persist one checkpoint (magic + header + blob).
+
+    The header's ``blob_sha256`` seals the pickled state; the whole
+    file goes through tmp+rename so a torn writer never publishes a
+    partial checkpoint over a good one.
+    """
+    header = dict(header)
+    header["format"] = WAL_FORMAT
+    header["blob_sha256"] = hashlib.sha256(blob).hexdigest()
+    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
+    try:
+        with tmp.open("wb") as fh:
+            fh.write(_CKPT_MAGIC)
+            fh.write(struct.pack("<I", len(raw)))
+            fh.write(raw)
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def load_checkpoint(path: Path) -> tuple[dict, bytes] | None:
+    """Load and verify one checkpoint; ``None`` (and evict) if corrupt."""
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return None
+    fixed = len(_CKPT_MAGIC) + 4
+    try:
+        if len(raw) < fixed or raw[: len(_CKPT_MAGIC)] != _CKPT_MAGIC:
+            raise ValueError("bad magic")
+        (header_len,) = struct.unpack_from("<I", raw, len(_CKPT_MAGIC))
+        if len(raw) < fixed + header_len:
+            raise ValueError("truncated header")
+        header = json.loads(raw[fixed:fixed + header_len].decode("utf-8"))
+        if header.get("format") != WAL_FORMAT:
+            raise ValueError(f"unsupported format {header.get('format')}")
+        blob = raw[fixed + header_len:]
+        if hashlib.sha256(blob).hexdigest() != header.get("blob_sha256"):
+            raise ValueError("blob checksum mismatch")
+    except (ValueError, KeyError, UnicodeDecodeError):
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return None
+    return header, blob
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+
+
+def replay_record(session: PredictorSession, op: str, body: dict) -> tuple:
+    """Re-execute one WAL record, regenerating its response entry.
+
+    Mirrors the live server's execution (including the partial-failure
+    and internal-error contracts) so a replayed request produces the
+    exact response the client was -- or would have been -- sent.
+    """
+    try:
+        if op == "apply":
+            result = apply_events(session, body.get("events"))
+        elif op == "predict":
+            result = {"prediction": session.predict(body.get("pc"))}
+        elif op == "train":
+            result = train_from_body(session, body.get("outcome"))
+        elif op == "close":
+            result = {"closed": session.snapshot()}
+        else:
+            raise SessionError(
+                f"unreplayable op {op!r} in WAL", code="bad-wal-record"
+            )
+    except SessionError as exc:
+        return ("error", exc.code, str(exc))
+    except Exception as exc:  # replay must match the live path: no crash
+        return ("error", "internal", f"{type(exc).__name__}: {exc}")
+    return ("ok", result)
+
+
+class SessionDurability:
+    """One durable session's WAL writer, checkpointer, and seq state."""
+
+    def __init__(
+        self,
+        manager: "DurabilityManager",
+        session_id: str,
+        directory: Path,
+        tracker: SeqTracker,
+    ) -> None:
+        self.manager = manager
+        self.session_id = session_id
+        self.dir = directory
+        self.tracker = tracker
+        self.spec_digest: str | None = None
+        self._fh = None
+        self._segment = 0
+        self._segment_bytes = 0
+        self._last_fsync = time.monotonic()
+        self._fsync_pending = False
+        self.records_since_checkpoint = 0
+
+    # -- appending ------------------------------------------------------
+
+    def append(self, seq: int, op: str, body: dict) -> None:
+        """Durably append one record *before* the op executes."""
+        data = encode_record({"seq": seq, "op": op, "body": body})
+        if (self._fh is None
+                or self._segment_bytes + len(data)
+                > self.manager.segment_bytes):
+            self._rotate()
+        self._fh.write(data)
+        self._fh.flush()  # reaches the OS: survives SIGKILL
+        self._segment_bytes += len(data)
+        stats = self.manager.stats
+        stats.wal_appends += 1
+        stats.wal_bytes += len(data)
+        self.maybe_fsync()
+
+    def maybe_fsync(self, force: bool = False) -> None:
+        """Group-commit fsync: at most one per ``fsync_interval``."""
+        if self._fh is None:
+            return
+        self._fsync_pending = True
+        interval = self.manager.fsync_interval
+        now = time.monotonic()
+        if force or interval <= 0 or now - self._last_fsync >= interval:
+            os.fsync(self._fh.fileno())
+            self._last_fsync = now
+            self._fsync_pending = False
+            self.manager.stats.wal_fsyncs += 1
+
+    def _rotate(self) -> None:
+        """Start the next segment via tmp+rename (never a torn header)."""
+        if self._fh is not None:
+            self.maybe_fsync(force=True)
+            self._fh.close()
+        self._segment += 1
+        path = self._segment_path(self._segment)
+        header = encode_record({
+            "op": "_segment", "segment": self._segment,
+            "session": self.session_id, "format": WAL_FORMAT,
+        })
+        tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
+        fh = tmp.open("wb")
+        fh.write(header)
+        fh.flush()
+        os.fsync(fh.fileno())
+        # The rename is path-level; the handle keeps the same inode.
+        os.replace(tmp, path)
+        self._fh = fh
+        self._segment_bytes = len(header)
+        self.manager.stats.wal_segments += 1
+        self.manager.stats.wal_bytes += len(header)
+
+    def _segment_path(self, index: int) -> Path:
+        return self.dir / f"{_WAL_PREFIX}{index:08d}{_WAL_SUFFIX}"
+
+    def attach_segment(self, index: int, size: int) -> None:
+        """Continue appending to a recovered (tail-repaired) segment."""
+        self._segment = index
+        self._segment_bytes = size
+        self._fh = self._segment_path(index).open("ab")
+
+    # -- record lifecycle ----------------------------------------------
+
+    def after_record(self, session: PredictorSession) -> None:
+        """Post-execution bookkeeping: fsync cadence + checkpoint cadence."""
+        self.maybe_fsync()
+        self.records_since_checkpoint += 1
+        if self.records_since_checkpoint >= self.manager.checkpoint_every:
+            self.checkpoint(session)
+
+    def checkpoint(self, session: PredictorSession) -> None:
+        """Serialize full session state; bounds replay on recovery."""
+        # The WAL must be on disk before a checkpoint claims its seq.
+        self.maybe_fsync(force=True)
+        blob = pickle.dumps(
+            session.capture_state(), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        header = {
+            "session": self.session_id,
+            "seq": self.tracker.applied_seq,
+            "counters": session.counters(),
+            "spec_digest": self.spec_digest,
+            # The exactly-once response cache rides along: a client
+            # retrying across a spill/recover still gets its answer.
+            "seq_cache": self.tracker.export_entries(),
+        }
+        write_checkpoint(self.dir / _CHECKPOINT, header, blob)
+        self.records_since_checkpoint = 0
+        self.manager.stats.checkpoint_count += 1
+        self.manager.stats.checkpoint_bytes += len(blob)
+
+    def close_files(self) -> None:
+        if self._fh is not None:
+            self.maybe_fsync(force=True)
+            self._fh.close()
+            self._fh = None
+
+
+class DurabilityManager:
+    """All durable-session state under one ``--data-dir``."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        fsync_interval: float = 0.02,
+        checkpoint_every: int = 2000,
+        segment_bytes: int = 1 << 20,
+        cache_size: int = SEQ_CACHE_SIZE,
+    ) -> None:
+        self.root = Path(root)
+        self.sessions_root = self.root / "sessions"
+        self.fsync_interval = max(0.0, fsync_interval)
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.segment_bytes = max(4096, segment_bytes)
+        self.cache_size = cache_size
+        self.stats = DurabilityStats()
+        self._handles: dict[str, SessionDurability] = {}
+
+    # -- identity -------------------------------------------------------
+
+    def session_dir(self, session_id: str) -> Path:
+        safe = "".join(
+            c if c.isalnum() or c in "-_" else "_" for c in session_id
+        )[:48]
+        digest = hashlib.sha256(session_id.encode("utf-8")).hexdigest()[:12]
+        return self.sessions_root / f"{safe}-{digest}"
+
+    def exists(self, session_id: str) -> bool:
+        """True when a recoverable (non-closed) session is on disk."""
+        if session_id in self._handles:
+            return True
+        directory = self.session_dir(session_id)
+        if (directory / _TOMBSTONE).exists():
+            return False
+        return any(directory.glob(f"{_WAL_PREFIX}*{_WAL_SUFFIX}"))
+
+    def check_not_closed(self, session_id: str) -> None:
+        if (self.session_dir(session_id) / _TOMBSTONE).exists():
+            raise SessionError(
+                f"durable session {session_id!r} was closed and cannot "
+                "be reopened",
+                code="session-closed",
+            )
+
+    def handle(self, session_id: str) -> SessionDurability | None:
+        return self._handles.get(session_id)
+
+    def spec_matches(self, session_id: str, spec) -> bool:
+        handle = self._handles.get(session_id)
+        if handle is None or handle.spec_digest is None:
+            return True  # nothing recorded to compare against
+        return handle.spec_digest == stable_digest(spec)
+
+    def scan_ids(self) -> list[str]:
+        """Session ids of every recoverable directory under the root."""
+        ids = []
+        if not self.sessions_root.is_dir():
+            return ids
+        for directory in sorted(self.sessions_root.iterdir()):
+            if not directory.is_dir() or (directory / _TOMBSTONE).exists():
+                continue
+            segments = sorted(
+                directory.glob(f"{_WAL_PREFIX}*{_WAL_SUFFIX}")
+            )
+            if not segments:
+                continue
+            records, _, _ = scan_wal_file(segments[0])
+            if records and records[0].get("op") == "_segment":
+                session_id = records[0].get("session")
+                if isinstance(session_id, str) and session_id:
+                    ids.append(session_id)
+        return ids
+
+    # -- lifecycle ------------------------------------------------------
+
+    def create(
+        self,
+        session_id: str,
+        spec,
+        workload,
+        tracker: SeqTracker,
+    ) -> SessionDurability:
+        """Start a fresh durable session: directory + ``open`` record."""
+        directory = self.session_dir(session_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        handle = SessionDurability(self, session_id, directory, tracker)
+        handle.spec_digest = stable_digest(spec)
+        handle.append(1, "open", {"spec": spec, "workload": workload})
+        handle.maybe_fsync(force=True)
+        self._handles[session_id] = handle
+        self.stats.durable_opens += 1
+        return handle
+
+    def spill(self, session: PredictorSession) -> None:
+        """Evict-to-disk: checkpoint + flush, then drop the handle."""
+        handle = self._handles.pop(session.session_id, None)
+        if handle is None:
+            return
+        handle.checkpoint(session)
+        handle.close_files()
+        self.stats.spills += 1
+
+    def release(self, session_id: str) -> None:
+        """Drop a handle without checkpointing (close path)."""
+        handle = self._handles.pop(session_id, None)
+        if handle is not None:
+            handle.close_files()
+
+    def finalize_close(self, session_id: str, seq: int, entry: tuple) -> None:
+        """Tombstone a closed session: final seq + cached response."""
+        directory = self.session_dir(session_id)
+        atomic_write_json(
+            directory / _TOMBSTONE,
+            {"session": session_id, "seq": seq, "entry": list(entry)},
+        )
+        self.release(session_id)
+        self.stats.closed_sessions += 1
+
+    def closed_response(self, session_id: str, seq) -> tuple | None:
+        """The tombstoned response for a retried ``close`` (or None)."""
+        try:
+            raw = (self.session_dir(session_id) / _TOMBSTONE).read_text(
+                encoding="utf-8"
+            )
+            tombstone = json.loads(raw)
+        except (OSError, ValueError):
+            return None
+        if tombstone.get("seq") == seq:
+            entry = tombstone.get("entry")
+            if isinstance(entry, list) and entry:
+                return tuple(entry)
+        return None
+
+    def close_all(self) -> None:
+        """Flush and close every live handle (server shutdown)."""
+        for session_id in list(self._handles):
+            self.release(session_id)
+
+    def wal_disk_bytes(self) -> int:
+        """Total on-disk WAL + checkpoint bytes across all sessions."""
+        total = 0
+        if self.sessions_root.is_dir():
+            for path in self.sessions_root.rglob("*"):
+                try:
+                    if path.is_file():
+                        total += path.stat().st_size
+                except OSError:
+                    continue
+        return total
+
+    # -- recovery -------------------------------------------------------
+
+    def recover(self, session_id: str) -> PredictorSession:
+        """Rebuild one session: checkpoint (if intact) + WAL replay.
+
+        Truncates torn tail records, falls back to full replay from the
+        ``open`` record when the checkpoint is corrupt, rebuilds the
+        exactly-once response cache, and reattaches the WAL writer to
+        the repaired tail segment.
+        """
+        directory = self.session_dir(session_id)
+        self.check_not_closed(session_id)
+        records, last_segment, last_size = self._scan_segments(directory)
+
+        session: PredictorSession | None = None
+        spec_digest: str | None = None
+        base_seq = 0
+        tracker = SeqTracker(self.cache_size)
+        loaded = load_checkpoint(directory / _CHECKPOINT)
+        if loaded is not None:
+            header, blob = loaded
+            try:
+                state = pickle.loads(blob)
+                session = PredictorSession.restore(
+                    session_id, state, header.get("counters", {})
+                )
+                base_seq = int(header.get("seq", 0))
+                spec_digest = header.get("spec_digest")
+                # Resume the exactly-once state where the checkpoint
+                # left it; WAL replay extends it from base_seq on.
+                tracker.load_entries(base_seq, header.get("seq_cache"))
+            except Exception:
+                self.stats.checkpoint_failures += 1
+                session = None
+                base_seq = 0
+                tracker = SeqTracker(self.cache_size)
+        elif (directory / _CHECKPOINT).exists() is False and loaded is None:
+            pass  # no checkpoint was ever written -- full replay
+        if loaded is None and (directory / _CHECKPOINT).exists():
+            # load_checkpoint evicts corrupt files, so reaching here
+            # means eviction failed; count it either way.
+            self.stats.checkpoint_failures += 1
+
+        replayed = 0
+        closed_entry: tuple | None = None
+        expected = base_seq + 1
+        for record in records:
+            seq = record.get("seq")
+            op = record.get("op")
+            if op == "_segment" or not isinstance(seq, int):
+                continue
+            if seq <= base_seq:
+                # Covered by the checkpoint; skip (but note the open
+                # record's spec digest if the checkpoint lacked one).
+                if op == "open" and spec_digest is None:
+                    spec_digest = stable_digest(
+                        record.get("body", {}).get("spec")
+                    )
+                continue
+            if seq != expected:
+                # A gap means the tail past this point is unusable.
+                self.stats.corrupt_tail_records += 1
+                break
+            body = record.get("body") or {}
+            if op == "open":
+                if session is None:
+                    session = PredictorSession(
+                        body.get("spec"),
+                        session_id=session_id,
+                        initial_memory=_resolve_initial_memory(
+                            body.get("workload")
+                        ) if body.get("workload") is not None else None,
+                    )
+                spec_digest = stable_digest(body.get("spec"))
+                entry = ("ok", {"session": session_id})
+            elif session is None:
+                raise SessionError(
+                    f"durable session {session_id!r} has no checkpoint "
+                    "and no open record; cannot recover",
+                    code="unrecoverable",
+                )
+            else:
+                entry = replay_record(session, op, body)
+                if op == "close" and entry[0] == "ok":
+                    closed_entry = entry
+            tracker.record(seq, entry)
+            replayed += 1
+            expected = seq + 1
+
+        if session is None:
+            raise SessionError(
+                f"durable session {session_id!r} has no recoverable "
+                "state",
+                code="unrecoverable",
+            )
+        if closed_entry is not None:
+            # The close was logged but the tombstone never landed;
+            # finish the close now instead of resurrecting the session.
+            self.finalize_close(session_id, tracker.applied_seq,
+                                closed_entry)
+            raise SessionError(
+                f"durable session {session_id!r} was closed and cannot "
+                "be reopened",
+                code="session-closed",
+            )
+
+        session.tracker = tracker
+        handle = SessionDurability(self, session_id, directory, tracker)
+        handle.spec_digest = spec_digest
+        if last_segment:
+            handle.attach_segment(last_segment, last_size)
+        self._handles[session_id] = handle
+        self.stats.recovered_sessions += 1
+        self.stats.replayed_records += replayed
+        return session
+
+    def _scan_segments(self, directory: Path) -> tuple[list[dict], int, int]:
+        """All intact records in order + the append-tail segment/size.
+
+        Applies the corruption policy: the first CRC failure truncates
+        its segment back to the last intact record and drops every
+        later segment (records past a tear cannot be trusted to be
+        contiguous).
+        """
+        segments = sorted(directory.glob(f"{_WAL_PREFIX}*{_WAL_SUFFIX}"))
+        records: list[dict] = []
+        last_index = 0
+        last_size = 0
+        for position, path in enumerate(segments):
+            try:
+                index = int(path.name[len(_WAL_PREFIX):-len(_WAL_SUFFIX)])
+            except ValueError:
+                continue
+            found, valid, dropped = scan_wal_file(path)
+            records.extend(found)
+            last_index = index
+            last_size = valid
+            if dropped:
+                self.stats.corrupt_tail_records += dropped
+                try:
+                    with path.open("rb+") as fh:
+                        fh.truncate(valid)
+                except OSError:
+                    pass
+                for stale in segments[position + 1:]:
+                    try:
+                        stale.unlink(missing_ok=True)
+                    except OSError:
+                        pass
+                break
+        return records, last_index, last_size
+
+
+__all__ = [
+    "MUTATING_OPS",
+    "WAL_FORMAT",
+    "DurabilityManager",
+    "DurabilityStats",
+    "SessionDurability",
+    "decode_line",
+    "encode_record",
+    "load_checkpoint",
+    "replay_record",
+    "scan_wal_file",
+    "write_checkpoint",
+]

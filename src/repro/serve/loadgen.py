@@ -6,9 +6,12 @@ The generator turns a workload trace (store-backed when
 concurrent sessions -- each over its own connection, each with a
 pipeline window of in-flight ``apply`` requests -- against a server
 while recording per-request latency.  :func:`run_benchmark` packages
-three lanes into a ``repro-bench/1`` payload (``BENCH_serve.json``):
+four lanes into a ``repro-bench/1`` payload (``BENCH_serve.json``):
 
 * ``serve_single`` -- one session, micro-batching on (baseline);
+* ``serve_durable`` -- one durable session (write-ahead log on a
+  tempdir, seq-stamped requests), quantifying the WAL overhead
+  against ``serve_single``;
 * ``serve_concurrent<N>`` -- N sessions, micro-batching on;
 * ``serve_concurrent<N>_unbatched`` -- N sessions, one request per
   event-loop tick, the path micro-batching must beat.
@@ -21,6 +24,7 @@ requests and events per second, and the server's own counters.
 from __future__ import annotations
 
 import asyncio
+import tempfile
 import time
 from collections import deque
 from typing import Callable
@@ -97,42 +101,56 @@ async def _drive_session(
     pipeline_depth: int,
     latencies: list[int],
     tallies: dict,
+    durable: bool = False,
 ) -> None:
     """Replay one session's chunks with a window of in-flight requests."""
     client = await ServeClient.connect(host, port)
     try:
-        await client.open_session(session_id, spec, workload=workload)
+        if durable:
+            open_params: dict = {
+                "session": session_id, "spec": spec, "durable": True,
+            }
+            if workload is not None:
+                open_params["workload"] = workload
+            opened = await client.request("open", **open_params)
+            next_seq = int(opened.get("applied_seq", 1)) + 1
+        else:
+            await client.open_session(session_id, spec, workload=workload)
+            next_seq = None
         window: deque = deque()
-        for chunk in chunks:
+        for index, chunk in enumerate(chunks):
+            params = {"session": session_id, "events": chunk}
+            if next_seq is not None:
+                params["seq"] = next_seq + index
             while len(window) >= pipeline_depth:
-                await _settle(client, session_id, window.popleft(),
-                              latencies, tallies)
-            window.append(await _launch(client, session_id, chunk))
+                await _settle(client, window.popleft(), latencies, tallies)
+            window.append(await _launch(client, params))
         while window:
-            await _settle(client, session_id, window.popleft(),
-                          latencies, tallies)
-        closed = await client.close_session(session_id)
+            await _settle(client, window.popleft(), latencies, tallies)
+        close_params: dict = {"session": session_id}
+        if next_seq is not None:
+            close_params["seq"] = next_seq + len(chunks)
+        closed = await client.request("close", **close_params)
         tallies["sessions"].append(closed["closed"])
         tallies["stream_errors"] += len(client.stream_errors)
     finally:
         await client.close()
 
 
-async def _launch(client: ServeClient, session_id: str, chunk: list[dict]):
+async def _launch(client: ServeClient, params: dict):
     start = time.perf_counter_ns()
-    future = await client.submit("apply", session=session_id, events=chunk)
-    return start, future, chunk
+    future = await client.submit("apply", **params)
+    return start, future, params
 
 
 async def _settle(
     client: ServeClient,
-    session_id: str,
     inflight,
     latencies: list[int],
     tallies: dict,
 ) -> None:
     """Await one in-flight request; retry (re-submit) on backpressure."""
-    start, future, chunk = inflight
+    start, future, params = inflight
     for attempt in range(MAX_BACKPRESSURE_RETRIES + 1):
         try:
             await future
@@ -140,13 +158,12 @@ async def _settle(
             if (exc.code == "backpressure"
                     and attempt < MAX_BACKPRESSURE_RETRIES):
                 tallies["backpressure_retries"] += 1
-                # An explicitly rejected request was never applied, so
-                # resubmitting the same chunk is safe.
+                # An explicitly rejected request was never applied or
+                # WAL-logged, so resubmitting the same chunk -- with the
+                # same seq, in durable mode -- is safe.
                 await asyncio.sleep(0.0005 * (attempt + 1))
                 start = time.perf_counter_ns()
-                future = await client.submit(
-                    "apply", session=session_id, events=chunk
-                )
+                future = await client.submit("apply", **params)
                 continue
             tallies["errors"] += 1
             code_counts = tallies["error_codes"]
@@ -166,8 +183,16 @@ async def run_loadgen(
     sessions: int = 1,
     events_per_request: int = 256,
     pipeline_depth: int = 4,
+    durable: bool = False,
 ) -> dict:
-    """Drive ``sessions`` concurrent replays; returns the lane dict."""
+    """Drive ``sessions`` concurrent replays; returns the lane dict.
+
+    With ``durable=True`` each session opens with ``durable: true`` and
+    stamps its ``apply``/``close`` requests with contiguous sequence
+    numbers, exercising the server's write-ahead log on every request.
+    Requests from one session travel a single connection, so pipelined
+    seqs arrive (and execute) in order.
+    """
     chunks = [
         events[i:i + events_per_request]
         for i in range(0, len(events), events_per_request)
@@ -181,7 +206,7 @@ async def run_loadgen(
     await asyncio.gather(*[
         _drive_session(
             host, port, f"loadgen-{index}", spec, workload,
-            chunks, pipeline_depth, latencies, tallies,
+            chunks, pipeline_depth, latencies, tallies, durable=durable,
         )
         for index in range(sessions)
     ])
@@ -207,6 +232,7 @@ async def run_loadgen(
         "sessions": sessions,
         "events_per_request": events_per_request,
         "pipeline_depth": pipeline_depth,
+        "durable": durable,
         "events_applied": events_applied,
         "loads": loads,
         "predicted_loads": predicted,
@@ -227,8 +253,14 @@ async def _run_lane(
     micro_batching: bool,
     max_queue: int,
     max_batch: int,
+    data_dir: str | None = None,
+    fsync_interval: float = 0.02,
 ) -> dict:
-    """One benchmark lane against a fresh in-process server."""
+    """One benchmark lane against a fresh in-process server.
+
+    Passing ``data_dir`` turns the lane durable: the server write-ahead
+    logs every mutating request, and the load generator seq-stamps them.
+    """
     server = PredictionServer(ServerConfig(
         port=0,
         max_queue=max_queue,
@@ -236,6 +268,8 @@ async def _run_lane(
         micro_batching=micro_batching,
         max_sessions=sessions + 4,
         request_timeout=None,
+        data_dir=data_dir,
+        fsync_interval=fsync_interval,
     ))
     await server.start()
     try:
@@ -244,6 +278,7 @@ async def _run_lane(
             workload=workload, sessions=sessions,
             events_per_request=events_per_request,
             pipeline_depth=pipeline_depth,
+            durable=data_dir is not None,
         )
         counters = server.counters.as_dict()
         lane["server"] = {
@@ -258,6 +293,14 @@ async def _run_lane(
             "internal_errors": counters["internal_errors"],
             "evictions": server.sessions.evictions,
         }
+        if server.durability is not None:
+            stats = server.durability.stats.as_dict()
+            lane["server"]["durability"] = {
+                "wal_appends": stats["wal_appends"],
+                "wal_bytes": stats["wal_bytes"],
+                "wal_fsyncs": stats["wal_fsyncs"],
+                "checkpoint_count": stats["checkpoint_count"],
+            }
     finally:
         await server.drain()
     return lane
@@ -277,7 +320,7 @@ def run_benchmark(
     quick: bool = False,
     progress: Callable[[str], None] | None = None,
 ) -> dict:
-    """The ``repro-lvp loadgen`` benchmark: three lanes, one payload.
+    """The ``repro-lvp loadgen`` benchmark: four lanes, one payload.
 
     The defaults (32 events per request, batches capped at 16) keep the
     per-request compute small enough that scheduling overhead is
@@ -306,6 +349,16 @@ def run_benchmark(
             events, spec, workload_desc, 1, events_per_request,
             pipeline_depth, True, max_queue, max_batch,
         )
+        note("serve_durable")
+        with tempfile.TemporaryDirectory(prefix="loadgen-wal-") as wal_dir:
+            # Same shape as serve_single, plus the write-ahead log --
+            # the two lanes differ only in durability, so their ratio
+            # is the WAL overhead.
+            lanes["serve_durable"] = await _run_lane(
+                events, spec, workload_desc, 1, events_per_request,
+                pipeline_depth, True, max_queue, max_batch,
+                data_dir=wal_dir,
+            )
         concurrent = f"serve_concurrent{sessions}"
         note(concurrent)
         lanes[concurrent] = await _run_lane(
@@ -323,6 +376,8 @@ def run_benchmark(
 
     concurrent = benchmarks[f"serve_concurrent{sessions}"]
     unbatched = benchmarks[f"serve_concurrent{sessions}_unbatched"]
+    single = benchmarks["serve_single"]
+    durable = benchmarks["serve_durable"]
     payload = make_payload(
         "serve",
         {
@@ -355,6 +410,16 @@ def run_benchmark(
         "micro_batching_p50_speedup": (
             round(unbatched["p50_ns"] / concurrent["p50_ns"], 3)
             if concurrent["p50_ns"] else None
+        ),
+        # serve_durable vs serve_single: identical load, write-ahead
+        # logging on -- >1 means the WAL costs latency/throughput.
+        "durability_p50_overhead": (
+            round(durable["p50_ns"] / single["p50_ns"], 3)
+            if single["p50_ns"] else None
+        ),
+        "durability_throughput_cost": (
+            round(single["throughput_eps"] / durable["throughput_eps"], 3)
+            if durable["throughput_eps"] else None
         ),
     }
     return payload

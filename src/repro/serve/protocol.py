@@ -12,6 +12,16 @@ the request's ``id``), and ``ERROR`` (server -> client, a *stream*
 level complaint not tied to any request -- garbage bytes, oversized
 frames, unparsable JSON).
 
+Exactly-once contract: mutating requests (:data:`MUTATING_OPS`) on a
+*durable* session must carry a per-session monotonically increasing
+``seq`` starting at the ``open`` response's ``applied_seq + 1``.  The
+server write-ahead logs the request before responding, so a client
+that never saw the response simply *retries the same seq*: an
+already-applied seq returns the cached response (code ``seq-too-old``
+past the replay window), a skipped seq returns ``seq-gap``, and a
+missing seq on a durable session returns ``seq-required``.  In-memory
+sessions may use the same ``seq`` field for process-lifetime dedup.
+
 Robustness contract: a malformed frame never crashes the server and,
 wherever the stream stays decodable, never kills the connection either.
 An oversized frame's body is drained and discarded so framing stays
@@ -132,6 +142,11 @@ async def write_frame(
 #: Operations the server understands.
 OPS = ("open", "close", "apply", "predict", "train", "stats", "ping")
 
+#: Session-mutating operations: WAL-logged on durable sessions and
+#: subject to the ``seq`` exactly-once contract (``open`` is durably
+#: logged too, but is idempotent by construction rather than by seq).
+MUTATING_OPS = ("apply", "predict", "train", "close")
+
 
 def validate_request(body) -> tuple[int, str]:
     """Check a REQUEST body's envelope; returns ``(id, op)``.
@@ -177,6 +192,7 @@ __all__ = [
     "ERROR",
     "HARD_FRAME_LIMIT",
     "MAX_FRAME_BYTES",
+    "MUTATING_OPS",
     "OPS",
     "ProtocolError",
     "REQUEST",

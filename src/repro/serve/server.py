@@ -24,6 +24,16 @@ Overload and failure policy:
   triggers a graceful drain: no new requests are accepted (they get
   ``shutting-down`` responses), every already-queued request is
   processed and answered, then connections close and the server exits.
+
+Durability (``data_dir`` set): sessions opened with ``durable: true``
+are write-ahead logged by :mod:`repro.serve.durability` -- every
+mutating request is appended (and CRC-tagged) *before* it executes,
+so its response frame is only ever written for a request that will
+survive a crash.  Mutating requests on durable sessions must carry a
+per-session ``seq``; replays return the cached response and gaps get
+structured errors (see :class:`repro.serve.session.SeqTracker`).  On
+startup the server scans ``data_dir`` and recovers every durable
+session by checkpoint + WAL replay before accepting connections.
 """
 
 from __future__ import annotations
@@ -34,10 +44,15 @@ import time
 from dataclasses import dataclass
 
 from repro.serve import protocol
-from repro.serve.session import SessionError, SessionManager
-
-#: Ceiling on instruction events in one ``apply`` request.
-MAX_EVENTS_PER_REQUEST = 8192
+from repro.serve.durability import DurabilityManager
+from repro.serve.session import (
+    MAX_EVENTS_PER_REQUEST,
+    SeqTracker,
+    SessionError,
+    SessionManager,
+    apply_events,
+    train_from_body,
+)
 
 
 @dataclass(frozen=True)
@@ -60,6 +75,15 @@ class ServerConfig:
     #: Byte budget across all sessions (estimated; None = unlimited).
     max_session_bytes: int | None = None
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    #: Root for durable-session WALs and checkpoints; None disables
+    #: durability (durable opens get ``durability-disabled`` errors).
+    data_dir: str | None = None
+    #: Max seconds between WAL fsyncs (0 = fsync every append).
+    fsync_interval: float = 0.02
+    #: WAL records between full-state checkpoints.
+    checkpoint_every: int = 2000
+    #: WAL segment rotation threshold, bytes.
+    wal_segment_bytes: int = 1 << 20
 
 
 @dataclass
@@ -143,10 +167,21 @@ class PredictionServer:
 
     def __init__(self, config: ServerConfig | None = None) -> None:
         self.config = config or ServerConfig()
+        self.durability: DurabilityManager | None = None
+        if self.config.data_dir is not None:
+            self.durability = DurabilityManager(
+                self.config.data_dir,
+                fsync_interval=self.config.fsync_interval,
+                checkpoint_every=self.config.checkpoint_every,
+                segment_bytes=self.config.wal_segment_bytes,
+            )
         self.sessions = SessionManager(
             max_sessions=self.config.max_sessions,
             max_total_bytes=self.config.max_session_bytes,
+            durability=self.durability,
         )
+        #: Startup recovery report (populated by :meth:`recover`).
+        self.recovery: dict = {}
         self.counters = ServeCounters()
         self._queue: asyncio.Queue[_Request] = asyncio.Queue(
             maxsize=self.config.max_queue
@@ -162,8 +197,20 @@ class PredictionServer:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    def recover(self) -> dict:
+        """Scan ``data_dir`` and rebuild every durable session on disk.
+
+        Runs synchronously (before any connection exists) so requests
+        never race recovery; returns the durability stats so callers
+        can report what was recovered.
+        """
+        self.recovery = self.sessions.recover_all()
+        return self.recovery
+
     async def start(self) -> None:
-        """Bind, start accepting connections, start the scheduler."""
+        """Recover durable sessions, bind, accept, start the scheduler."""
+        if self.durability is not None and not self.recovery:
+            self.recover()
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
         )
@@ -212,6 +259,9 @@ class PredictionServer:
                 conn.writer.close()
             except Exception:
                 pass
+        if self.durability is not None:
+            # Final fsync: everything acknowledged is on disk.
+            self.durability.close_all()
 
     # ------------------------------------------------------------------
     # Connection read loop
@@ -357,7 +407,7 @@ class PredictionServer:
                     request.id,
                 )
         try:
-            result = self._execute(request.op, request.body)
+            result = self.execute(request.op, request.body)
         except SessionError as exc:
             self.counters.responses_error += 1
             return protocol.error_response(exc.code, str(exc), request.id)
@@ -374,65 +424,16 @@ class PredictionServer:
         self.counters.responses_ok += 1
         return protocol.ok_response(request.id, result)
 
-    def _execute(self, op: str, body: dict) -> dict:
+    def execute(self, op: str, body: dict) -> dict:
+        """Execute one request body synchronously (also the test entry).
+
+        Raises :class:`SessionError` (or ValueError for bad specs) on
+        failure; :meth:`_dispatch` turns those into error responses.
+        """
         if op == "open":
-            session = self.sessions.open(
-                body.get("session"), body.get("spec"),
-                workload=body.get("workload"),
-            )
-            return {
-                "session": session.session_id,
-                "storage_bits": session.predictor.storage_bits(),
-            }
-        if op == "close":
-            return {"closed": self.sessions.close(body.get("session"))}
-        if op == "apply":
-            session = self.sessions.get(body.get("session"))
-            events = body.get("events")
-            if not isinstance(events, list):
-                raise SessionError(
-                    f"'events' must be a list, got "
-                    f"{type(events).__name__}"
-                )
-            if len(events) > MAX_EVENTS_PER_REQUEST:
-                raise SessionError(
-                    f"{len(events)} events in one request exceeds the "
-                    f"{MAX_EVENTS_PER_REQUEST}-event limit"
-                )
-            results = []
-            for index, event in enumerate(events):
-                try:
-                    results.append(session.apply_event(event))
-                except SessionError as exc:
-                    # Earlier events in the request stay applied; the
-                    # error names the offender so the client can tell.
-                    raise SessionError(
-                        f"event {index}: {exc}", code=exc.code
-                    ) from exc
-            self.sessions.touch_bytes(session)
-            return {"results": results}
-        if op == "predict":
-            session = self.sessions.get(body.get("session"))
-            return {"prediction": session.predict(body.get("pc"))}
-        if op == "train":
-            session = self.sessions.get(body.get("session"))
-            outcome = body.get("outcome")
-            if not isinstance(outcome, dict):
-                raise SessionError(
-                    f"'outcome' must be a dict, got "
-                    f"{type(outcome).__name__}"
-                )
-            fields = []
-            for key in ("addr", "size", "value"):
-                field_value = outcome.get(key)
-                if (not isinstance(field_value, int)
-                        or isinstance(field_value, bool)):
-                    raise SessionError(
-                        f"train outcome needs an int {key!r}, got "
-                        f"{field_value!r}"
-                    )
-                fields.append(field_value)
-            return {"trained": session.train(*fields)}
+            return self._execute_open(body)
+        if op in ("apply", "predict", "train", "close"):
+            return self._execute_mutating(op, body)
         if op == "stats":
             return self.stats()
         if op == "ping":
@@ -442,13 +443,133 @@ class PredictionServer:
             code="unknown-op",
         )
 
+    def _execute_open(self, body: dict) -> dict:
+        if body.get("durable"):
+            session, resumed = self.sessions.open_durable(
+                body.get("session"), body.get("spec"),
+                workload=body.get("workload"),
+            )
+            return {
+                "session": session.session_id,
+                "storage_bits": session.predictor.storage_bits(),
+                "durable": True,
+                "resumed": resumed,
+                # A reconnecting client resumes from here (its first
+                # new request carries applied_seq + 1).
+                "applied_seq": session.tracker.applied_seq,
+            }
+        session = self.sessions.open(
+            body.get("session"), body.get("spec"),
+            workload=body.get("workload"),
+        )
+        return {
+            "session": session.session_id,
+            "storage_bits": session.predictor.storage_bits(),
+            "durable": False,
+        }
+
+    def _execute_mutating(self, op: str, body: dict) -> dict:
+        """Seq-checked, WAL-logged execution of one mutating request."""
+        session_id = body.get("session")
+        seq = body.get("seq")
+        if (op == "close" and seq is not None
+                and self.durability is not None
+                and isinstance(session_id, str)):
+            # A retried close whose original landed: the tombstone has
+            # the cached response.
+            cached = self.durability.closed_response(session_id, seq)
+            if cached is not None:
+                return self._unwrap(cached)
+        session = self.sessions.get(session_id)
+        if session.durable:
+            if seq is None:
+                raise SessionError(
+                    "mutating requests on a durable session must carry "
+                    "a 'seq'",
+                    code="seq-required",
+                )
+            cached = session.tracker.check(seq)
+            if cached is not None:
+                return self._unwrap(cached)
+            handle = self.sessions.durable_handle(session_id)
+            # WAL first, execute second: an acknowledged request is
+            # always recoverable, and the deterministic replay of an
+            # unacknowledged one is harmless.
+            handle.append(seq, op, self._wal_body(op, body))
+            entry = self._run_mutating(session, op, body)
+            session.tracker.record(seq, entry)
+            if op == "close" and entry[0] == "ok":
+                self.durability.finalize_close(session_id, seq, entry)
+            else:
+                handle.after_record(session)
+            return self._unwrap(entry)
+        if seq is not None:
+            # In-memory sessions may opt into the same exactly-once
+            # contract (no WAL: dedup only lasts the process lifetime).
+            if session.tracker is None:
+                session.tracker = SeqTracker()
+            cached = session.tracker.check(seq)
+            if cached is not None:
+                return self._unwrap(cached)
+            entry = self._run_mutating(session, op, body)
+            session.tracker.record(seq, entry)
+            return self._unwrap(entry)
+        return self._unwrap(self._run_mutating(session, op, body))
+
+    def _run_mutating(self, session, op: str, body: dict) -> tuple:
+        """Run one mutating op into a cacheable response entry.
+
+        Failures become ``("error", code, message)`` entries rather
+        than raising, so the seq cache and the WAL replay agree on what
+        a retried request should see.
+        """
+        try:
+            if op == "apply":
+                result = apply_events(session, body.get("events"))
+                self.sessions.touch_bytes(session)
+            elif op == "predict":
+                result = {"prediction": session.predict(body.get("pc"))}
+            elif op == "train":
+                result = train_from_body(session, body.get("outcome"))
+            elif op == "close":
+                result = {"closed": self.sessions.close(session.session_id)}
+            else:  # unreachable from execute(); kept for WAL parity
+                raise SessionError(
+                    f"unknown op {op!r}", code="unknown-op"
+                )
+        except SessionError as exc:
+            return ("error", exc.code, str(exc))
+        except ValueError as exc:
+            return ("error", "bad-spec", str(exc))
+        except Exception as exc:  # mirror the never-crash contract
+            self.counters.internal_errors += 1
+            return ("error", "internal", f"{type(exc).__name__}: {exc}")
+        return ("ok", result)
+
+    @staticmethod
+    def _unwrap(entry: tuple) -> dict:
+        if entry[0] == "ok":
+            return entry[1]
+        raise SessionError(entry[2], code=entry[1])
+
+    @staticmethod
+    def _wal_body(op: str, body: dict) -> dict:
+        """The minimal request payload a WAL record must persist."""
+        if op == "apply":
+            return {"events": body.get("events")}
+        if op == "predict":
+            return {"pc": body.get("pc")}
+        if op == "train":
+            return {"outcome": body.get("outcome")}
+        return {}
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
         """The ``stats`` RPC payload: counters, sessions, queue."""
-        return {
+        payload = {
             "sessions": self.sessions.snapshot(),
             "counters": self.counters.as_dict(),
             "queue_depth": self._queue.qsize(),
@@ -459,8 +580,14 @@ class PredictionServer:
                 "micro_batching": self.config.micro_batching,
                 "request_timeout": self.config.request_timeout,
                 "max_sessions": self.config.max_sessions,
+                "data_dir": self.config.data_dir,
+                "fsync_interval": self.config.fsync_interval,
+                "checkpoint_every": self.config.checkpoint_every,
             },
         }
+        if self.durability is not None:
+            payload["durability"] = self.durability.stats.as_dict()
+        return payload
 
 
 __all__ = [

@@ -13,7 +13,15 @@ bit-identical to the same spec driven in-process
 :class:`SessionManager` holds many sessions keyed by id, accounts their
 estimated memory, and LRU-evicts the idlest sessions when a count or
 byte budget is exceeded -- the server never grows without bound under
-session churn.
+session churn.  With a :class:`~repro.serve.durability.DurabilityManager`
+attached, sessions opened ``durable`` are write-ahead logged, eviction
+*spills* them (flush + checkpoint) instead of discarding state, and a
+miss on a spilled id transparently recovers it from disk.
+
+:class:`SeqTracker` implements the exactly-once request contract both
+durable and in-memory sessions share: per-session monotonically
+increasing ``seq`` numbers, a bounded cache of recent responses for
+replayed sequence numbers, and structured errors for gaps.
 """
 
 from __future__ import annotations
@@ -42,12 +50,159 @@ PREDICTOR_NAMES = (
 )
 
 
+#: Ceiling on instruction events in one ``apply`` request (also the
+#: cap a WAL replay trusts -- recovery never re-executes more per
+#: record than a live request could have carried).
+MAX_EVENTS_PER_REQUEST = 8192
+
+#: Responses remembered per session for replayed sequence numbers; a
+#: client retrying within this window gets the cached answer instead
+#: of a double execution.
+SEQ_CACHE_SIZE = 256
+
+
 class SessionError(ValueError):
     """A session-layer failure with a wire-friendly error code."""
 
     def __init__(self, message: str, code: str = "bad-event") -> None:
         super().__init__(message)
         self.code = code
+
+
+class SeqTracker:
+    """Exactly-once bookkeeping for one session's mutating requests.
+
+    The contract (shared by durable and purely in-memory sessions):
+
+    * the next new request must carry ``seq == applied_seq + 1``;
+    * ``seq <= applied_seq`` is a *replay* -- the cached response is
+      returned (never a re-execution); a replay older than the cache
+      window fails with ``seq-too-old``;
+    * ``seq > applied_seq + 1`` is a *gap* (the client skipped an
+      acknowledgement) and fails with ``seq-gap``.
+
+    Cache entries are ``("ok", result)`` or ``("error", code, message)``
+    tuples -- the request envelope's ``id`` differs between a request
+    and its retry, so only the semantic payload is cached.
+    """
+
+    __slots__ = ("applied_seq", "_cache", "cache_size")
+
+    def __init__(self, cache_size: int = SEQ_CACHE_SIZE) -> None:
+        self.applied_seq = 0
+        self.cache_size = max(1, cache_size)
+        self._cache: OrderedDict[int, tuple] = OrderedDict()
+
+    def check(self, seq) -> tuple | None:
+        """Validate ``seq``; ``None`` means "new -- execute it".
+
+        Returns the cached response entry for a replayed ``seq`` and
+        raises :class:`SessionError` for gaps, stale replays, and
+        malformed values.
+        """
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 1:
+            raise SessionError(
+                f"'seq' must be a positive int, got {seq!r}",
+                code="bad-seq",
+            )
+        if seq <= self.applied_seq:
+            entry = self._cache.get(seq)
+            if entry is None:
+                raise SessionError(
+                    f"seq {seq} was already applied and its response "
+                    f"has aged out of the {self.cache_size}-entry "
+                    "replay cache",
+                    code="seq-too-old",
+                )
+            return entry
+        if seq > self.applied_seq + 1:
+            raise SessionError(
+                f"seq {seq} skips ahead of applied seq "
+                f"{self.applied_seq} (gap); requests must be applied "
+                "in order",
+                code="seq-gap",
+            )
+        return None
+
+    def record(self, seq: int, entry: tuple) -> None:
+        """Mark ``seq`` applied and cache its response entry."""
+        self.applied_seq = seq
+        self._cache[seq] = entry
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def cached(self, seq: int) -> tuple | None:
+        return self._cache.get(seq)
+
+    def export_entries(self) -> list:
+        """JSON-friendly cache dump for checkpoint headers."""
+        return [[seq, list(entry)] for seq, entry in self._cache.items()]
+
+    def load_entries(self, applied_seq: int, entries) -> None:
+        """Rebuild tracker state from a checkpoint header.
+
+        Without this a spilled-then-recovered session would restart at
+        ``applied_seq == 0`` and answer the client's next (perfectly
+        contiguous) request with ``seq-gap``.
+        """
+        self.applied_seq = int(applied_seq)
+        self._cache.clear()
+        for item in entries or []:
+            try:
+                seq, entry = item
+            except (TypeError, ValueError):
+                continue
+            if isinstance(seq, int) and isinstance(entry, list) and entry:
+                self._cache[seq] = tuple(entry)
+
+
+def apply_events(session: "PredictorSession", events) -> dict:
+    """Execute one ``apply`` request body against ``session``.
+
+    Shared by the live server and WAL replay so a recovered session
+    re-executes *exactly* the request semantics, including the
+    partial-failure contract: events before a bad one stay applied and
+    the error names the offending index.
+    """
+    if not isinstance(events, list):
+        raise SessionError(
+            f"'events' must be a list, got {type(events).__name__}"
+        )
+    if len(events) > MAX_EVENTS_PER_REQUEST:
+        raise SessionError(
+            f"{len(events)} events in one request exceeds the "
+            f"{MAX_EVENTS_PER_REQUEST}-event limit"
+        )
+    results = []
+    for index, event in enumerate(events):
+        try:
+            results.append(session.apply_event(event))
+        except SessionError as exc:
+            # Earlier events in the request stay applied; the error
+            # names the offender so the client can tell.
+            raise SessionError(
+                f"event {index}: {exc}", code=exc.code
+            ) from exc
+    return {"results": results}
+
+
+def train_from_body(session: "PredictorSession", outcome) -> dict:
+    """Execute one ``train`` request body (shared with WAL replay)."""
+    if not isinstance(outcome, dict):
+        raise SessionError(
+            f"'outcome' must be a dict, got {type(outcome).__name__}"
+        )
+    fields = []
+    for key in ("addr", "size", "value"):
+        field_value = outcome.get(key)
+        if (not isinstance(field_value, int)
+                or isinstance(field_value, bool)):
+            raise SessionError(
+                f"train outcome needs an int {key!r}, got "
+                f"{field_value!r}"
+            )
+        fields.append(field_value)
+    return {"trained": session.train(*fields)}
 
 
 def spec_from_name(name: str, entries: int = 256) -> dict | None:
@@ -141,7 +296,14 @@ class PredictorSession:
     __slots__ = (
         "session_id", "predictor", "histories", "memory", "last_used",
         "events", "instructions", "loads", "predicted_loads",
-        "correct_predictions", "_pending",
+        "correct_predictions", "_pending", "tracker", "durable",
+        "accounted_bytes",
+    )
+
+    #: Counter slots checkpoints persist and :meth:`restore` reinstates.
+    COUNTER_FIELDS = (
+        "events", "instructions", "loads", "predicted_loads",
+        "correct_predictions",
     )
 
     def __init__(
@@ -170,6 +332,13 @@ class PredictorSession:
         self.correct_predictions = 0
         #: predict() decisions not yet consumed by train(), oldest first.
         self._pending: deque = deque()
+        #: Exactly-once bookkeeping, created on the first seq-carrying
+        #: request (always present on durable sessions).
+        self.tracker: SeqTracker | None = None
+        self.durable = False
+        #: Bytes last charged against the manager's budget (incremental
+        #: accounting; see SessionManager).
+        self.accounted_bytes = 0
 
     # ------------------------------------------------------------------
     # Low-level verbs: the predictor API, decoupled from any trace
@@ -392,6 +561,54 @@ class PredictorSession:
             "estimated_bytes": self.estimated_bytes(),
         }
 
+    # ------------------------------------------------------------------
+    # Checkpoint support (the durability layer's view of a session)
+    # ------------------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """The full mutable state a checkpoint must persist.
+
+        The predictor and its bound :class:`HistorySet` are captured in
+        one object graph, so pickling preserves the ``bind_history``
+        aliasing and a restored session keeps advancing the exact
+        registers its tables hash (proven bit-exact in
+        ``tests/test_durability.py``).
+        """
+        return {
+            "predictor": self.predictor,
+            "histories": self.histories,
+            "memory": self.memory,
+            "pending": list(self._pending),
+        }
+
+    def counters(self) -> dict:
+        """JSON-friendly counter values for a checkpoint header."""
+        return {name: getattr(self, name) for name in self.COUNTER_FIELDS}
+
+    @classmethod
+    def restore(
+        cls, session_id: str, state: dict, counters: dict
+    ) -> "PredictorSession":
+        """Rebuild a session from :meth:`capture_state` output.
+
+        Bypasses ``__init__`` entirely -- the predictor is *not*
+        rebuilt from a spec, it is the unpickled object graph, already
+        history-bound.
+        """
+        session = cls.__new__(cls)
+        session.session_id = session_id
+        session.predictor = state["predictor"]
+        session.histories = state["histories"]
+        session.memory = state["memory"]
+        session._pending = deque(state["pending"])
+        session.last_used = 0
+        for name in cls.COUNTER_FIELDS:
+            setattr(session, name, int(counters.get(name, 0)))
+        session.tracker = None
+        session.durable = False
+        session.accounted_bytes = 0
+        return session
+
 
 def _resolve_initial_memory(workload: dict) -> MemoryImage | None:
     """Resolve an ``open`` request's workload identity to its memory.
@@ -436,17 +653,26 @@ def _resolve_initial_memory(workload: dict) -> MemoryImage | None:
 
 
 class SessionManager:
-    """Sessions keyed by id, with LRU eviction under resource budgets."""
+    """Sessions keyed by id, with LRU eviction under resource budgets.
+
+    With a :class:`~repro.serve.durability.DurabilityManager` attached,
+    durable sessions are write-ahead logged, evicted ones *spill*
+    (flush + checkpoint) instead of losing state, and lookups of a
+    spilled id transparently recover it from disk.
+    """
 
     def __init__(
         self,
         max_sessions: int = 64,
         max_total_bytes: int | None = None,
+        durability=None,
     ) -> None:
         self.max_sessions = max(1, max_sessions)
         self.max_total_bytes = max_total_bytes
+        self.durability = durability
         self._sessions: OrderedDict[str, PredictorSession] = OrderedDict()
         self._clock = 0
+        self._total_bytes = 0
         self.opened = 0
         self.closed = 0
         self.evictions = 0
@@ -463,12 +689,8 @@ class SessionManager:
         spec: dict | None,
         workload: dict | None = None,
     ) -> PredictorSession:
-        """Create a session; evicts the idlest ones if over budget."""
-        if not isinstance(session_id, str) or not session_id:
-            raise SessionError(
-                f"session id must be a non-empty string, got {session_id!r}",
-                code="bad-spec",
-            )
+        """Create a plain in-memory session (evicting if over budget)."""
+        self._check_id(session_id)
         if session_id in self._sessions:
             raise SessionError(
                 f"session {session_id!r} already exists",
@@ -481,19 +703,80 @@ class SessionManager:
         session = PredictorSession(
             spec, session_id=session_id, initial_memory=memory
         )
-        self._sessions[session_id] = session
-        self.opened += 1
-        self._touch(session)
-        self._enforce_limits(keep=session_id)
+        self._install(session)
         return session
 
+    def open_durable(
+        self,
+        session_id: str,
+        spec: dict | None,
+        workload: dict | None = None,
+    ) -> tuple[PredictorSession, bool]:
+        """Open (or resume) a durable session; returns ``(session, resumed)``.
+
+        A durable ``open`` is idempotent: if the session already exists
+        -- live in memory, spilled to disk, or left behind by a crashed
+        server -- and the request's spec matches, the caller reattaches
+        and gets ``resumed=True`` plus the session's current applied
+        seq, which is how a reconnecting client learns where to resume.
+        A mismatched spec is refused (``spec-mismatch``) rather than
+        silently serving different tables.
+        """
+        if self.durability is None:
+            raise SessionError(
+                "this server has no --data-dir; durable sessions are "
+                "disabled",
+                code="durability-disabled",
+            )
+        self._check_id(session_id)
+        session = self._sessions.get(session_id)
+        if session is None and self.durability.exists(session_id):
+            session = self._recover(session_id)
+        if session is not None:
+            if not session.durable:
+                raise SessionError(
+                    f"session {session_id!r} already exists and is not "
+                    "durable",
+                    code="session-exists",
+                )
+            if not self.durability.spec_matches(session_id, spec):
+                raise SessionError(
+                    f"durable session {session_id!r} exists with a "
+                    "different predictor spec",
+                    code="spec-mismatch",
+                )
+            self._touch(session)
+            return session, True
+        self.durability.check_not_closed(session_id)
+        memory = (
+            _resolve_initial_memory(workload) if workload is not None
+            else None
+        )
+        session = PredictorSession(
+            spec, session_id=session_id, initial_memory=memory
+        )
+        session.durable = True
+        session.tracker = SeqTracker()
+        # The open record hits the WAL before the caller ever sees the
+        # session -- a crash from here on always recovers it.
+        self.durability.create(session_id, spec, workload, session.tracker)
+        session.tracker.record(1, ("ok", {"session": session_id}))
+        self._install(session)
+        return session, False
+
     def get(self, session_id) -> PredictorSession:
-        """Look up (and LRU-touch) a session."""
+        """Look up (and LRU-touch) a session, recovering spilled ones."""
         session = (
             self._sessions.get(session_id)
             if isinstance(session_id, str) else None
         )
+        if session is None and self.durability is not None \
+                and isinstance(session_id, str) \
+                and self.durability.exists(session_id):
+            session = self._recover(session_id)
         if session is None:
+            if self.durability is not None and isinstance(session_id, str):
+                self.durability.check_not_closed(session_id)
             raise SessionError(
                 f"unknown session {session_id!r}", code="unknown-session"
             )
@@ -503,19 +786,93 @@ class SessionManager:
     def close(self, session_id) -> dict:
         """Remove a session, returning its final counter snapshot."""
         session = (
-            self._sessions.pop(session_id, None)
+            self._sessions.get(session_id)
             if isinstance(session_id, str) else None
         )
         if session is None:
             raise SessionError(
                 f"unknown session {session_id!r}", code="unknown-session"
             )
+        snapshot = session.snapshot()
+        self._remove(session)
         self.closed += 1
-        return session.snapshot()
+        return snapshot
+
+    def durable_handle(self, session_id: str):
+        """The live WAL handle for ``session_id`` (None if not durable)."""
+        if self.durability is None:
+            return None
+        return self.durability.handle(session_id)
+
+    def recover_all(self) -> dict:
+        """Recover every durable session found on disk (server startup).
+
+        Sessions beyond the LRU budget immediately spill back -- the
+        recovery pass bounds *lost* state, not resident state.  Returns
+        the durability layer's recovery stats.
+        """
+        if self.durability is None:
+            return {}
+        for session_id in self.durability.scan_ids():
+            if session_id not in self._sessions:
+                try:
+                    self._recover(session_id)
+                except SessionError:
+                    continue
+        return self.durability.stats.as_dict()
 
     def touch_bytes(self, session: PredictorSession) -> None:
         """Re-check budgets after a session grew (e.g. store events)."""
+        self._account(session)
         self._enforce_limits(keep=session.session_id)
+
+    # -- internals ------------------------------------------------------
+
+    @staticmethod
+    def _check_id(session_id) -> None:
+        if not isinstance(session_id, str) or not session_id:
+            raise SessionError(
+                f"session id must be a non-empty string, got {session_id!r}",
+                code="bad-spec",
+            )
+
+    def _install(self, session: PredictorSession) -> None:
+        self._sessions[session.session_id] = session
+        self.opened += 1
+        self._account(session)
+        self._touch(session)
+        self._enforce_limits(keep=session.session_id)
+
+    def _recover(self, session_id: str) -> PredictorSession:
+        """Rebuild a durable session from its WAL + checkpoint."""
+        session = self.durability.recover(session_id)
+        session.durable = True
+        self._sessions[session_id] = session
+        self._account(session)
+        self._touch(session)
+        self._enforce_limits(keep=session_id)
+        return session
+
+    def _account(self, session: PredictorSession) -> None:
+        estimated = session.estimated_bytes()
+        self._total_bytes += estimated - session.accounted_bytes
+        session.accounted_bytes = estimated
+
+    def _remove(self, session: PredictorSession, spill: bool = False) -> None:
+        """The one removal path: close, eviction, and spill all use it.
+
+        Releases the session's tracked bytes and -- for durable
+        sessions -- flushes the WAL (plus a checkpoint when spilling)
+        so no acknowledged state is lost with the in-memory copy.
+        """
+        self._sessions.pop(session.session_id, None)
+        self._total_bytes -= session.accounted_bytes
+        session.accounted_bytes = 0
+        if session.durable and self.durability is not None:
+            if spill:
+                self.durability.spill(session)
+            else:
+                self.durability.release(session.session_id)
 
     def _touch(self, session: PredictorSession) -> None:
         self._clock += 1
@@ -533,16 +890,20 @@ class SessionManager:
                     break
 
     def _evict_one(self, keep: str) -> bool:
-        """Evict the least-recently-used session other than ``keep``."""
+        """Evict the least-recently-used session other than ``keep``.
+
+        Durable sessions spill (WAL flush + checkpoint) and recover on
+        their next use; in-memory sessions are discarded.
+        """
         for session_id in self._sessions:
             if session_id != keep:
-                del self._sessions[session_id]
+                self._remove(self._sessions[session_id], spill=True)
                 self.evictions += 1
                 return True
         return False
 
     def total_bytes(self) -> int:
-        return sum(s.estimated_bytes() for s in self._sessions.values())
+        return max(0, self._total_bytes)
 
     def snapshot(self) -> dict:
         """Manager-level counters for the ``stats`` RPC."""
@@ -552,6 +913,7 @@ class SessionManager:
         correct = sum(s.correct_predictions for s in sessions)
         return {
             "active": len(sessions),
+            "durable_active": sum(1 for s in sessions if s.durable),
             "opened": self.opened,
             "closed": self.closed,
             "evictions": self.evictions,
@@ -565,11 +927,16 @@ class SessionManager:
 
 
 __all__ = [
+    "MAX_EVENTS_PER_REQUEST",
     "MAX_WORKLOAD_LENGTH",
     "PREDICTOR_NAMES",
+    "SEQ_CACHE_SIZE",
     "PredictorSession",
+    "SeqTracker",
     "SessionError",
     "SessionManager",
+    "apply_events",
     "resolve_spec",
     "spec_from_name",
+    "train_from_body",
 ]

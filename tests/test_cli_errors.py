@@ -164,6 +164,7 @@ class TestServeLoadgenFlagErrors:
         (["loadgen", "--pipeline-depth", "0"], "--pipeline-depth"),
         (["loadgen", "--connect", "nonsense"], "--connect"),
         (["loadgen", "--connect", "host:notaport"], "--connect"),
+        (["loadgen", "--durable"], "--durable"),
     ])
     def test_bad_flag_values_exit_2(self, argv, fragment, capsys):
         assert main(argv) == 2
@@ -285,6 +286,71 @@ class TestCacheCommand:
     def test_stats_and_clear_are_exclusive(self, tmp_path, capsys):
         with pytest.raises(SystemExit):
             main(["cache", "--stats", "--clear", "--dir", str(tmp_path)])
+
+
+class TestCrashtestFlags:
+    """``crashtest`` flag validation: exit 2 before any server starts."""
+
+    def test_bad_kills(self, capsys):
+        assert main(["crashtest", "--kills", "0"]) == 2
+        assert "--kills must be >= 1" in capsys.readouterr().err
+
+    def test_bad_length(self, capsys):
+        assert main(["crashtest", "--length", "50"]) == 2
+        assert "--length must be >= 100" in capsys.readouterr().err
+
+    def test_bad_seed(self, capsys):
+        assert main(["crashtest", "--seed", "-1"]) == 2
+        assert "--seed must be >= 0" in capsys.readouterr().err
+
+    def test_bad_events_per_request(self, capsys):
+        assert main(["crashtest", "--events-per-request", "0"]) == 2
+        assert "--events-per-request" in capsys.readouterr().err
+
+    def test_bad_fsync_interval(self, capsys):
+        assert main(["crashtest", "--fsync-interval", "-0.5"]) == 2
+        assert "--fsync-interval must be >= 0" in capsys.readouterr().err
+
+    def test_bad_checkpoint_every(self, capsys):
+        assert main(["crashtest", "--checkpoint-every", "0"]) == 2
+        assert "--checkpoint-every must be >= 1" in capsys.readouterr().err
+
+    def test_bad_timeout(self, capsys):
+        assert main(["crashtest", "--timeout", "0"]) == 2
+        assert "--timeout must be > 0" in capsys.readouterr().err
+
+    def test_unknown_workload(self, capsys):
+        assert main(["crashtest", "--workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_unknown_predictor(self, capsys):
+        assert main(["crashtest", "--predictor", "oracle9000"]) == 2
+        assert "unknown predictor" in capsys.readouterr().err
+
+    def test_data_dir_is_a_file(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        assert main(["crashtest", "--data-dir", str(not_a_dir)]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+
+class TestServeDurabilityFlags:
+    """``serve`` shares the durability flag validation."""
+
+    def test_bad_fsync_interval(self, capsys):
+        assert main(["serve", "--fsync-interval", "-1"]) == 2
+        assert "--fsync-interval must be >= 0" in capsys.readouterr().err
+
+    def test_bad_wal_segment_bytes(self, capsys):
+        assert main(["serve", "--wal-segment-bytes", "16"]) == 2
+        assert "--wal-segment-bytes must be >= 4096" in \
+            capsys.readouterr().err
+
+    def test_data_dir_is_a_file(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        assert main(["serve", "--data-dir", str(not_a_dir)]) == 2
+        assert "not a directory" in capsys.readouterr().err
 
 
 CLI_DRIVER = """\

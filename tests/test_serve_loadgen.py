@@ -102,7 +102,7 @@ class TestBenchmarkEndToEnd:
 
         lanes = payload["benchmarks"]
         assert set(lanes) == {
-            "serve_single", "serve_concurrent4",
+            "serve_single", "serve_durable", "serve_concurrent4",
             "serve_concurrent4_unbatched",
         }
         for lane in lanes.values():
@@ -125,6 +125,15 @@ class TestBenchmarkEndToEnd:
             lanes["serve_concurrent4_unbatched"]["server"]["max_batch_seen"]
             == 1
         )
+        # The durable lane write-ahead logged every acknowledged request.
+        durable = lanes["serve_durable"]
+        assert durable["durable"] is True
+        assert not lanes["serve_single"]["durable"]
+        wal = durable["server"]["durability"]
+        assert wal["wal_appends"] >= durable["requests_ok"]
+        assert wal["wal_bytes"] > 0
         comparison = payload["comparison"]
         assert comparison["micro_batching_throughput_speedup"] is not None
         assert comparison["micro_batching_p50_speedup"] is not None
+        assert comparison["durability_p50_overhead"] is not None
+        assert comparison["durability_throughput_cost"] is not None
