@@ -9,8 +9,13 @@ Examples::
     repro-lvp cache --stats             # on-disk trace store contents
     repro-lvp serve --port 7341         # online prediction service
     repro-lvp serve --data-dir ./state  # ... with durable sessions
+    repro-lvp serve --shards 4 --data-dir ./state
+                                        # ... sharded tier: router + 4
+                                        #     worker processes, failover
     repro-lvp loadgen --quick           # latency lanes -> BENCH_serve.json
     repro-lvp crashtest --kills 3       # SIGKILL/recover chaos harness
+    repro-lvp crashtest --shards 3 --kill-shard
+                                        # shard-kill chaos on the tier
 
 Resilient execution (long sweeps)::
 
@@ -205,6 +210,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-session-bytes", type=int, default=None, metavar="N",
         help="estimated byte budget across all sessions (default: none)",
     )
+    serve.add_argument(
+        "--stats-interval", type=float, default=0.0, metavar="SECONDS",
+        help="log a stats JSON line to stderr every so often; 0 "
+             "disables (default: 0)",
+    )
+    serve.add_argument(
+        "--seq-cache-size", type=int, default=None, metavar="N",
+        help="exactly-once replay cache entries per session "
+             "(default: 256)",
+    )
+    serve.add_argument(
+        "--seq-cache-bytes", type=int, default=None, metavar="N",
+        help="exactly-once replay cache byte watermark per session "
+             "(default: 262144)",
+    )
+    sharding = serve.add_argument_group(
+        "sharding",
+        "multi-process tier: a front router consistent-hashes sessions "
+        "onto worker-shard subprocesses, health-checks them, restarts "
+        "dead ones (WAL replay makes kill -9 lossless for acked "
+        "requests), and answers 'shards'/'migrate' ops itself",
+    )
+    sharding.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="worker shard processes; 1 runs the classic single-process "
+             "server (default: 1)",
+    )
+    sharding.add_argument(
+        "--ring-replicas", type=int, default=64, metavar="N",
+        help="virtual points per shard on the consistent-hash ring "
+             "(default: 64)",
+    )
+    sharding.add_argument(
+        "--shard-name", default=None, help=argparse.SUPPRESS,
+    )
+    sharding.add_argument(
+        "--parent-pid", type=int, default=None, help=argparse.SUPPRESS,
+    )
     durability = serve.add_argument_group(
         "durability",
         "write-ahead logged sessions that survive crashes: sessions "
@@ -276,6 +319,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="server batch cap for the benchmark lanes (default: 16)",
     )
     loadgen.add_argument(
+        "--shards", type=int, default=4, metavar="N",
+        help="worker shards for the serve_sharded lanes of the "
+             "benchmark; 0/1 skips them (default: 4)",
+    )
+    loadgen.add_argument(
         "--connect", metavar="HOST:PORT",
         help="drive an already-running server instead of the "
              "self-hosted benchmark lanes (prints one lane, writes "
@@ -324,6 +372,36 @@ def _build_parser() -> argparse.ArgumentParser:
     crashtest.add_argument(
         "--kills", type=int, default=3, metavar="N",
         help="SIGKILL/restart cycles spread across the load (default: 3)",
+    )
+    chaos = crashtest.add_argument_group(
+        "sharded chaos",
+        "with --shards > 1 the harness launches the sharded tier "
+        "(router + worker processes) and SIGKILLs whole worker shards "
+        "under multi-session load; a live migration runs concurrently",
+    )
+    chaos.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="worker shards behind the router; 1 runs the classic "
+             "single-server campaign (default: 1)",
+    )
+    chaos.add_argument(
+        "--sessions", type=int, default=3, metavar="N",
+        help="concurrent durable sessions in sharded mode (default: 3)",
+    )
+    chaos.add_argument(
+        "--kill-shard", action="store_true",
+        help="SIGKILL whole worker shards (implied by --shards > 1; "
+             "this flag just makes the intent explicit)",
+    )
+    chaos.add_argument(
+        "--kill-router", action="store_true",
+        help="also SIGKILL the router itself once mid-load (the "
+             "restart must fence the orphaned workers)",
+    )
+    chaos.add_argument(
+        "--migrations", type=int, default=1, metavar="N",
+        help="live session migrations issued under load in sharded "
+             "mode; 0 disables (default: 1)",
     )
     crashtest.add_argument(
         "--events-per-request", type=int, default=64, metavar="N",
@@ -547,7 +625,13 @@ def _bench_command(args) -> int:
 
 
 def _serve_command(args) -> int:
-    """The ``serve`` subcommand: run the server until SIGTERM/SIGINT."""
+    """The ``serve`` subcommand: run the server until SIGTERM/SIGINT.
+
+    ``--shards 1`` (the default) runs the classic single-process
+    server; ``--shards N`` runs the sharded tier's router with N worker
+    subprocesses behind it.  Either way the process prints the one
+    ``serving on host:port`` line scripts parse.
+    """
     import asyncio
 
     from repro.serve.server import PredictionServer, ServerConfig
@@ -568,9 +652,33 @@ def _serve_command(args) -> int:
         return _fail(
             f"--max-session-bytes must be >= 1, got {args.max_session_bytes}"
         )
+    if args.shards < 1:
+        return _fail(f"--shards must be >= 1, got {args.shards}")
+    if args.ring_replicas < 1:
+        return _fail(
+            f"--ring-replicas must be >= 1, got {args.ring_replicas}"
+        )
+    if args.stats_interval < 0:
+        return _fail(
+            f"--stats-interval must be >= 0, got {args.stats_interval}"
+        )
+    for flag, value in (
+        ("--seq-cache-size", args.seq_cache_size),
+        ("--seq-cache-bytes", args.seq_cache_bytes),
+    ):
+        if value is not None and value < 1:
+            return _fail(f"{flag} must be >= 1, got {value}")
     problem = _check_durability_flags(args)
     if problem:
         return _fail(problem)
+    if args.shards > 1:
+        return _serve_router(args)
+
+    extra = {}
+    if args.seq_cache_size is not None:
+        extra["seq_cache_size"] = args.seq_cache_size
+    if args.seq_cache_bytes is not None:
+        extra["seq_cache_bytes"] = args.seq_cache_bytes
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -584,6 +692,9 @@ def _serve_command(args) -> int:
         fsync_interval=args.fsync_interval,
         checkpoint_every=args.checkpoint_every,
         wal_segment_bytes=args.wal_segment_bytes,
+        shard_name=args.shard_name,
+        parent_pid=args.parent_pid,
+        **extra,
     )
 
     async def _serve() -> dict:
@@ -598,11 +709,103 @@ def _serve_command(args) -> int:
             )
         # The one line scripts parse to learn the ephemeral port.
         print(f"serving on {config.host}:{server.port}", flush=True)
-        await server.serve_until_shutdown()
+        logger = _start_stats_logger(server.stats, args.stats_interval)
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            if logger is not None:
+                logger.cancel()
         return server.stats()
 
     try:
         stats = asyncio.run(_serve())
+    except OSError as exc:
+        return _fail(f"cannot bind {args.host}:{args.port}: {exc}")
+    except KeyboardInterrupt:
+        return 130
+    print(json.dumps(stats, indent=2))
+    print("# drained cleanly", file=sys.stderr)
+    return 0
+
+
+def _start_stats_logger(get_stats, interval: float):
+    """Spawn the ``--stats-interval`` task: one stats JSON line per
+    tick on stderr (sync or async stats callables both work)."""
+    import asyncio
+    import inspect
+
+    if not interval:
+        return None
+
+    async def _log() -> None:
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                payload = get_stats()
+                if inspect.isawaitable(payload):
+                    payload = await payload
+            except Exception as exc:  # logging must never kill serving
+                print(f"# stats-error {exc}", file=sys.stderr, flush=True)
+                continue
+            print(
+                "# stats " + json.dumps(payload, separators=(",", ":")),
+                file=sys.stderr, flush=True,
+            )
+
+    return asyncio.get_running_loop().create_task(_log())
+
+
+def _serve_router(args) -> int:
+    """``serve --shards N``: run the sharded tier until SIGTERM."""
+    import asyncio
+
+    from repro.serve.router import RouterConfig, ShardRouter
+    from repro.serve.shardmgr import ShardError
+
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        data_dir=args.data_dir,
+        replicas=args.ring_replicas,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        max_sessions=args.max_sessions,
+        fsync_interval=args.fsync_interval,
+        checkpoint_every=args.checkpoint_every,
+        wal_segment_bytes=args.wal_segment_bytes,
+    )
+
+    async def _serve() -> dict:
+        router = ShardRouter(config)
+        await router.start()
+        ports = {
+            name: shard.port
+            for name, shard in router.manager.shards.items()
+        }
+        print(
+            f"# {len(ports)} worker shard(s): " + ", ".join(
+                f"{name}@{port}" for name, port in sorted(ports.items())
+            ),
+            file=sys.stderr, flush=True,
+        )
+        # Same parseable line as the single-process server: the tier is
+        # a drop-in replacement behind one address.
+        print(f"serving on {config.host}:{router.port}", flush=True)
+        logger = _start_stats_logger(router.stats, args.stats_interval)
+        try:
+            await router.serve_until_shutdown()
+        finally:
+            if logger is not None:
+                logger.cancel()
+        final = router.describe()
+        final["router_counters"] = router.counters.as_dict()
+        return final
+
+    try:
+        stats = asyncio.run(_serve())
+    except ShardError as exc:
+        return _fail(f"sharded tier failed to start: {exc}", code=1)
     except OSError as exc:
         return _fail(f"cannot bind {args.host}:{args.port}: {exc}")
     except KeyboardInterrupt:
@@ -632,7 +835,11 @@ def _check_durability_flags(args) -> str | None:
 
 def _crashtest_command(args) -> int:
     """The ``crashtest`` subcommand: the durability acceptance gate."""
-    from repro.serve.crashtest import CrashTestError, run_crashtest
+    from repro.serve.crashtest import (
+        CrashTestError,
+        run_crashtest,
+        run_sharded_crashtest,
+    )
     from repro.serve.session import SessionError, spec_from_name
 
     if args.length < 100:
@@ -650,6 +857,17 @@ def _crashtest_command(args) -> int:
         )
     if args.timeout <= 0:
         return _fail(f"--timeout must be > 0, got {args.timeout}")
+    if args.shards < 1:
+        return _fail(f"--shards must be >= 1, got {args.shards}")
+    if args.sessions < 1:
+        return _fail(f"--sessions must be >= 1, got {args.sessions}")
+    if args.migrations < 0:
+        return _fail(f"--migrations must be >= 0, got {args.migrations}")
+    if args.shards == 1 and (args.kill_shard or args.kill_router):
+        return _fail(
+            "--kill-shard/--kill-router need a sharded tier: "
+            "pass --shards N with N > 1"
+        )
     problem = _check_workload(args.workload) or _check_durability_flags(args)
     if problem:
         return _fail(problem)
@@ -658,21 +876,46 @@ def _crashtest_command(args) -> int:
     except SessionError as exc:
         return _fail(str(exc))
 
+    sharded = args.shards > 1
     try:
-        report = run_crashtest(
-            workload=args.workload,
-            length=args.length,
-            seed=args.seed,
-            predictor=args.predictor.lower(),
-            entries=args.entries,
-            kills=args.kills,
-            events_per_request=args.events_per_request,
-            data_dir=args.data_dir,
-            fsync_interval=args.fsync_interval,
-            checkpoint_every=args.checkpoint_every,
-            timeout=args.timeout,
-            progress=lambda msg: print(f"crashtest: {msg}", file=sys.stderr),
-        )
+        if sharded:
+            report = run_sharded_crashtest(
+                workload=args.workload,
+                length=args.length,
+                seed=args.seed,
+                predictor=args.predictor.lower(),
+                entries=args.entries,
+                shards=args.shards,
+                sessions=args.sessions,
+                kills=args.kills,
+                kill_router=args.kill_router,
+                migrations=args.migrations,
+                events_per_request=args.events_per_request,
+                data_dir=args.data_dir,
+                fsync_interval=args.fsync_interval,
+                checkpoint_every=args.checkpoint_every,
+                timeout=args.timeout,
+                progress=lambda msg: print(
+                    f"crashtest: {msg}", file=sys.stderr
+                ),
+            )
+        else:
+            report = run_crashtest(
+                workload=args.workload,
+                length=args.length,
+                seed=args.seed,
+                predictor=args.predictor.lower(),
+                entries=args.entries,
+                kills=args.kills,
+                events_per_request=args.events_per_request,
+                data_dir=args.data_dir,
+                fsync_interval=args.fsync_interval,
+                checkpoint_every=args.checkpoint_every,
+                timeout=args.timeout,
+                progress=lambda msg: print(
+                    f"crashtest: {msg}", file=sys.stderr
+                ),
+            )
     except CrashTestError as exc:
         return _fail(str(exc), code=1)
     except KeyboardInterrupt:
@@ -682,14 +925,18 @@ def _crashtest_command(args) -> int:
         print(f"# wrote {args.output}", file=sys.stderr)
     # The full per-chunk payloads are for the report file; the printed
     # summary keeps the verdict and the evidence.
-    summary = {
-        key: report[key] for key in (
-            "workload", "predictor", "chunks", "events", "kills_done",
-            "reconnects", "retries", "acked_chunks", "lost_acks",
-            "mismatched_chunks", "final_state_match", "final_state",
-            "durability", "equivalent",
-        )
-    }
+    keys = [
+        "workload", "predictor", "chunks", "events", "kills_done",
+        "reconnects", "retries", "acked_chunks", "lost_acks",
+        "mismatched_chunks", "final_state_match", "final_state",
+        "durability", "equivalent",
+    ]
+    if sharded:
+        keys[4:4] = [
+            "shards", "sessions", "placements", "router_kills",
+            "worker_restarts", "migrations",
+        ]
+    summary = {key: report[key] for key in keys}
     print(json.dumps(summary, indent=2))
     if not report["equivalent"]:
         print(
@@ -722,6 +969,8 @@ def _loadgen_command(args) -> int:
         return _fail(f"--length must be >= 100, got {args.length}")
     if args.seed < 0:
         return _fail(f"--seed must be >= 0, got {args.seed}")
+    if args.shards < 0:
+        return _fail(f"--shards must be >= 0, got {args.shards}")
     problem = _check_workload(args.workload)
     if problem:
         return _fail(problem)
@@ -784,6 +1033,7 @@ def _loadgen_command(args) -> int:
         pipeline_depth=args.pipeline_depth,
         max_queue=args.max_queue,
         max_batch=args.max_batch,
+        shards=args.shards,
         quick=args.quick,
         progress=lambda name: print(f"loadgen: {name} ...", file=sys.stderr),
     )

@@ -18,6 +18,15 @@ fetch path.  Four layers:
 * :mod:`repro.serve.client` / :mod:`repro.serve.loadgen` -- a
   pipelining client and a trace-replaying load generator that measures
   throughput and p50/p95/p99 latency into ``BENCH_serve.json``.
+* :mod:`repro.serve.durability` -- write-ahead logs, checkpoints, and
+  tombstones that make durable sessions survive kill -9 with
+  exactly-once semantics (:mod:`repro.serve.crashtest` proves it).
+* the sharded tier -- :mod:`repro.serve.ring` (consistent hashing),
+  :mod:`repro.serve.shardmgr` (worker-process lifecycle + fencing),
+  and :mod:`repro.serve.router` (one front address that routes
+  sessions onto N worker processes, restarts dead ones, and live-
+  migrates sessions between shards) -- scales the GIL-bound server
+  across cores behind the same protocol.
 """
 
 from repro.serve.session import (

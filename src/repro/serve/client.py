@@ -196,13 +196,19 @@ class DurableClient:
         await client.close()
 
     Error codes that are *retryable* (``backpressure``,
-    ``shutting-down``, ``timeout``) and any transport loss trigger the
-    reconnect/resume/retry loop; every other error response is the
-    request's real (possibly replay-cached) answer and is raised.
+    ``shutting-down``, ``timeout``, plus the sharded tier's
+    ``shard-unavailable`` while a worker restarts and
+    ``session-migrating`` while a session's files move between shards)
+    and any transport loss trigger the reconnect/resume/retry loop;
+    every other error response is the request's real (possibly
+    replay-cached) answer and is raised.
     """
 
     #: Error codes that mean "the request was not applied; try again".
-    RETRYABLE = ("backpressure", "shutting-down", "timeout")
+    RETRYABLE = (
+        "backpressure", "shutting-down", "timeout",
+        "shard-unavailable", "session-migrating",
+    )
 
     def __init__(
         self,

@@ -21,11 +21,24 @@ crashtest``).  One run:
 
 Any divergence is reported per-chunk in the result dict;
 ``equivalent`` is the overall verdict the CLI turns into exit code 3.
+
+**Sharded mode** (:func:`run_sharded_crashtest`, ``repro-lvp crashtest
+--shards N``) aims the same gun at the sharded tier: it launches a
+router with N worker-shard subprocesses, drives several durable
+sessions concurrently (each with its own reference run), SIGKILLs
+*whole worker shards* -- chosen by the same consistent-hash ring the
+router uses, so every kill lands on a shard that owns live sessions --
+and optionally SIGKILLs the router itself mid-load (the restarted
+router must fence the orphaned workers before recovering).  A live
+``migrate`` is issued while load flows, proving the freeze/move/adopt
+protocol loses nothing either.  The verdict is identical: every acked
+response and every final snapshot must match the references exactly.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import os
 import signal
 import subprocess
@@ -35,7 +48,7 @@ import time
 from pathlib import Path
 from typing import Callable
 
-from repro.serve.client import DurableClient
+from repro.serve.client import DurableClient, ServeClient
 from repro.serve.loadgen import trace_to_events
 from repro.serve.session import (
     PredictorSession,
@@ -113,12 +126,15 @@ class _ServerProc:
 
 
 def _reference_run(
-    spec: dict | None, workload_desc: dict, chunks: list[list[dict]]
+    spec: dict | None,
+    workload_desc: dict,
+    chunks: list[list[dict]],
+    session_id: str = "crashtest",
 ) -> tuple[list[dict], dict]:
     """The uninterrupted ground truth: results per chunk + final state."""
     session = PredictorSession(
         spec,
-        session_id="crashtest",
+        session_id=session_id,
         initial_memory=_resolve_initial_memory(workload_desc),
     )
     results = [apply_events(session, chunk) for chunk in chunks]
@@ -276,4 +292,405 @@ def run_crashtest(
     return report
 
 
-__all__ = ["CrashTestError", "run_crashtest", "SERVER_START_TIMEOUT"]
+# ----------------------------------------------------------------------
+# Sharded tier chaos testing
+# ----------------------------------------------------------------------
+
+
+class _RouterProc:
+    """One ``repro-lvp serve --shards N`` subprocess under harness
+    control.  Unlike :class:`_ServerProc` its SIGKILL leaves worker
+    orphans behind on purpose -- the restarted router must fence them.
+    """
+
+    def __init__(self, data_dir: str, shards: int, fsync_interval: float,
+                 checkpoint_every: int) -> None:
+        self.data_dir = data_dir
+        self.shards = shards
+        self.fsync_interval = fsync_interval
+        self.checkpoint_every = checkpoint_every
+        self.proc: subprocess.Popen | None = None
+        self.port: int | None = None
+
+    def start(self) -> int:
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--shards", str(self.shards),
+                "--data-dir", self.data_dir,
+                "--fsync-interval", str(self.fsync_interval),
+                "--checkpoint-every", str(self.checkpoint_every),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        deadline = time.monotonic() + SERVER_START_TIMEOUT * self.shards
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise CrashTestError(
+                    f"router exited during startup "
+                    f"(code {self.proc.poll()})"
+                )
+            if line.startswith("serving on"):
+                self.port = int(line.rsplit(":", 1)[1])
+                return self.port
+        raise CrashTestError("router never reported its port")
+
+    def kill(self) -> None:
+        """SIGKILL the router only; its workers become orphans."""
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait()
+
+    def terminate(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+
+    def kill_worker(self, shard: str) -> int | None:
+        """SIGKILL one worker shard by name; returns the pid shot.
+
+        The pid comes from the tier's state file (rewritten by the
+        router after every spawn) and is verified against ``/proc``
+        before firing, the same fencing discipline the router itself
+        uses -- a recycled pid is never killed.
+        """
+        from repro.serve.shardmgr import read_state
+
+        state = read_state(self.data_dir) or {}
+        info = (state.get("workers") or {}).get(shard) or {}
+        pid = info.get("pid")
+        if not isinstance(pid, int) or pid <= 0:
+            return None
+        try:
+            cmdline = Path(f"/proc/{pid}/cmdline").read_bytes()
+        except OSError:
+            return None
+        if self.data_dir not in cmdline.decode("utf-8", "replace"):
+            return None
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            return None
+        return pid
+
+
+async def _drive_fleet(
+    clients: list[DurableClient],
+    chunk_lists: list[list[list[dict]]],
+    kill_at: set[int],
+    router_kill_at: set[int],
+    migrate_at: set[int],
+    victims: list[str],
+    migrate_target: Callable[[str], str],
+    ring_lookup: Callable[[str], str],
+    router: _RouterProc,
+    note: Callable[[str], None],
+) -> dict:
+    """Drive every session in chunk lockstep, injecting chaos.
+
+    Requests are launched *before* each injection so every kill lands
+    with frames in flight; the retried seqs must resolve each one
+    exactly-once.
+    """
+    for client in clients:
+        await client.connect()
+    acked: list[list[dict]] = [[] for _ in clients]
+    kills_done = 0
+    router_kills = 0
+    migrations: list[asyncio.Task] = []
+    victim_iter = itertools.cycle(victims)
+    loop = asyncio.get_running_loop()
+    total = max(len(chunks) for chunks in chunk_lists)
+    for index in range(total):
+        tasks = {
+            i: asyncio.create_task(clients[i].apply(chunk_lists[i][index]))
+            for i in range(len(clients))
+            if index < len(chunk_lists[i])
+        }
+        await asyncio.sleep(0)  # let the frames reach the wire
+        if index in router_kill_at:
+            router.kill()
+            router_kills += 1
+            port = await loop.run_in_executor(None, router.start)
+            for client in clients:
+                client.port = port
+            note(
+                f"router kill {router_kills}: SIGKILL at chunk {index}, "
+                f"restarted on port {port} (orphan workers fenced)"
+            )
+        elif index in kill_at:
+            victim = next(victim_iter)
+            pid = router.kill_worker(victim)
+            kills_done += 1
+            note(
+                f"kill {kills_done}: SIGKILL worker {victim} "
+                f"(pid {pid}) at chunk {index}"
+            )
+        if index in migrate_at:
+            session_id = clients[0].session_id
+            target = migrate_target(ring_lookup(session_id))
+            migrations.append(asyncio.create_task(_migrate_via_router(
+                router, session_id, target, note
+            )))
+        for i, task in tasks.items():
+            acked[i].append(await task)
+    migrated = [await task for task in migrations]
+    return {
+        "acked": acked,
+        "kills_done": kills_done,
+        "router_kills": router_kills,
+        "migrations": migrated,
+    }
+
+
+async def _migrate_via_router(
+    router: _RouterProc, session_id: str, target: str,
+    note: Callable[[str], None],
+) -> dict:
+    """One live ``migrate`` request, retried across router restarts."""
+    last: dict = {"migrated": False, "error": "never attempted"}
+    for attempt in range(20):
+        try:
+            async with await ServeClient.connect(
+                "127.0.0.1", router.port
+            ) as admin:
+                result = await admin.request(
+                    "migrate", session=session_id, target=target
+                )
+            note(
+                f"migrated {session_id!r} {result.get('from')} -> "
+                f"{result.get('to')} at applied_seq "
+                f"{result.get('applied_seq')}"
+            )
+            return result
+        except Exception as exc:  # retry across kills hitting mid-move
+            last = {"migrated": False, "error": f"{exc}"}
+            await asyncio.sleep(0.1 * (attempt + 1))
+    return last
+
+
+def run_sharded_crashtest(
+    workload: str = "gcc2k",
+    length: int = 2000,
+    seed: int = 0,
+    predictor: str = "lvp",
+    entries: int = 256,
+    shards: int = 3,
+    sessions: int = 3,
+    kills: int = 2,
+    kill_router: bool = False,
+    migrations: int = 1,
+    events_per_request: int = 64,
+    data_dir: str | None = None,
+    fsync_interval: float = 0.005,
+    checkpoint_every: int = 200,
+    timeout: float = 600.0,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Chaos-test the sharded tier; returns the report dict.
+
+    Each of ``sessions`` durable sessions replays its own trace
+    (``seed + i``) against its own local reference.  ``kills`` worker
+    shards are SIGKILLed mid-load (rotating over the shards that own
+    sessions), ``kill_router=True`` also SIGKILLs the router itself
+    once, and ``migrations`` live migrations run concurrently with the
+    load.  ``equivalent`` is True only when every session's acked
+    responses and final snapshot match its reference.
+    """
+    from repro.serve.ring import HashRing
+    from repro.serve.shardmgr import shard_name
+    from repro.workloads.generator import ensure_stored, generate_trace
+
+    note = progress or (lambda message: None)
+    spec = spec_from_name(predictor, entries)
+    shard_names = [shard_name(i) for i in range(shards)]
+    ring = HashRing(shard_names)
+
+    session_ids = [f"crash-{i:02d}" for i in range(sessions)]
+    chunk_lists: list[list[list[dict]]] = []
+    references: list[tuple[list[dict], dict]] = []
+    workloads: list[dict] = []
+    for i in range(sessions):
+        desc = {"name": workload, "length": length, "seed": seed + i}
+        workloads.append(desc)
+        ensure_stored(workload, length, seed + i)
+        events = trace_to_events(generate_trace(workload, length, seed + i))
+        chunks = [
+            events[j:j + events_per_request]
+            for j in range(0, len(events), events_per_request)
+        ]
+        chunk_lists.append(chunks)
+        references.append(
+            _reference_run(spec, desc, chunks, session_id=session_ids[i])
+        )
+    total = max(len(chunks) for chunks in chunk_lists)
+
+    placements = {sid: ring.lookup(sid) for sid in session_ids}
+    # Rotate kills over exactly the shards that own live sessions, so
+    # no SIGKILL is a blank.
+    victims = list(dict.fromkeys(placements.values()))
+    note(
+        f"{sessions} session(s) over {shards} shard(s): " + ", ".join(
+            f"{sid}->{shard}" for sid, shard in placements.items()
+        )
+    )
+
+    spacing = max(1, total // (kills + 2))
+    kill_at = {spacing * (i + 1) for i in range(kills)}
+    kill_at = {k for k in kill_at if k < total}
+    router_kill_at = {(2 * total) // 3} if kill_router else set()
+    kill_at -= router_kill_at
+    migrate_at = (
+        {max(1, total // 3)} if migrations > 0 and shards > 1 else set()
+    )
+
+    def migrate_target(owner: str) -> str:
+        return shard_names[(shard_names.index(owner) + 1) % shards]
+
+    owned_tmp = None
+    if data_dir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="repro-shardtest-")
+        data_dir = owned_tmp.name
+
+    router = _RouterProc(data_dir, shards, fsync_interval, checkpoint_every)
+    clients = [
+        DurableClient("127.0.0.1", 0, sid, spec, workload=workloads[i])
+        for i, sid in enumerate(session_ids)
+    ]
+
+    async def _campaign() -> dict:
+        loop = asyncio.get_running_loop()
+        port = await loop.run_in_executor(None, router.start)
+        for client in clients:
+            client.port = port
+        try:
+            outcome = await _drive_fleet(
+                clients, chunk_lists, kill_at, router_kill_at,
+                migrate_at, victims, migrate_target, ring.lookup,
+                router, note,
+            )
+            async with await ServeClient.connect(
+                "127.0.0.1", router.port
+            ) as admin:
+                tier = await admin.stats()
+            outcome["finals"] = [
+                (await client.close_session()).get("closed")
+                for client in clients
+            ]
+            outcome["tier"] = tier
+            return outcome
+        finally:
+            for client in clients:
+                await client.close()
+            router.terminate()
+
+    async def _bounded() -> dict:
+        try:
+            return await asyncio.wait_for(_campaign(), timeout)
+        except asyncio.TimeoutError:
+            raise CrashTestError(
+                f"sharded campaign did not finish within {timeout:.0f}s"
+            ) from None
+
+    try:
+        outcome = asyncio.run(_bounded())
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+
+    mismatches: list[str] = []
+    lost_acks = 0
+    finals_match = True
+    for i, sid in enumerate(session_ids):
+        expected, expected_final = references[i]
+        acked = outcome["acked"][i]
+        lost_acks += len(expected) - len(acked)
+        mismatches.extend(
+            f"{sid}:chunk-{j}"
+            for j, (got, want) in enumerate(zip(acked, expected))
+            if got != want
+        )
+        if outcome["finals"][i] != expected_final:
+            finals_match = False
+            mismatches.append(f"{sid}:final-state")
+    # A migration that raced a kill may legitimately resolve to "the
+    # session already lives on the target" (the move landed before the
+    # rollback); only a migration that never moved anything and never
+    # settled is a failure.
+    migration_ok = all(
+        m.get("migrated") or m.get("reason")
+        for m in outcome["migrations"]
+    )
+    equivalent = (
+        not mismatches and lost_acks == 0 and finals_match and migration_ok
+    )
+
+    tier = outcome.get("tier", {})
+    durability = {
+        name: (entry.get("stats", {}).get("durability", {}))
+        for name, entry in tier.get("shards", {}).items()
+    }
+    report = {
+        "workload": {"name": workload, "length": length, "seed": seed},
+        "predictor": predictor,
+        "entries": entries,
+        "shards": shards,
+        "sessions": sessions,
+        "placements": placements,
+        "chunks": sum(len(chunks) for chunks in chunk_lists),
+        "events": sum(
+            sum(len(chunk) for chunk in chunks) for chunks in chunk_lists
+        ),
+        "events_per_request": events_per_request,
+        "kills_requested": kills,
+        "kills_done": outcome["kills_done"],
+        "router_kills": outcome["router_kills"],
+        "worker_restarts": {
+            name: entry.get("restarts", 0)
+            for name, entry in tier.get("shards", {}).items()
+        },
+        "migrations": outcome["migrations"],
+        "reconnects": sum(client.reconnects for client in clients),
+        "retries": sum(client.retries for client in clients),
+        "acked_chunks": sum(len(acks) for acks in outcome["acked"]),
+        "lost_acks": lost_acks,
+        "mismatched_chunks": mismatches,
+        "final_state_match": finals_match,
+        "final_state": {
+            sid: outcome["finals"][i] for i, sid in enumerate(session_ids)
+        },
+        "router_counters": tier.get("router_counters", {}),
+        "durability": durability,
+        "equivalent": equivalent,
+    }
+    note(
+        f"verdict: {'EQUIVALENT' if equivalent else 'DIVERGED'} "
+        f"({report['acked_chunks']}/{report['chunks']} chunks acked, "
+        f"{outcome['kills_done']} worker kill(s), "
+        f"{outcome['router_kills']} router kill(s), "
+        f"{len(outcome['migrations'])} migration(s), "
+        f"{report['reconnects']} reconnects)"
+    )
+    return report
+
+
+__all__ = [
+    "CrashTestError",
+    "run_crashtest",
+    "run_sharded_crashtest",
+    "SERVER_START_TIMEOUT",
+]

@@ -58,6 +58,7 @@ from zlib import crc32
 
 from repro.harness.journal import atomic_write_json, stable_digest
 from repro.serve.session import (
+    SEQ_CACHE_BYTES,
     SEQ_CACHE_SIZE,
     PredictorSession,
     SeqTracker,
@@ -78,6 +79,19 @@ _CKPT_MAGIC = b"RLVPCKP\x01"
 
 #: Ops that mutate session state and therefore hit the WAL.
 MUTATING_OPS = ("open", "apply", "predict", "train", "close")
+
+
+def session_dir_name(session_id: str) -> str:
+    """The on-disk directory name for one session id.
+
+    Deterministic and shared with the router, which moves these
+    directories between shard data-dirs during live migration.
+    """
+    safe = "".join(
+        c if c.isalnum() or c in "-_" else "_" for c in session_id
+    )[:48]
+    digest = hashlib.sha256(session_id.encode("utf-8")).hexdigest()[:12]
+    return f"{safe}-{digest}"
 
 
 @dataclass
@@ -370,6 +384,9 @@ class SessionDurability:
             # The exactly-once response cache rides along: a client
             # retrying across a spill/recover still gets its answer.
             "seq_cache": self.tracker.export_entries(),
+            # ... under the same watermark bounds it ran with, so the
+            # replay window survives spill/restart/recovery unchanged.
+            "seq_cache_policy": self.tracker.export_policy(),
         }
         write_checkpoint(self.dir / _CHECKPOINT, header, blob)
         self.records_since_checkpoint = 0
@@ -393,6 +410,7 @@ class DurabilityManager:
         checkpoint_every: int = 2000,
         segment_bytes: int = 1 << 20,
         cache_size: int = SEQ_CACHE_SIZE,
+        cache_bytes: int = SEQ_CACHE_BYTES,
     ) -> None:
         self.root = Path(root)
         self.sessions_root = self.root / "sessions"
@@ -400,17 +418,14 @@ class DurabilityManager:
         self.checkpoint_every = max(1, checkpoint_every)
         self.segment_bytes = max(4096, segment_bytes)
         self.cache_size = cache_size
+        self.cache_bytes = cache_bytes
         self.stats = DurabilityStats()
         self._handles: dict[str, SessionDurability] = {}
 
     # -- identity -------------------------------------------------------
 
     def session_dir(self, session_id: str) -> Path:
-        safe = "".join(
-            c if c.isalnum() or c in "-_" else "_" for c in session_id
-        )[:48]
-        digest = hashlib.sha256(session_id.encode("utf-8")).hexdigest()[:12]
-        return self.sessions_root / f"{safe}-{digest}"
+        return self.sessions_root / session_dir_name(session_id)
 
     def exists(self, session_id: str) -> bool:
         """True when a recoverable (non-closed) session is on disk."""
@@ -552,7 +567,7 @@ class DurabilityManager:
         session: PredictorSession | None = None
         spec_digest: str | None = None
         base_seq = 0
-        tracker = SeqTracker(self.cache_size)
+        tracker = SeqTracker(self.cache_size, self.cache_bytes)
         loaded = load_checkpoint(directory / _CHECKPOINT)
         if loaded is not None:
             header, blob = loaded
@@ -565,12 +580,15 @@ class DurabilityManager:
                 spec_digest = header.get("spec_digest")
                 # Resume the exactly-once state where the checkpoint
                 # left it; WAL replay extends it from base_seq on.
-                tracker.load_entries(base_seq, header.get("seq_cache"))
+                tracker.load_entries(
+                    base_seq, header.get("seq_cache"),
+                    header.get("seq_cache_policy"),
+                )
             except Exception:
                 self.stats.checkpoint_failures += 1
                 session = None
                 base_seq = 0
-                tracker = SeqTracker(self.cache_size)
+                tracker = SeqTracker(self.cache_size, self.cache_bytes)
         elif (directory / _CHECKPOINT).exists() is False and loaded is None:
             pass  # no checkpoint was ever written -- full replay
         if loaded is None and (directory / _CHECKPOINT).exists():
@@ -699,5 +717,6 @@ __all__ = [
     "load_checkpoint",
     "replay_record",
     "scan_wal_file",
+    "session_dir_name",
     "write_checkpoint",
 ]

@@ -14,16 +14,23 @@ four lanes into a ``repro-bench/1`` payload (``BENCH_serve.json``):
   against ``serve_single``;
 * ``serve_concurrent<N>`` -- N sessions, micro-batching on;
 * ``serve_concurrent<N>_unbatched`` -- N sessions, one request per
-  event-loop tick, the path micro-batching must beat.
+  event-loop tick, the path micro-batching must beat;
+* ``serve_sharded1`` / ``serve_sharded<S>`` -- the same concurrent
+  load through the sharded tier's router with 1 and S worker shard
+  *processes*; their throughput ratio is the tier's scaling factor
+  (bounded above by the machine's core count -- the ``environment``
+  section records ``cpus`` so the ratio is interpretable).
 
 Each lane reports ``median_ns`` (the p50 request latency, which is
-what ``benchdiff`` tracks across commits) plus p95/p99, throughput in
+what ``benchdiff`` tracks across commits) plus p95/p99 -- the tail is
+where failover and migration stalls would show -- throughput in
 requests and events per second, and the server's own counters.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import tempfile
 import time
 from collections import deque
@@ -306,6 +313,93 @@ async def _run_lane(
     return lane
 
 
+async def _run_sharded_lane(
+    events: list[dict],
+    spec: dict | None,
+    workload: dict | None,
+    sessions: int,
+    events_per_request: int,
+    pipeline_depth: int,
+    shards: int,
+    max_queue: int,
+    max_batch: int,
+) -> dict:
+    """One benchmark lane through the sharded tier.
+
+    The router runs in-process (same as the other lanes' servers); the
+    worker shards are real subprocesses, which is the whole point --
+    they are the processes that escape the GIL.  Durability stays off
+    so the sharded/unsharded ratio isolates compute distribution.
+    """
+    from repro.serve.router import RouterConfig, ShardRouter
+
+    router = ShardRouter(RouterConfig(
+        port=0,
+        shards=shards,
+        max_queue=max_queue,
+        max_batch=max_batch,
+        max_sessions=sessions + 4,
+        ping_interval=0,
+    ))
+    await router.start()
+    try:
+        lane = await run_loadgen(
+            "127.0.0.1", router.port, events, spec,
+            workload=workload, sessions=sessions,
+            events_per_request=events_per_request,
+            pipeline_depth=pipeline_depth,
+        )
+        lane["shards"] = shards
+        stats = await router.stats()
+        lane["router"] = {
+            "counters": stats["router_counters"],
+            "ring_points": stats["ring"]["points"],
+            "shard_sessions": {
+                name: entry.get("stats", {}).get("sessions", {})
+                .get("opened", 0)
+                for name, entry in stats["shards"].items()
+            },
+        }
+        # Aggregate the workers' counters into the same "server" block
+        # the single-process lanes report, so lane shapes stay uniform
+        # and total_failures() sees worker-side errors too.
+        workers = [
+            entry.get("stats", {}).get("counters", {})
+            for entry in stats["shards"].values()
+        ]
+        lane["server"] = {
+            "micro_batching": True,
+            "batches": sum(w.get("batches", 0) for w in workers),
+            "mean_batch_size": (
+                sum(w.get("mean_batch_size", 0.0) for w in workers)
+                / max(1, len(workers))
+            ),
+            "max_batch_seen": max(
+                (w.get("max_batch_seen", 0) for w in workers), default=0
+            ),
+            "peak_queue_depth": max(
+                (w.get("peak_queue_depth", 0) for w in workers), default=0
+            ),
+            "backpressure": sum(w.get("backpressure", 0) for w in workers),
+            "timeouts": sum(w.get("timeouts", 0) for w in workers),
+            "protocol_errors": (
+                sum(w.get("protocol_errors", 0) for w in workers)
+                + stats["router_counters"]["protocol_errors"]
+            ),
+            "internal_errors": sum(
+                w.get("internal_errors", 0) for w in workers
+            ),
+            "evictions": sum(
+                entry.get("stats", {}).get("sessions", {})
+                .get("evictions", 0)
+                for entry in stats["shards"].values()
+            ),
+        }
+    finally:
+        await router.drain()
+    return lane
+
+
 def run_benchmark(
     workload: str = "gcc2k",
     length: int = 8000,
@@ -317,10 +411,11 @@ def run_benchmark(
     pipeline_depth: int = 4,
     max_queue: int = 1024,
     max_batch: int = 16,
+    shards: int = 4,
     quick: bool = False,
     progress: Callable[[str], None] | None = None,
 ) -> dict:
-    """The ``repro-lvp loadgen`` benchmark: four lanes, one payload.
+    """The ``repro-lvp loadgen`` benchmark: six lanes, one payload.
 
     The defaults (32 events per request, batches capped at 16) keep the
     per-request compute small enough that scheduling overhead is
@@ -334,6 +429,7 @@ def run_benchmark(
         length = min(length, 2000)
         sessions = min(sessions, 4)
         events_per_request = min(events_per_request, 128)
+        shards = min(shards, 2)
     note = progress or (lambda name: None)
 
     spec = spec_from_name(predictor, entries)
@@ -370,6 +466,20 @@ def run_benchmark(
             events, spec, workload_desc, sessions, events_per_request,
             pipeline_depth, False, max_queue, max_batch,
         )
+        if shards >= 2:
+            note("serve_sharded1")
+            lanes["serve_sharded1"] = await _run_sharded_lane(
+                events, spec, workload_desc, sessions,
+                events_per_request, pipeline_depth, 1,
+                max_queue, max_batch,
+            )
+            sharded = f"serve_sharded{shards}"
+            note(sharded)
+            lanes[sharded] = await _run_sharded_lane(
+                events, spec, workload_desc, sessions,
+                events_per_request, pipeline_depth, shards,
+                max_queue, max_batch,
+            )
         return lanes
 
     benchmarks = asyncio.run(_all_lanes())
@@ -391,12 +501,16 @@ def run_benchmark(
             "pipeline_depth": pipeline_depth,
             "max_queue": max_queue,
             "max_batch": max_batch,
+            "shards": shards,
             "quick": quick,
             "timer": "time.perf_counter_ns",
             "statistic": "median (p50 request latency)",
         },
         benchmarks,
     )
+    # Scaling ratios only mean something relative to the cores the
+    # worker processes could actually spread across.
+    payload["environment"]["cpus"] = os.cpu_count()
     payload["comparison"] = {
         "description": (
             "micro-batching vs one-request-per-tick on the "
@@ -422,6 +536,30 @@ def run_benchmark(
             if durable["throughput_eps"] else None
         ),
     }
+    if shards >= 2:
+        sharded1 = benchmarks["serve_sharded1"]
+        shardedN = benchmarks[f"serve_sharded{shards}"]
+        payload["comparison"].update({
+            # serve_sharded<S> vs serve_sharded1: same router, more
+            # worker processes -- the tier's scaling factor (capped by
+            # environment.cpus; on a 1-core box it cannot exceed ~1).
+            "sharded_scaling_throughput": (
+                round(shardedN["throughput_eps"]
+                      / sharded1["throughput_eps"], 3)
+                if sharded1["throughput_eps"] else None
+            ),
+            "sharded_scaling_p99_ratio": (
+                round(sharded1["p99_ns"] / shardedN["p99_ns"], 3)
+                if shardedN["p99_ns"] else None
+            ),
+            # Router tax: one shard behind the router vs the in-process
+            # concurrent lane (>1 means the extra hop costs throughput).
+            "router_overhead_throughput": (
+                round(concurrent["throughput_eps"]
+                      / sharded1["throughput_eps"], 3)
+                if sharded1["throughput_eps"] else None
+            ),
+        })
     return payload
 
 

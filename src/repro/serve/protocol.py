@@ -139,8 +139,16 @@ async def write_frame(
 # Request/response vocabulary
 # ----------------------------------------------------------------------
 
-#: Operations the server understands.
-OPS = ("open", "close", "apply", "predict", "train", "stats", "ping")
+#: Operations the server understands (``release``/``adopt`` are the
+#: migration admin verbs: quiesce a durable session to disk / accept a
+#: migrated-in one).
+OPS = (
+    "open", "close", "apply", "predict", "train", "stats", "ping",
+    "release", "adopt",
+)
+
+#: Extra operations only the sharded tier's router answers itself.
+ROUTER_OPS = ("shards", "migrate")
 
 #: Session-mutating operations: WAL-logged on durable sessions and
 #: subject to the ``seq`` exactly-once contract (``open`` is durably
@@ -197,6 +205,7 @@ __all__ = [
     "ProtocolError",
     "REQUEST",
     "RESPONSE",
+    "ROUTER_OPS",
     "decode_body",
     "encode_frame",
     "error_response",

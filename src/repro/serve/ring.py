@@ -1,0 +1,119 @@
+"""Consistent-hash ring: session ids -> worker shards.
+
+The sharded serving tier must agree on placement *across processes*
+(the router, a restarted router, the crashtest harness, and any smart
+client all compute the same ring), so every hash here is SHA-256 --
+never Python's salted ``hash()``.  Each shard contributes ``replicas``
+virtual points; a key routes to the first point clockwise from its own
+hash.  Virtual points give two properties the tier leans on:
+
+* **balance** -- with 64 points per shard the fullest shard stays
+  within a small factor of the mean (``tests/test_ring.py`` bounds it
+  across 1-16 shards);
+* **minimal movement** -- adding or removing one shard only moves the
+  keys whose nearest point changed, ~``K/N`` of them, and every moved
+  key lands on (or leaves) the changed shard, never hopping between
+  two surviving shards.  Rebalancing therefore migrates the minimum
+  set of sessions.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+#: Virtual points each shard contributes to the ring.
+DEFAULT_REPLICAS = 64
+
+
+def _hash64(data: str) -> int:
+    """A process-stable 64-bit point on the ring."""
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class HashRing:
+    """An ordered ring of virtual shard points with bisect lookup."""
+
+    def __init__(
+        self,
+        shards: list[str] | tuple[str, ...] = (),
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._shards: set[str] = set()
+        #: Sorted, parallel: ``_points[i]`` is owned by ``_owners[i]``.
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for shard in shards:
+            self.add(shard)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        return tuple(sorted(self._shards))
+
+    def add(self, shard: str) -> None:
+        """Insert one shard's virtual points (idempotent-hostile: dup
+        shards would double their weight, so they are rejected)."""
+        if not isinstance(shard, str) or not shard:
+            raise ValueError(
+                f"shard name must be a non-empty string, got {shard!r}"
+            )
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} is already on the ring")
+        self._shards.add(shard)
+        for replica in range(self.replicas):
+            point = _hash64(f"{shard}#{replica}")
+            index = bisect.bisect_left(self._points, point)
+            # SHA-256 collisions across distinct vnode labels are not a
+            # practical concern; ties break toward the earlier insert.
+            self._points.insert(index, point)
+            self._owners.insert(index, shard)
+
+    def remove(self, shard: str) -> None:
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard!r} is not on the ring")
+        self._shards.discard(shard)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != shard
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def lookup(self, key: str) -> str:
+        """The shard owning ``key`` (first point clockwise, wrapping)."""
+        if not self._points:
+            raise ValueError("cannot look up a key on an empty ring")
+        index = bisect.bisect_right(self._points, _hash64(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def assignments(self, keys) -> dict[str, str]:
+        """Bulk ``{key: shard}`` placement (migration planning)."""
+        return {key: self.lookup(key) for key in keys}
+
+    def describe(self) -> dict:
+        """JSON-friendly ring summary for the router's stats payload."""
+        counts: dict[str, int] = {shard: 0 for shard in self._shards}
+        for owner in self._owners:
+            counts[owner] += 1
+        return {
+            "shards": list(self.shards),
+            "replicas": self.replicas,
+            "points": len(self._points),
+            "points_per_shard": {s: counts[s] for s in sorted(counts)},
+        }
+
+
+__all__ = ["DEFAULT_REPLICAS", "HashRing", "_hash64"]

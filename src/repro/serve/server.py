@@ -39,6 +39,7 @@ session by checkpoint + WAL replay before accepting connections.
 from __future__ import annotations
 
 import asyncio
+import os
 import signal
 import time
 from dataclasses import dataclass
@@ -47,6 +48,8 @@ from repro.serve import protocol
 from repro.serve.durability import DurabilityManager
 from repro.serve.session import (
     MAX_EVENTS_PER_REQUEST,
+    SEQ_CACHE_BYTES,
+    SEQ_CACHE_SIZE,
     SeqTracker,
     SessionError,
     SessionManager,
@@ -84,6 +87,17 @@ class ServerConfig:
     checkpoint_every: int = 2000
     #: WAL segment rotation threshold, bytes.
     wal_segment_bytes: int = 1 << 20
+    #: Exactly-once replay-cache bounds per session (entries / bytes).
+    seq_cache_size: int = SEQ_CACHE_SIZE
+    seq_cache_bytes: int = SEQ_CACHE_BYTES
+    #: Identity this process reports in ``stats`` when it runs as one
+    #: worker shard of a sharded tier (None = standalone server).
+    shard_name: str | None = None
+    #: When set, a watchdog exits the process as soon as its parent
+    #: changes -- a worker shard must never outlive its router (an
+    #: orphan appending to a WAL the replacement tier owns would be a
+    #: split-brain writer).
+    parent_pid: int | None = None
 
 
 @dataclass
@@ -174,6 +188,8 @@ class PredictionServer:
                 fsync_interval=self.config.fsync_interval,
                 checkpoint_every=self.config.checkpoint_every,
                 segment_bytes=self.config.wal_segment_bytes,
+                cache_size=self.config.seq_cache_size,
+                cache_bytes=self.config.seq_cache_bytes,
             )
         self.sessions = SessionManager(
             max_sessions=self.config.max_sessions,
@@ -189,6 +205,7 @@ class PredictionServer:
         self._conns: set[_Connection] = set()
         self._server: asyncio.AbstractServer | None = None
         self._scheduler: asyncio.Task | None = None
+        self._watchdog: asyncio.Task | None = None
         self._draining = False
         self._shutdown = asyncio.Event()
         self.port: int | None = None
@@ -216,6 +233,23 @@ class PredictionServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._scheduler = asyncio.create_task(self._run_scheduler())
+        if self.config.parent_pid is not None:
+            self._watchdog = asyncio.create_task(
+                self._watch_parent(self.config.parent_pid)
+            )
+
+    async def _watch_parent(self, parent_pid: int) -> None:
+        """Hard-exit the moment this worker is orphaned.
+
+        ``os._exit`` on purpose: an orphan must stop writing its WAL
+        *immediately* -- the replacement tier is about to recover (or
+        move) those files, and a graceful drain would keep appending to
+        them.  The WAL's append discipline makes the cut crash-safe.
+        """
+        while True:
+            if os.getppid() != parent_pid:
+                os._exit(1)
+            await asyncio.sleep(0.2)
 
     async def serve_until_shutdown(self) -> None:
         """Run until SIGTERM/SIGINT (or :meth:`request_shutdown`)."""
@@ -251,6 +285,12 @@ class PredictionServer:
             self._scheduler.cancel()
             try:
                 await self._scheduler
+            except asyncio.CancelledError:
+                pass
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            try:
+                await self._watchdog
             except asyncio.CancelledError:
                 pass
         for conn in list(self._conns):
@@ -438,6 +478,12 @@ class PredictionServer:
             return self.stats()
         if op == "ping":
             return {"pong": True}
+        if op == "release":
+            # Migration quiesce: checkpoint + fsync + freeze (the
+            # router calls this before moving the session's files).
+            return self.sessions.release(body.get("session"))
+        if op == "adopt":
+            return self.sessions.adopt(body.get("session"))
         raise SessionError(
             f"unknown op {op!r}; valid ops: " + ", ".join(protocol.OPS),
             code="unknown-op",
@@ -568,7 +614,14 @@ class PredictionServer:
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
-        """The ``stats`` RPC payload: counters, sessions, queue."""
+        """The ``stats`` RPC payload: counters, sessions, queue.
+
+        Everything a fleet operator needs over the wire: session and
+        request counters, current queue depth, and -- with durability
+        on -- the WAL counters plus the actual on-disk byte footprint.
+        The router aggregates one of these per worker shard into its
+        own ``stats`` response.
+        """
         payload = {
             "sessions": self.sessions.snapshot(),
             "counters": self.counters.as_dict(),
@@ -585,8 +638,13 @@ class PredictionServer:
                 "checkpoint_every": self.config.checkpoint_every,
             },
         }
+        if self.config.shard_name is not None:
+            payload["shard"] = self.config.shard_name
         if self.durability is not None:
             payload["durability"] = self.durability.stats.as_dict()
+            payload["durability"]["wal_disk_bytes"] = (
+                self.durability.wal_disk_bytes()
+            )
         return payload
 
 

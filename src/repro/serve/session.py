@@ -27,6 +27,7 @@ replayed sequence numbers, and structured errors for gaps.
 from __future__ import annotations
 
 import dataclasses
+import json
 from collections import OrderedDict, deque
 
 from repro.branch.history import HistorySet
@@ -60,6 +61,14 @@ MAX_EVENTS_PER_REQUEST = 8192
 #: of a double execution.
 SEQ_CACHE_SIZE = 256
 
+#: Byte watermark on the same cache: entries are also evicted oldest
+#: first once their (JSON-serialized) payloads exceed this, so a
+#: session whose responses are large -- apply results carry one record
+#: per load -- cannot grow its dedup cache with its lifetime.  The
+#: newest entry is always retained regardless of size: the most recent
+#: response must stay replayable or an immediate retry would fail.
+SEQ_CACHE_BYTES = 256 * 1024
+
 
 class SessionError(ValueError):
     """A session-layer failure with a wire-friendly error code."""
@@ -84,14 +93,28 @@ class SeqTracker:
     Cache entries are ``("ok", result)`` or ``("error", code, message)``
     tuples -- the request envelope's ``id`` differs between a request
     and its retry, so only the semantic payload is cached.
+
+    The cache is bounded twice over -- ``cache_size`` entries *and* a
+    ``cache_bytes`` watermark on the serialized payloads -- so neither
+    long-lived sessions nor fat responses grow it without limit.  Both
+    bounds (and the surviving entries) ride checkpoint headers, so a
+    spilled/recovered session keeps the exact replay window it had.
     """
 
-    __slots__ = ("applied_seq", "_cache", "cache_size")
+    __slots__ = ("applied_seq", "_cache", "_sizes", "_total_bytes",
+                 "cache_size", "cache_bytes")
 
-    def __init__(self, cache_size: int = SEQ_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        cache_size: int = SEQ_CACHE_SIZE,
+        cache_bytes: int = SEQ_CACHE_BYTES,
+    ) -> None:
         self.applied_seq = 0
         self.cache_size = max(1, cache_size)
+        self.cache_bytes = max(1, cache_bytes)
         self._cache: OrderedDict[int, tuple] = OrderedDict()
+        self._sizes: dict[int, int] = {}
+        self._total_bytes = 0
 
     def check(self, seq) -> tuple | None:
         """Validate ``seq``; ``None`` means "new -- execute it".
@@ -110,8 +133,9 @@ class SeqTracker:
             if entry is None:
                 raise SessionError(
                     f"seq {seq} was already applied and its response "
-                    f"has aged out of the {self.cache_size}-entry "
-                    "replay cache",
+                    f"has aged out of the replay cache (window: "
+                    f"{self.cache_size} entries / {self.cache_bytes} "
+                    "bytes)",
                     code="seq-too-old",
                 )
             return entry
@@ -124,36 +148,88 @@ class SeqTracker:
             )
         return None
 
+    @staticmethod
+    def entry_bytes(entry: tuple) -> int:
+        """The byte weight one cache entry is charged (its JSON size)."""
+        try:
+            return len(json.dumps(list(entry), separators=(",", ":")))
+        except (TypeError, ValueError):
+            return 64  # unserializable payloads get a nominal charge
+
     def record(self, seq: int, entry: tuple) -> None:
         """Mark ``seq`` applied and cache its response entry."""
         self.applied_seq = seq
+        self._insert(seq, entry, self.entry_bytes(entry))
+        self._trim()
+
+    def _insert(self, seq: int, entry: tuple, size: int) -> None:
+        previous = self._sizes.pop(seq, 0)
+        self._total_bytes -= previous
         self._cache[seq] = entry
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+        self._sizes[seq] = size
+        self._total_bytes += size
+
+    def _trim(self) -> None:
+        """Evict oldest entries past either watermark (keep the newest)."""
+        while len(self._cache) > 1 and (
+            len(self._cache) > self.cache_size
+            or self._total_bytes > self.cache_bytes
+        ):
+            seq, _ = self._cache.popitem(last=False)
+            self._total_bytes -= self._sizes.pop(seq, 0)
 
     def cached(self, seq: int) -> tuple | None:
         return self._cache.get(seq)
+
+    @property
+    def cached_entries(self) -> int:
+        return len(self._cache)
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._total_bytes
 
     def export_entries(self) -> list:
         """JSON-friendly cache dump for checkpoint headers."""
         return [[seq, list(entry)] for seq, entry in self._cache.items()]
 
-    def load_entries(self, applied_seq: int, entries) -> None:
+    def export_policy(self) -> dict:
+        """The cache bounds, persisted alongside the entries so a
+        recovered session keeps the exact replay window it ran with."""
+        return {"size": self.cache_size, "bytes": self.cache_bytes}
+
+    def load_entries(
+        self, applied_seq: int, entries, policy: dict | None = None
+    ) -> None:
         """Rebuild tracker state from a checkpoint header.
 
         Without this a spilled-then-recovered session would restart at
         ``applied_seq == 0`` and answer the client's next (perfectly
-        contiguous) request with ``seq-gap``.
+        contiguous) request with ``seq-gap``.  A persisted policy
+        (``export_policy``) overrides the constructor bounds, and the
+        watermarks are re-enforced after the load -- a header written
+        under looser bounds never reinstates an over-budget cache.
         """
         self.applied_seq = int(applied_seq)
         self._cache.clear()
+        self._sizes.clear()
+        self._total_bytes = 0
+        if isinstance(policy, dict):
+            size = policy.get("size")
+            max_bytes = policy.get("bytes")
+            if isinstance(size, int) and size >= 1:
+                self.cache_size = size
+            if isinstance(max_bytes, int) and max_bytes >= 1:
+                self.cache_bytes = max_bytes
         for item in entries or []:
             try:
                 seq, entry = item
             except (TypeError, ValueError):
                 continue
             if isinstance(seq, int) and isinstance(entry, list) and entry:
-                self._cache[seq] = tuple(entry)
+                sealed = tuple(entry)
+                self._insert(seq, sealed, self.entry_bytes(sealed))
+        self._trim()
 
 
 def apply_events(session: "PredictorSession", events) -> dict:
@@ -676,6 +752,12 @@ class SessionManager:
         self.opened = 0
         self.closed = 0
         self.evictions = 0
+        self.released = 0
+        #: Session ids quiesced for migration: their durable state is
+        #: being (or has been) moved off this shard, so lookups must
+        #: NOT transparently re-recover them from disk -- that would
+        #: fork the session across shards.  Cleared by :meth:`adopt`.
+        self._frozen: set[str] = set()
 
     def __len__(self) -> int:
         return len(self._sessions)
@@ -729,6 +811,7 @@ class SessionManager:
                 code="durability-disabled",
             )
         self._check_id(session_id)
+        self._check_not_frozen(session_id)
         session = self._sessions.get(session_id)
         if session is None and self.durability.exists(session_id):
             session = self._recover(session_id)
@@ -756,7 +839,10 @@ class SessionManager:
             spec, session_id=session_id, initial_memory=memory
         )
         session.durable = True
-        session.tracker = SeqTracker()
+        session.tracker = SeqTracker(
+            getattr(self.durability, "cache_size", SEQ_CACHE_SIZE),
+            getattr(self.durability, "cache_bytes", SEQ_CACHE_BYTES),
+        )
         # The open record hits the WAL before the caller ever sees the
         # session -- a crash from here on always recovers it.
         self.durability.create(session_id, spec, workload, session.tracker)
@@ -766,6 +852,8 @@ class SessionManager:
 
     def get(self, session_id) -> PredictorSession:
         """Look up (and LRU-touch) a session, recovering spilled ones."""
+        if isinstance(session_id, str):
+            self._check_not_frozen(session_id)
         session = (
             self._sessions.get(session_id)
             if isinstance(session_id, str) else None
@@ -825,6 +913,83 @@ class SessionManager:
         """Re-check budgets after a session grew (e.g. store events)."""
         self._account(session)
         self._enforce_limits(keep=session.session_id)
+
+    # -- migration (the router's quiesce/handoff protocol) --------------
+
+    def release(self, session_id) -> dict:
+        """Quiesce one durable session for migration off this shard.
+
+        Checkpoints + fsyncs it to disk (the spill path, so every
+        acknowledged byte is durable), drops it from memory, and
+        *freezes* the id: until :meth:`adopt`, any request for it gets
+        ``session-migrating`` instead of a transparent re-recovery --
+        the files are about to move and a late request must not fork
+        the session into two live copies.
+        """
+        if self.durability is None:
+            raise SessionError(
+                "this server has no --data-dir; sessions cannot be "
+                "released for migration",
+                code="durability-disabled",
+            )
+        self._check_id(session_id)
+        session = self._sessions.get(session_id)
+        if session is None and not self.durability.exists(session_id):
+            raise SessionError(
+                f"unknown session {session_id!r}", code="unknown-session"
+            )
+        applied_seq = None
+        if session is not None:
+            if not session.durable:
+                raise SessionError(
+                    f"session {session_id!r} is not durable and cannot "
+                    "be migrated",
+                    code="not-durable",
+                )
+            applied_seq = session.tracker.applied_seq
+            self._remove(session, spill=True)
+        self._frozen.add(session_id)
+        self.released += 1
+        return {
+            "released": session_id,
+            "applied_seq": applied_seq,
+            "was_resident": session is not None,
+        }
+
+    def adopt(self, session_id) -> dict:
+        """Accept a migrated-in session: unfreeze and recover it now.
+
+        Also the undo for :meth:`release` when a migration aborts --
+        adopting on the source shard simply recovers the spilled state
+        in place.
+        """
+        if self.durability is None:
+            raise SessionError(
+                "this server has no --data-dir; sessions cannot be "
+                "adopted",
+                code="durability-disabled",
+            )
+        self._check_id(session_id)
+        self._frozen.discard(session_id)
+        session = self.get(session_id)
+        return {
+            "adopted": session_id,
+            "applied_seq": (
+                session.tracker.applied_seq
+                if session.tracker is not None else None
+            ),
+        }
+
+    def frozen_ids(self) -> list[str]:
+        return sorted(self._frozen)
+
+    def _check_not_frozen(self, session_id: str) -> None:
+        if session_id in self._frozen:
+            raise SessionError(
+                f"session {session_id!r} is being migrated off this "
+                "shard; retry",
+                code="session-migrating",
+            )
 
     # -- internals ------------------------------------------------------
 
@@ -917,6 +1082,8 @@ class SessionManager:
             "opened": self.opened,
             "closed": self.closed,
             "evictions": self.evictions,
+            "released": self.released,
+            "frozen": len(self._frozen),
             "max_sessions": self.max_sessions,
             "total_bytes": self.total_bytes(),
             "loads": loads,
@@ -930,6 +1097,7 @@ __all__ = [
     "MAX_EVENTS_PER_REQUEST",
     "MAX_WORKLOAD_LENGTH",
     "PREDICTOR_NAMES",
+    "SEQ_CACHE_BYTES",
     "SEQ_CACHE_SIZE",
     "PredictorSession",
     "SeqTracker",

@@ -1,0 +1,325 @@
+"""Worker-shard lifecycle: spawn, fence, health-check, restart.
+
+A :class:`ShardManager` owns N ``repro-lvp serve`` subprocesses (the
+worker shards of the sharded tier), each bound to an ephemeral
+loopback port with its own ``--data-dir`` under the tier's root.  The
+manager's whole job is making shard death boring:
+
+* **spawn** -- workers are started with ``--parent-pid`` so an orphan
+  (its router SIGKILLed) hard-exits the moment it is reparented,
+  instead of surviving as a split-brain writer on WAL files a
+  replacement tier is about to recover;
+* **fence** -- on startup the manager reads the previous incarnation's
+  state file (``router.json``) and SIGKILLs any worker pid that is
+  still alive and verifiably ours (its ``/proc`` cmdline names our
+  data root) before touching the data dirs;
+* **restart** -- a dead worker is relaunched on the *same* data dir;
+  the fresh process replays its WAL + checkpoints before accepting
+  connections, so every acknowledged request survives the kill -9.
+
+The state file is rewritten (tmp+rename) after every spawn, so the
+crashtest harness -- and any operator -- can always find the current
+worker pids and ports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.harness.journal import atomic_write_json
+
+#: Seconds to wait for a (re)started worker to print its port.
+WORKER_START_TIMEOUT = 30.0
+
+#: The tier's state file, under the root data dir.
+STATE_FILE = "router.json"
+
+
+class ShardError(RuntimeError):
+    """A worker shard could not be started or recovered."""
+
+
+def shard_name(index: int) -> str:
+    """Canonical worker-shard name (``shard-00``, ``shard-01``, ...)."""
+    return f"shard-{index:02d}"
+
+
+class WorkerShard:
+    """One worker subprocess: its process handle, port, and counters."""
+
+    def __init__(self, name: str, data_dir: Path | None) -> None:
+        self.name = name
+        self.data_dir = data_dir
+        self.proc: subprocess.Popen | None = None
+        self.port: int | None = None
+        self.restarts = 0
+
+    @property
+    def pid(self) -> int | None:
+        return self.proc.pid if self.proc is not None else None
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+
+class ShardManager:
+    """Spawns and supervises the worker shards of one sharded tier."""
+
+    def __init__(
+        self,
+        shards: int,
+        data_dir: str | Path | None = None,
+        host: str = "127.0.0.1",
+        max_queue: int = 1024,
+        max_batch: int = 16,
+        max_sessions: int = 64,
+        fsync_interval: float = 0.02,
+        checkpoint_every: int = 2000,
+        wal_segment_bytes: int = 1 << 20,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.host = host
+        self.root = Path(data_dir) if data_dir is not None else None
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.max_sessions = max_sessions
+        self.fsync_interval = fsync_interval
+        self.checkpoint_every = checkpoint_every
+        self.wal_segment_bytes = wal_segment_bytes
+        self.shards: dict[str, WorkerShard] = {}
+        for index in range(shards):
+            name = shard_name(index)
+            directory = self.root / name if self.root is not None else None
+            self.shards[name] = WorkerShard(name, directory)
+        #: Extra JSON-serializable keys merged into the state file on
+        #: every write (the router parks its migration overrides here,
+        #: so restarts triggered by *any* code path persist them).
+        self.extra: dict[str, object] = {}
+        self._router_port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start_all(self) -> None:
+        """Fence any previous incarnation's workers, then spawn ours."""
+        if self.root is not None:
+            # Workers create their own shard dirs lazily (on the first
+            # durable open); the state file needs the root right away.
+            self.root.mkdir(parents=True, exist_ok=True)
+        self.fence_stale_workers()
+        for shard in self.shards.values():
+            self._spawn(shard)
+        self.write_state()
+
+    def restart(self, name: str) -> int:
+        """Relaunch one (dead) worker on its data dir; returns the port.
+
+        SIGKILLs the old process first if it is somehow still running
+        (a hung worker that failed health checks) -- there must never
+        be two writers on one shard's WAL files.
+        """
+        shard = self.shards[name]
+        if shard.proc is not None and shard.proc.poll() is None:
+            shard.proc.send_signal(signal.SIGKILL)
+            shard.proc.wait()
+        shard.restarts += 1
+        self._spawn(shard)
+        self.write_state()
+        return shard.port
+
+    def kill(self, name: str) -> None:
+        """SIGKILL one worker (the chaos harness's entry point)."""
+        shard = self.shards[name]
+        if shard.proc is not None and shard.proc.poll() is None:
+            shard.proc.send_signal(signal.SIGKILL)
+            shard.proc.wait()
+
+    def stop_all(self, timeout: float = 10.0) -> None:
+        """Graceful tier shutdown: SIGTERM every worker, then reap."""
+        for shard in self.shards.values():
+            if shard.alive():
+                shard.proc.terminate()
+        deadline = time.monotonic() + timeout
+        for shard in self.shards.values():
+            if shard.proc is None:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                shard.proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                shard.proc.kill()
+                shard.proc.wait()
+
+    def dead_shards(self) -> list[str]:
+        """Names of workers whose process has exited."""
+        return [
+            name for name, shard in self.shards.items()
+            if shard.proc is not None and shard.proc.poll() is not None
+        ]
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+
+    def _spawn(self, shard: WorkerShard) -> None:
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        command = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", self.host,
+            "--port", "0",
+            "--max-queue", str(self.max_queue),
+            "--max-batch", str(self.max_batch),
+            "--max-sessions", str(self.max_sessions),
+            "--shard-name", shard.name,
+            "--parent-pid", str(os.getpid()),
+        ]
+        if shard.data_dir is not None:
+            command += [
+                "--data-dir", str(shard.data_dir),
+                "--fsync-interval", str(self.fsync_interval),
+                "--checkpoint-every", str(self.checkpoint_every),
+                "--wal-segment-bytes", str(self.wal_segment_bytes),
+            ]
+        shard.proc = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        shard.port = self._read_port(shard)
+
+    def _read_port(self, shard: WorkerShard) -> int:
+        """Block until the worker prints ``serving on host:port``."""
+        deadline = time.monotonic() + WORKER_START_TIMEOUT
+        while time.monotonic() < deadline:
+            line = shard.proc.stdout.readline()
+            if not line:
+                raise ShardError(
+                    f"worker {shard.name} exited during startup "
+                    f"(code {shard.proc.poll()})"
+                )
+            if line.startswith("serving on"):
+                return int(line.rsplit(":", 1)[1])
+        raise ShardError(f"worker {shard.name} never reported its port")
+
+    # ------------------------------------------------------------------
+    # State file + fencing
+    # ------------------------------------------------------------------
+
+    def state_path(self) -> Path | None:
+        return self.root / STATE_FILE if self.root is not None else None
+
+    def write_state(self, router_port: int | None = None) -> None:
+        path = self.state_path()
+        if path is None:
+            return
+        if router_port is not None:
+            self._router_port = router_port
+        state: dict = {
+            "router_pid": os.getpid(),
+            "router_port": self._router_port,
+            "data_dir": str(self.root),
+            "workers": {
+                name: {
+                    "pid": shard.pid,
+                    "port": shard.port,
+                    "restarts": shard.restarts,
+                }
+                for name, shard in self.shards.items()
+            },
+        }
+        for key, value in self.extra.items():
+            state[key] = dict(value) if isinstance(value, dict) else value
+        atomic_write_json(path, state)
+
+    def fence_stale_workers(self, wait: float = 3.0) -> list[int]:
+        """SIGKILL surviving workers of a previous (crashed) tier.
+
+        A router that was itself SIGKILLed leaves orphan workers behind
+        for the fraction of a second their ``--parent-pid`` watchdogs
+        need to fire.  Before this incarnation touches any shard data
+        dir it kills every recorded pid that is still alive *and*
+        provably one of ours -- its ``/proc`` cmdline must name this
+        data root, so a recycled pid is never shot -- then waits for
+        the processes to vanish.  Classic replica fencing: at most one
+        writer per WAL, ever.
+        """
+        path = self.state_path()
+        if path is None or not path.exists():
+            return []
+        try:
+            state = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return []
+        fenced = []
+        for info in (state.get("workers") or {}).values():
+            pid = info.get("pid") if isinstance(info, dict) else None
+            if not isinstance(pid, int) or pid <= 0:
+                continue
+            if not self._is_our_worker(pid):
+                continue
+            try:
+                os.kill(pid, signal.SIGKILL)
+                fenced.append(pid)
+            except (ProcessLookupError, PermissionError):
+                continue
+        deadline = time.monotonic() + wait
+        for pid in fenced:
+            while time.monotonic() < deadline and _pid_alive(pid):
+                time.sleep(0.01)
+        return fenced
+
+    def _is_our_worker(self, pid: int) -> bool:
+        """True when ``pid``'s cmdline names this tier's data root."""
+        try:
+            cmdline = Path(f"/proc/{pid}/cmdline").read_bytes()
+        except OSError:
+            return False  # gone already, or no /proc on this platform
+        parts = cmdline.decode("utf-8", "replace").split("\x00")
+        return "repro" in " ".join(parts) and any(
+            part.startswith(str(self.root)) for part in parts
+        )
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def read_state(data_dir: str | Path) -> dict | None:
+    """The tier's state file (worker pids/ports), or None."""
+    path = Path(data_dir) / STATE_FILE
+    try:
+        state = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return state if isinstance(state, dict) else None
+
+
+__all__ = [
+    "STATE_FILE",
+    "WORKER_START_TIMEOUT",
+    "ShardError",
+    "ShardManager",
+    "WorkerShard",
+    "read_state",
+    "shard_name",
+]

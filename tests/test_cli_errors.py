@@ -353,6 +353,49 @@ class TestServeDurabilityFlags:
         assert "not a directory" in capsys.readouterr().err
 
 
+class TestShardingFlags:
+    """Sharded-tier flag validation across serve/crashtest/loadgen."""
+
+    def test_serve_bad_shards(self, capsys):
+        assert main(["serve", "--shards", "0"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_serve_bad_ring_replicas(self, capsys):
+        assert main(["serve", "--shards", "2", "--ring-replicas", "0"]) == 2
+        assert "--ring-replicas must be >= 1" in capsys.readouterr().err
+
+    def test_serve_bad_stats_interval(self, capsys):
+        assert main(["serve", "--stats-interval", "-1"]) == 2
+        assert "--stats-interval must be >= 0" in capsys.readouterr().err
+
+    def test_serve_bad_seq_cache(self, capsys):
+        assert main(["serve", "--seq-cache-size", "0"]) == 2
+        assert "--seq-cache-size must be >= 1" in capsys.readouterr().err
+        assert main(["serve", "--seq-cache-bytes", "0"]) == 2
+        assert "--seq-cache-bytes must be >= 1" in capsys.readouterr().err
+
+    def test_crashtest_kill_shard_needs_a_tier(self, capsys):
+        assert main(["crashtest", "--kill-shard"]) == 2
+        assert "pass --shards N with N > 1" in capsys.readouterr().err
+
+    def test_crashtest_kill_router_needs_a_tier(self, capsys):
+        assert main(["crashtest", "--kill-router"]) == 2
+        assert "pass --shards N with N > 1" in capsys.readouterr().err
+
+    def test_crashtest_bad_sessions(self, capsys):
+        assert main(["crashtest", "--shards", "2", "--sessions", "0"]) == 2
+        assert "--sessions must be >= 1" in capsys.readouterr().err
+
+    def test_crashtest_bad_migrations(self, capsys):
+        assert main(["crashtest", "--shards", "2",
+                     "--migrations", "-1"]) == 2
+        assert "--migrations must be >= 0" in capsys.readouterr().err
+
+    def test_loadgen_bad_shards(self, capsys):
+        assert main(["loadgen", "--shards", "-1"]) == 2
+        assert "--shards must be >= 0" in capsys.readouterr().err
+
+
 CLI_DRIVER = """\
 import sys
 from repro import cli

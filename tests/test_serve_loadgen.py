@@ -104,6 +104,7 @@ class TestBenchmarkEndToEnd:
         assert set(lanes) == {
             "serve_single", "serve_durable", "serve_concurrent4",
             "serve_concurrent4_unbatched",
+            "serve_sharded1", "serve_sharded2",  # quick clamps shards to 2
         }
         for lane in lanes.values():
             assert lane["requests_ok"] > 0
@@ -132,8 +133,31 @@ class TestBenchmarkEndToEnd:
         wal = durable["server"]["durability"]
         assert wal["wal_appends"] >= durable["requests_ok"]
         assert wal["wal_bytes"] > 0
+        # Sharded lanes ran through a real router + worker subprocesses
+        # and report tier topology alongside the usual lane fields.
+        for name, shards in (("serve_sharded1", 1), ("serve_sharded2", 2)):
+            sharded = lanes[name]
+            assert sharded["shards"] == shards
+            # Durability stays off so the sharded/unsharded ratio
+            # isolates compute distribution from WAL cost.
+            assert sharded["durable"] is False
+            router = sharded["router"]
+            assert router["counters"]["forwarded"] > 0
+            assert router["counters"]["dropped_connections"] == 0
+            assert len(router["shard_sessions"]) == shards
+        # Sharding spreads the sessions across workers when there are
+        # workers to spread across.
+        spread = lanes["serve_sharded2"]["router"]["shard_sessions"]
+        assert sum(spread.values()) == 4
+        # environment.cpus makes the scaling ratio interpretable: on a
+        # single-core runner sharding cannot (and must not pretend to)
+        # beat one worker.
+        assert payload["environment"]["cpus"] >= 1
         comparison = payload["comparison"]
         assert comparison["micro_batching_throughput_speedup"] is not None
         assert comparison["micro_batching_p50_speedup"] is not None
         assert comparison["durability_p50_overhead"] is not None
         assert comparison["durability_throughput_cost"] is not None
+        assert comparison["sharded_scaling_throughput"] > 0
+        assert comparison["sharded_scaling_p99_ratio"] > 0
+        assert comparison["router_overhead_throughput"] > 0
