@@ -20,6 +20,7 @@ EXPECTED_BENCHMARKS = (
     "baseline_sim",
     "composite_sim",
     "functional_composite",
+    "functional_composite_vec",
     "eves32_sim",
     "component_probe",
 )
@@ -45,6 +46,10 @@ def test_quick_suite_structure():
         assert entry["median_ns"] > 0
         assert len(entry["runs_ns"]) == payload["config"]["repeats"]
         assert all(run > 0 for run in entry["runs_ns"])
+
+    # The vector lane reports its headline ratio (structure only: the
+    # quick-sized ratio itself would flake on shared runners).
+    assert benchmarks["functional_composite_vec"]["speedup_vs_object"] > 0
 
     probe_costs = benchmarks["component_probe"]
     assert set(probe_costs) == set(PROBE_COMPONENTS)

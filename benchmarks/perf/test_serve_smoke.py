@@ -28,6 +28,7 @@ def test_quick_serve_benchmark_structure():
     assert seen == [
         "serve_single", "serve_durable",
         "serve_concurrent3", "serve_concurrent3_unbatched",
+        "serve_sharded1", "serve_sharded2",  # quick clamps shards to 2
     ]
 
     assert total_failures(payload) == 0

@@ -202,6 +202,10 @@ class CompositePredictor:
         # The histogram needs a bucket per possible confident count.
         self.stats.confident_histogram = [0] * (len(self.components) + 1)
         self._instructions_in_epoch = 0
+        # (fusion mark, items, mapping) of the non-donor components;
+        # donors only change when the fusion counters change, so the
+        # per-load loops reuse this instead of re-filtering.
+        self._active_cache: tuple | None = None
 
     def _build_component(self, name: str, entries: int, rng):
         """Construct one component, applying ``confidence_delta``."""
@@ -231,11 +235,9 @@ class CompositePredictor:
         """Probe every component for one fetched load."""
         confident: dict[str, Prediction] = {}
         squashed: set[str] = set()
-        fusion = self.fusion
         silenced = self.monitor.silenced
-        for name, component in self._component_items:
-            if fusion is not None and fusion.is_donor(name):
-                continue
+        active, _ = self._active()
+        for name, component in active:
             prediction = component.predict(probe)
             if prediction is None:
                 continue
@@ -332,18 +334,38 @@ class CompositePredictor:
         else:
             self._train_all(outcome)
 
-    def _active_components(self):
-        if self.fusion is None:
-            return self._component_items
-        return [
+    def _active(self):
+        """``(items, mapping)`` of the non-donor components.
+
+        Cached against the fusion controller's fusion/reversion
+        counters -- the only events that change the donor set -- so the
+        per-load predict/train loops never rebuild the filtered list.
+        """
+        fusion = self.fusion
+        if fusion is None:
+            return self._component_items, self.components
+        state = fusion.state
+        mark = (state.fusions_performed, state.reversions_performed)
+        cached = self._active_cache
+        if cached is not None and cached[0] == mark:
+            return cached[1], cached[2]
+        is_donor = fusion.is_donor
+        items = tuple(
             (name, component)
             for name, component in self._component_items
-            if not self.fusion.is_donor(name)
-        ]
+            if not is_donor(name)
+        )
+        self._active_cache = (mark, items, dict(items))
+        return items, self._active_cache[2]
+
+    def _active_components(self):
+        """Compatibility wrapper: the non-donor ``(name, component)`` list."""
+        return self._active()[0]
 
     def _train_all(self, outcome: LoadOutcome) -> None:
         self.stats.train_events += 1
-        for _, component in self._active_components():
+        active, _ = self._active()
+        for _, component in active:
             component.train(outcome)
             self.stats.train_operations += 1
 
@@ -363,13 +385,7 @@ class CompositePredictor:
         break the stored stride anyway.
         """
         self.stats.train_events += 1
-        # Without fusion the active set IS the component dict; skip the
-        # per-load dict rebuild.
-        active = (
-            self.components
-            if self.fusion is None
-            else dict(self._active_components())
-        )
+        _, active = self._active()
         if not decision.confident:
             for component in active.values():
                 component.train(outcome)
@@ -398,12 +414,19 @@ class CompositePredictor:
 
     def tick_instructions(self, count: int = 1) -> None:
         """Advance the instruction clock; fires epoch boundaries."""
-        self._instructions_in_epoch += count
-        while self._instructions_in_epoch >= self.config.epoch_instructions:
-            self._instructions_in_epoch -= self.config.epoch_instructions
+        total = self._instructions_in_epoch + count
+        epoch = self.config.epoch_instructions
+        if total < epoch:
+            # The common case -- once per instruction in the simulator
+            # loop -- touches no other attributes.
+            self._instructions_in_epoch = total
+            return
+        while total >= epoch:
+            total -= epoch
             self.monitor.end_epoch()
             if self.fusion is not None:
                 self.fusion.end_epoch()
+        self._instructions_in_epoch = total
 
     # ------------------------------------------------------------------
     # Accounting

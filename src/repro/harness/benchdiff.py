@@ -24,6 +24,7 @@ Usable as a library (:func:`make_payload` / :func:`diff_payloads` /
 from __future__ import annotations
 
 import json
+import os
 import platform
 import statistics
 import sys
@@ -48,11 +49,17 @@ _SUITE_TITLES = {
 # ----------------------------------------------------------------------
 
 def environment_fingerprint() -> dict:
-    """The environment facts recorded with every benchmark payload."""
+    """The environment facts recorded with every benchmark payload.
+
+    ``cpus`` makes concurrency-scaling lanes interpretable (a sharded
+    tier cannot scale past the core count) and flags apples-to-oranges
+    diffs between differently-sized machines.
+    """
     return {
         "python": sys.version.split()[0],
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
+        "cpus": os.cpu_count(),
     }
 
 

@@ -51,8 +51,11 @@ class FunctionalResult:
 
     @property
     def accuracy(self) -> float:
+        # A predictor that never predicts has demonstrated no accuracy;
+        # reporting 1.0 here made never-predicting configs look perfect
+        # in sweeps and reports.
         if not self.predicted_loads:
-            return 1.0
+            return 0.0
         return self.correct_predictions / self.predicted_loads
 
     @property
@@ -67,8 +70,35 @@ def run_functional(
     trace: Trace,
     predictor: ValuePredictorHost,
     tick_epochs: bool = True,
+    backend: str = "auto",
 ) -> FunctionalResult:
-    """Evaluate ``predictor`` over ``trace`` in program order."""
+    """Evaluate ``predictor`` over ``trace`` in program order.
+
+    ``backend`` selects the execution strategy:
+
+    - ``"object"``: the per-instruction object interpreter below -- the
+      bit-exact oracle.
+    - ``"vector"``: the columnar batch backend
+      (:mod:`repro.harness.functional_vec`); raises ``ValueError`` if
+      the trace/predictor combination is unsupported.
+    - ``"auto"``: the vector backend when supported, else the object
+      path.  Both produce identical :class:`FunctionalResult`\\ s and
+      identical final predictor state.
+    """
+    if backend not in ("auto", "object", "vector"):
+        raise ValueError(f"unknown functional backend: {backend!r}")
+    if backend != "object":
+        from repro.harness import functional_vec
+
+        if functional_vec.vector_unsupported_reason(trace, predictor) is None:
+            return functional_vec.run_functional_vec(
+                trace, predictor, tick_epochs=tick_epochs
+            )
+        if backend == "vector":
+            raise ValueError(
+                "vector backend unsupported here: "
+                f"{functional_vec.vector_unsupported_reason(trace, predictor)}"
+            )
     histories = HistorySet()
     bind = getattr(predictor, "bind_history", None)
     if bind is not None:

@@ -212,12 +212,28 @@ def run_benchmarks(
         CoreModel(predictor=predictor).run(trace)
     benchmarks["composite_sim"] = _median_ns(composite_sim, repeats)
 
+    # The object lane is pinned to backend="object": it is the oracle
+    # baseline the vectorized lane is measured against (run_functional's
+    # default "auto" would otherwise route both to the vector backend).
     note("functional_composite")
     def functional_composite() -> None:
         predictor = CompositePredictor(CompositeConfig().homogeneous(256))
-        run_functional(trace, predictor)
+        run_functional(trace, predictor, backend="object")
     benchmarks["functional_composite"] = _median_ns(
         functional_composite, repeats
+    )
+
+    note("functional_composite_vec")
+    def functional_composite_vec() -> None:
+        predictor = CompositePredictor(CompositeConfig().homogeneous(256))
+        run_functional(trace, predictor, backend="vector")
+    benchmarks["functional_composite_vec"] = _median_ns(
+        functional_composite_vec, repeats
+    )
+    benchmarks["functional_composite_vec"]["speedup_vs_object"] = round(
+        benchmarks["functional_composite"]["median_ns"]
+        / benchmarks["functional_composite_vec"]["median_ns"],
+        3,
     )
 
     note("eves32_sim")

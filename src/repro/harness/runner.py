@@ -36,6 +36,9 @@ from repro.workloads.generator import (
 #: Dotted reference to :func:`run_speedup_cell`, for building cells.
 SPEEDUP_CELL_FN = "repro.harness.runner:run_speedup_cell"
 
+#: Dotted reference to :func:`run_functional_cell`, for building cells.
+FUNCTIONAL_CELL_FN = "repro.harness.runner:run_functional_cell"
+
 
 def workload_trace(name: str, length: int, seed: int = 0) -> Trace:
     """The trace for a named workload (memoized by the generator)."""
@@ -213,6 +216,62 @@ def run_speedup_cell(spec: dict) -> dict:
     }
 
 
+def run_functional_cell(spec: dict) -> dict:
+    """Execute one (workload, predictor-config) *functional* sweep cell.
+
+    Like :func:`run_speedup_cell` but without the timing model: the
+    cell measures coverage/accuracy/overlap via
+    :func:`repro.harness.functional.run_functional`.  ``spec`` carries
+    ``workload``, ``length``, ``seed``, a ``predictor`` spec, and an
+    optional ``backend`` (``"auto"`` -- the default -- routes supported
+    assemblies through the vectorized columnar backend; ``"object"`` /
+    ``"vector"`` force a path).  Results are backend-independent: the
+    vector backend is bit-exact against the object oracle.
+    """
+    from repro.harness.functional import run_functional
+
+    predictor = build_predictor(spec["predictor"])
+    if predictor is None:
+        raise ValueError(
+            "functional cells need a predictor spec (kind != 'none')"
+        )
+    trace = workload_trace(
+        spec["workload"], spec["length"], spec.get("seed", 0)
+    )
+    result = run_functional(
+        trace, predictor, backend=spec.get("backend", "auto")
+    )
+    return {
+        "loads": result.loads,
+        "predicted_loads": result.predicted_loads,
+        "correct_predictions": result.correct_predictions,
+        "coverage": result.coverage,
+        "accuracy": result.accuracy,
+        "multi_confident_loads": result.multi_confident_loads,
+        "disagreements": result.disagreements,
+    }
+
+
+def functional_cell(
+    cell_id: str,
+    workload: str,
+    length: int,
+    predictor: dict,
+    seed: int = 0,
+    backend: str = "auto",
+) -> "resilient.Cell":
+    """Build the :class:`repro.harness.resilient.Cell` for one
+    functional run."""
+    return resilient.Cell(
+        id=cell_id,
+        fn=FUNCTIONAL_CELL_FN,
+        spec={
+            "workload": workload, "length": length, "seed": seed,
+            "predictor": predictor, "backend": backend,
+        },
+    )
+
+
 def _prewarm_speedup_cells(specs: list) -> None:
     """Publish every pending cell's trace to the on-disk store once.
 
@@ -237,6 +296,7 @@ def _prewarm_speedup_cells(specs: list) -> None:
 
 
 resilient.register_prewarm(SPEEDUP_CELL_FN, _prewarm_speedup_cells)
+resilient.register_prewarm(FUNCTIONAL_CELL_FN, _prewarm_speedup_cells)
 
 
 def speedup_cell(
@@ -271,10 +331,13 @@ def clear_caches() -> None:
 
 
 __all__ = [
+    "FUNCTIONAL_CELL_FN",
     "SPEEDUP_CELL_FN",
     "baseline_result",
     "build_predictor",
     "clear_caches",
+    "functional_cell",
+    "run_functional_cell",
     "run_predictor",
     "run_speedup_cell",
     "speedup",

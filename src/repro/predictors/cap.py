@@ -53,6 +53,9 @@ class CapPredictor(ComponentPredictor):
         # Incremental-folding fast path (armed by bind_history).
         self._path_slot: int | None = None
         self._min_folded = 0
+        # One-entry hash memo; see _hashes_for.
+        self._hash_memo_key: tuple[int, int] | None = None
+        self._hash_memo: tuple[int, int] = (0, 0)
 
     def bind_history(self, histories) -> None:
         """Register the load-path fold on the live histories."""
@@ -91,8 +94,29 @@ class CapPredictor(ComponentPredictor):
             t = (t & tmask) ^ (t >> _TAG_BITS)
         return v, t
 
+    def _hashes_for(
+        self, pc: int, load_path: int, folded: tuple[int, ...]
+    ) -> tuple[int, int]:
+        """One-entry memo over :meth:`_hash`.
+
+        A load's ``train`` (and ``penalize``) re-hashes with the exact
+        load-path history its ``predict`` saw, so the repeat
+        computations per load reduce to a tuple compare.  The folded
+        register is a pure function of the raw load-path value (the
+        fast path is bit-identical to the reference hashes), so
+        ``(pc, load_path)`` fully keys the result; an interleaved
+        in-flight load simply misses and recomputes.
+        """
+        key = (pc, load_path)
+        if key == self._hash_memo_key:
+            return self._hash_memo
+        hashed = self._hash(pc, load_path, folded)
+        self._hash_memo_key = key
+        self._hash_memo = hashed
+        return hashed
+
     def predict(self, probe: LoadProbe) -> Prediction | None:
-        index, tag = self._hash(
+        index, tag = self._hashes_for(
             probe.pc, probe.load_path_history, probe.folded
         )
         entry = self._table.find(index, tag)
@@ -108,7 +132,7 @@ class CapPredictor(ComponentPredictor):
     def penalize(self, outcome: LoadOutcome) -> None:
         """Reset confidence after a wrong speculative value (the
         address may still match when an in-flight store conflicted)."""
-        index, tag = self._hash(
+        index, tag = self._hashes_for(
             outcome.pc, outcome.load_path_history, outcome.folded
         )
         entry = self._table.find(index, tag)
@@ -116,7 +140,7 @@ class CapPredictor(ComponentPredictor):
             entry.confidence = 0
 
     def train(self, outcome: LoadOutcome) -> None:
-        index, tag = self._hash(
+        index, tag = self._hashes_for(
             outcome.pc, outcome.load_path_history, outcome.folded
         )
         addr = outcome.addr & _ADDR_MASK

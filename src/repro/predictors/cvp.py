@@ -93,6 +93,9 @@ class CvpPredictor(ComponentPredictor):
         self._dir_slots: tuple[int, ...] | None = None
         self._path_slots: tuple[int, ...] = ()
         self._min_folded = 0
+        # One-entry hash memo; see _hashes_for.
+        self._hash_memo_key: tuple[int, int, int] | None = None
+        self._hash_memo: list[tuple[int, int]] = []
 
     def bind_history(self, histories) -> None:
         """Register per-table direction/path folds on the live histories."""
@@ -212,8 +215,30 @@ class CvpPredictor(ComponentPredictor):
             out.append((v, t))
         return out
 
+    def _hashes_for(
+        self, pc: int, direction: int, path: int, folded: tuple[int, ...]
+    ) -> list[tuple[int, int]]:
+        """One-entry memo over :meth:`_all_hashes`.
+
+        A load's ``train`` re-probes with the exact histories its
+        ``predict`` saw (the outcome carries the probe's histories), so
+        the second full hash computation per load is a tuple compare
+        away.  The folded registers are pure functions of the raw
+        history values (the fast path is bit-identical to the
+        reference hashes), so ``(pc, direction, path)`` fully keys the
+        result; an interleaved in-flight load simply misses and
+        recomputes.
+        """
+        key = (pc, direction, path)
+        if key == self._hash_memo_key:
+            return self._hash_memo
+        hashes = self._all_hashes(pc, direction, path, folded)
+        self._hash_memo_key = key
+        self._hash_memo = hashes
+        return hashes
+
     def predict(self, probe: LoadProbe) -> Prediction | None:
-        hashes = self._all_hashes(
+        hashes = self._hashes_for(
             probe.pc, probe.direction_history, probe.path_history,
             probe.folded,
         )
@@ -229,7 +254,7 @@ class CvpPredictor(ComponentPredictor):
 
     def train(self, outcome: LoadOutcome) -> None:
         value = outcome.value & _VALUE_MASK
-        hashes = self._all_hashes(
+        hashes = self._hashes_for(
             outcome.pc, outcome.direction_history, outcome.path_history,
             outcome.folded,
         )

@@ -11,7 +11,10 @@ were additional cache ways" design the paper describes.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Generic, Iterator, Protocol, TypeVar
+
+import numpy as np
 
 from repro.common.bits import bit_length_for
 
@@ -112,3 +115,109 @@ class BankedTable(Generic[E]):
         """Iterate over every entry in every bank."""
         for bank in self._banks:
             yield from bank
+
+
+#: Entry fields holding full-width unsigned payloads (64-bit values,
+#: 49-bit addresses); everything else (tags may be ``INVALID_TAG = -1``,
+#: counters, strides) fits a signed 64-bit column.
+_UNSIGNED_FIELDS = frozenset({"value", "addr", "last_addr"})
+
+
+class FlatTableBackend:
+    """Struct-of-arrays (numpy) mirror of one :class:`BankedTable`.
+
+    The gem5-style flat layout: instead of one Python object per entry,
+    each entry *field* becomes one flat numpy array per bank (``tags``,
+    ``values``, ``confidence`` ... introspected from the entry
+    dataclass).  The vectorized functional backend
+    (:mod:`repro.harness.functional_vec`) runs on this representation;
+    the object table stays the bit-exact oracle and the authoritative
+    copy between runs.
+
+    Life cycle: construct from a live table (snapshot), hand out
+    unboxed per-bank field lists via :meth:`lists` for the sequential
+    residual segments (CPython list indexing is what the interpreter
+    loop can afford; the numpy arrays are the interchange format for
+    the vectorized segments), then :meth:`absorb` the mutated lists and
+    :meth:`flush_to_table` to write every field back into the entry
+    objects -- after which the object table is exactly what a pure
+    object-path run would have produced.
+    """
+
+    def __init__(self, table: BankedTable) -> None:
+        probe = table._entry_factory()
+        if not dataclasses.is_dataclass(probe):
+            raise TypeError(
+                f"flat backend requires dataclass entries, got "
+                f"{type(probe).__name__}"
+            )
+        self.table = table
+        self.fields: tuple[str, ...] = tuple(
+            f.name for f in dataclasses.fields(probe)
+        )
+        self._dtypes = tuple(
+            np.uint64 if name in _UNSIGNED_FIELDS else np.int64
+            for name in self.fields
+        )
+        self.banks: list[tuple[np.ndarray, ...]] = []
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Re-snapshot every bank from the object table (e.g. after
+        fusion attached or flushed banks)."""
+        self.banks = [
+            tuple(
+                np.fromiter(
+                    (getattr(e, name) for e in bank),
+                    dtype=dtype,
+                    count=len(bank),
+                )
+                for name, dtype in zip(self.fields, self._dtypes)
+            )
+            for bank in self.table._banks
+        ]
+        # What the object table currently holds; flush_to_table diffs
+        # against this so only mutated entries pay the setattr cost.
+        self._synced = self.banks
+
+    def lists(self) -> list[tuple[list, ...]]:
+        """Unboxed per-bank working copies, one list per field."""
+        return [
+            tuple(column.tolist() for column in bank) for bank in self.banks
+        ]
+
+    def absorb(self, bank_lists: list[tuple[list, ...]]) -> None:
+        """Repack mutated working lists into the numpy columns."""
+        self.banks = [
+            tuple(
+                np.array(column, dtype=dtype)
+                for column, dtype in zip(bank, self._dtypes)
+            )
+            for bank in bank_lists
+        ]
+
+    def flush_to_table(self) -> None:
+        """Write the flat columns back into the entry objects.
+
+        Only entries whose fields differ from the last synced snapshot
+        are touched -- a residual segment typically mutates a small
+        fraction of the table.
+        """
+        fields = self.fields
+        for bank_arrays, synced, bank in zip(
+            self.banks, self._synced, self.table._banks
+        ):
+            if bank_arrays is synced:
+                continue
+            changed = bank_arrays[0] != synced[0]
+            for new, old in zip(bank_arrays[1:], synced[1:]):
+                changed |= new != old
+            rows = np.nonzero(changed)[0]
+            if not len(rows):
+                continue
+            columns = [column.tolist() for column in bank_arrays]
+            for i in rows.tolist():
+                entry = bank[i]
+                for name, column in zip(fields, columns):
+                    setattr(entry, name, column[i])
+        self._synced = self.banks

@@ -30,10 +30,12 @@ requests and events per second, and the server's own counters.
 from __future__ import annotations
 
 import asyncio
+import math
 import os
 import tempfile
 import time
 from collections import deque
+from fractions import Fraction
 from typing import Callable
 
 from repro.harness.benchdiff import make_payload
@@ -91,11 +93,19 @@ def trace_to_events(trace) -> list[dict]:
 
 
 def percentile_ns(sorted_ns: list[int], fraction: float) -> int:
-    """Nearest-rank percentile of an ascending latency list."""
+    """Nearest-rank percentile of an ascending latency list.
+
+    ``rank = ceil(n * fraction)``, computed exactly: the obvious float
+    ceil misfires at exact boundaries (``0.7 * 10`` is
+    ``7.000000000000001`` in binary floating point, so p70 of 10
+    samples would read rank 8 instead of 7).  Routing the fraction
+    through its decimal literal (``Fraction(str(...))``) keeps the
+    multiply-and-ceil in exact rational arithmetic.
+    """
     if not sorted_ns:
         return 0
-    rank = max(1, -(-len(sorted_ns) * fraction // 1))  # ceil
-    return sorted_ns[min(len(sorted_ns), int(rank)) - 1]
+    rank = math.ceil(len(sorted_ns) * Fraction(str(fraction)))
+    return sorted_ns[min(len(sorted_ns), max(1, rank)) - 1]
 
 
 async def _drive_session(
@@ -509,8 +519,8 @@ def run_benchmark(
         benchmarks,
     )
     # Scaling ratios only mean something relative to the cores the
-    # worker processes could actually spread across.
-    payload["environment"]["cpus"] = os.cpu_count()
+    # worker processes could actually spread across; the shared
+    # environment fingerprint records ``cpus`` for every suite.
     payload["comparison"] = {
         "description": (
             "micro-batching vs one-request-per-tick on the "

@@ -239,6 +239,12 @@ def apply_events(session: "PredictorSession", events) -> dict:
     re-executes *exactly* the request semantics, including the
     partial-failure contract: events before a bad one stay applied and
     the error names the offending index.
+
+    The replay itself is :meth:`PredictorSession.apply_batch`, which
+    inlines the per-event hot path and defers epoch ticks between
+    predictions; any event its inline checks cannot prove well-formed
+    is delegated to :meth:`PredictorSession.apply_event`, the single
+    owner of validation error messages.
     """
     if not isinstance(events, list):
         raise SessionError(
@@ -249,17 +255,7 @@ def apply_events(session: "PredictorSession", events) -> dict:
             f"{len(events)} events in one request exceeds the "
             f"{MAX_EVENTS_PER_REQUEST}-event limit"
         )
-    results = []
-    for index, event in enumerate(events):
-        try:
-            results.append(session.apply_event(event))
-        except SessionError as exc:
-            # Earlier events in the request stay applied; the error
-            # names the offender so the client can tell.
-            raise SessionError(
-                f"event {index}: {exc}", code=exc.code
-            ) from exc
-    return {"results": results}
+    return {"results": session.apply_batch(events)}
 
 
 def train_from_body(session: "PredictorSession", outcome) -> dict:
@@ -529,6 +525,133 @@ class PredictorSession:
         self.histories.push_memory(pc)
         return record
 
+    def apply_batch(self, events: list) -> list:
+        """Replay one ``apply`` body's events (the batch fast path).
+
+        Semantically identical to calling :meth:`apply_event` once per
+        event -- same per-load records, same final predictor, history,
+        memory, and counter state, same partial-failure contract -- with
+        the per-event overhead hoisted out of the hot loop: methods are
+        bound once per batch, field validation is inlined (exact
+        ``type`` tests double as the bool rejections :func:`_field`
+        performs), and the per-event epoch ticks are accumulated and
+        flushed in a single ``tick_instructions`` call right before the
+        next prediction consults the predictor.  Epoch boundaries are
+        only observable at prediction time -- the same deferral the
+        vectorized functional backend relies on -- and each event's own
+        tick lands *after* the event, so a load's flush covers strictly
+        prior instructions.
+
+        Any event the inline checks cannot prove well-formed (including
+        the rare-but-legal ones they are stricter about, e.g. dict
+        subclasses) is handed to :meth:`apply_event` after committing
+        the deferred ticks and counters, so that single method owns
+        both the permissive edge cases and every validation error
+        message; a failure there names the offending index while
+        earlier events stay applied, exactly as the sequential loop
+        behaved.
+        """
+        histories = self.histories
+        push_branch = histories.push_branch
+        push_unconditional = histories.push_unconditional
+        push_memory = histories.push_memory
+        mem_write = self.memory.write
+        predictor = self.predictor
+        predict = predictor.predict
+        tick = predictor.tick_instructions
+        probe = self._probe
+        validate = self._validate
+        sizes = _VALID_SIZES
+        results: list = []
+        append = results.append
+        pending_ticks = 0  # epoch ticks owed but not yet applied
+        applied = 0        # inline events since the last counter commit
+        instructions = 0   # their instruction count
+        for index, event in enumerate(events):
+            if type(event) is dict:
+                kind = event.get("k")
+                if kind == "l":
+                    pc = event.get("pc")
+                    addr = event.get("addr")
+                    size = event.get("size")
+                    value = event.get("value")
+                    if (type(pc) is int and pc >= 0
+                            and type(addr) is int and addr >= 0
+                            and type(size) is int and size in sizes
+                            and type(value) is int):
+                        if event.get("pred", True):
+                            if pending_ticks:
+                                tick(pending_ticks)
+                                pending_ticks = 0
+                            append(validate(
+                                predict(probe(pc)), addr, size, value
+                            ))
+                        else:
+                            append(None)
+                        push_memory(pc)
+                        pending_ticks += 1
+                        applied += 1
+                        instructions += 1
+                        continue
+                elif kind == "b":
+                    pc = event.get("pc")
+                    if type(pc) is int and pc >= 0:
+                        if event.get("cond", True):
+                            push_branch(pc, bool(event.get("taken")))
+                        else:
+                            push_unconditional(pc)
+                        append(None)
+                        pending_ticks += 1
+                        applied += 1
+                        instructions += 1
+                        continue
+                elif kind == "s":
+                    pc = event.get("pc")
+                    addr = event.get("addr")
+                    size = event.get("size")
+                    value = event.get("value")
+                    if (type(pc) is int and pc >= 0
+                            and type(addr) is int and addr >= 0
+                            and type(size) is int and size in sizes
+                            and type(value) is int):
+                        mem_write(addr, size, value)
+                        push_memory(pc)
+                        append(None)
+                        pending_ticks += 1
+                        applied += 1
+                        instructions += 1
+                        continue
+                elif kind == "t":
+                    count = event.get("n")
+                    if type(count) is int and count >= 0:
+                        append(None)
+                        pending_ticks += count
+                        applied += 1
+                        instructions += count
+                        continue
+            # Slow path: bring the session current, then let
+            # apply_event rule on this one event.
+            if pending_ticks:
+                tick(pending_ticks)
+                pending_ticks = 0
+            self.events += applied
+            self.instructions += instructions
+            applied = 0
+            instructions = 0
+            try:
+                append(self.apply_event(event))
+            except SessionError as exc:
+                # Earlier events in the request stay applied; the error
+                # names the offender so the client can tell.
+                raise SessionError(
+                    f"event {index}: {exc}", code=exc.code
+                ) from exc
+        if pending_ticks:
+            tick(pending_ticks)
+        self.events += applied
+        self.instructions += instructions
+        return results
+
     # ------------------------------------------------------------------
     # Shared internals
     # ------------------------------------------------------------------
@@ -614,8 +737,13 @@ class PredictorSession:
 
     @property
     def accuracy(self) -> float:
+        # No predictions made: report 0.0, not a perfect 1.0 -- a
+        # session that never predicted has demonstrated nothing, and a
+        # vacuous 1.0 poisons fleet-level aggregation (it ranks an idle
+        # session above every working one).  Matches
+        # FunctionalResult.accuracy.
         if not self.predicted_loads:
-            return 1.0
+            return 0.0
         return self.correct_predictions / self.predicted_loads
 
     @property

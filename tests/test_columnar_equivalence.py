@@ -6,8 +6,16 @@ are the contract that keeps it honest: for randomized workloads, seeds,
 and predictor assemblies, the full :class:`SimResult` -- every counter,
 the cycle count, and the nested ``extra`` diagnostics -- must be
 *identical* between ``columnar=True`` and ``columnar=False``.
+
+The same contract covers the *functional* path: the vectorized batch
+backend (:mod:`repro.harness.functional_vec`) must produce a
+:class:`FunctionalResult` identical to the object interpreter's, with
+identical final table state, across workloads x seeds x predictor
+specs -- plus the edge traces (no loads, nothing predictable, one
+instruction) that stress the accuracy-of-nothing reporting.
 """
 
+import dataclasses
 from dataclasses import asdict
 
 import pytest
@@ -15,6 +23,10 @@ import pytest
 from repro.composite.composite import CompositePredictor
 from repro.composite.config import CompositeConfig
 from repro.eves.eves import eves_8kb
+from repro.harness.functional import run_functional
+from repro.harness.functional_vec import vector_unsupported_reason
+from repro.isa.instruction import Instruction, OpClass
+from repro.isa.trace import Trace
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import CoreModel, simulate
 from repro.pipeline.vp import EvesAdapter, SingleComponentAdapter
@@ -145,3 +157,226 @@ class TestDispatch:
                 columnar=True,
             )
         assert calls == [256, 512]
+
+
+# ----------------------------------------------------------------------
+# Functional path: vectorized batch backend vs the object oracle
+# ----------------------------------------------------------------------
+
+def functional_both(trace, make_predictor, tick_epochs=True):
+    """Run both functional backends with independently built predictors."""
+    obj_predictor = make_predictor()
+    vec_predictor = make_predictor()
+    obj = run_functional(
+        trace, obj_predictor, tick_epochs, backend="object"
+    )
+    vec = run_functional(
+        trace, vec_predictor, tick_epochs, backend="vector"
+    )
+    return (asdict(obj), obj_predictor), (asdict(vec), vec_predictor)
+
+
+def _table_state(predictor):
+    """Every entry of every table, as plain tuples."""
+    if isinstance(predictor, SingleComponentAdapter):
+        components = [predictor.component]
+    else:
+        components = list(predictor.components.values())
+    return [
+        [dataclasses.astuple(entry) for entry in table.entries()]
+        for component in components
+        for table in component._tables()
+    ]
+
+
+def assert_functional_identical(trace, make_predictor, tick_epochs=True):
+    (obj, obj_p), (vec, vec_p) = functional_both(
+        trace, make_predictor, tick_epochs
+    )
+    diff = {k: (obj[k], vec[k]) for k in obj if obj[k] != vec[k]}
+    assert not diff, f"vector/object divergence on {trace.name}: {diff}"
+    assert _table_state(obj_p) == _table_state(vec_p)
+    assert (getattr(obj_p, "_instructions_in_epoch", None)
+            == getattr(vec_p, "_instructions_in_epoch", None))
+
+
+def _composite(**overrides):
+    config = CompositeConfig(**overrides).homogeneous(128)
+    return lambda: CompositePredictor(config)
+
+
+class TestFunctionalVecEquivalence:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("seed", (0, 5))
+    def test_composite_default(self, workload, seed):
+        trace = generate_trace(workload, 3000, seed)
+        assert_functional_identical(trace, _composite())
+
+    @pytest.mark.parametrize(
+        "monitor", ("none", "m-am", "pc-am", "pc-am-infinite")
+    )
+    def test_accuracy_monitors(self, monitor):
+        trace = generate_trace("mcf", 3000, 1)
+        assert_functional_identical(
+            trace, _composite(accuracy_monitor=monitor)
+        )
+
+    def test_plain_composite(self):
+        trace = generate_trace("astar", 3000, 2)
+        config = CompositeConfig().plain().homogeneous(128)
+        assert_functional_identical(
+            trace, lambda: CompositePredictor(config)
+        )
+
+    def test_smart_training_off(self):
+        trace = generate_trace("coremark", 3000, 3)
+        assert_functional_identical(trace, _composite(smart_training=False))
+
+    def test_fusion_with_tiny_epochs(self):
+        # Epochs short enough that fusion observes, fires, and can
+        # revert inside a 3000-instruction trace; the vec run must
+        # fuse identically, not merely end with equal counters.
+        trace = generate_trace("listing1", 3000, 4)
+        make = _composite(epoch_instructions=97)
+        (obj, obj_p), (vec, vec_p) = functional_both(trace, make)
+        assert obj == vec
+        assert _table_state(obj_p) == _table_state(vec_p)
+        assert (obj_p.fusion.state.fusions_performed
+                == vec_p.fusion.state.fusions_performed)
+        assert vec_p.fusion.state.fusions_performed >= 1
+
+    def test_heterogeneous_sizes(self):
+        trace = generate_trace("mcf", 3000, 6)
+        config = CompositeConfig(
+            lvp_entries=64, sap_entries=256, cvp_entries=512,
+            cap_entries=128, table_fusion=False,
+        )
+        assert_functional_identical(
+            trace, lambda: CompositePredictor(config)
+        )
+
+    def test_confidence_delta(self):
+        trace = generate_trace("astar", 3000, 7)
+        assert_functional_identical(trace, _composite(confidence_delta=1))
+
+    @pytest.mark.parametrize("component", ("lvp", "sap", "cvp", "cap"))
+    def test_single_components(self, component):
+        trace = generate_trace("coremark", 2500, 8)
+        assert_functional_identical(
+            trace,
+            lambda: SingleComponentAdapter(make_component(component, 128)),
+        )
+
+    def test_tick_epochs_false(self):
+        trace = generate_trace("mcf", 3000, 9)
+        assert_functional_identical(trace, _composite(), tick_epochs=False)
+
+
+def _packed(name, instructions):
+    trace = Trace(name=name, instructions=instructions)
+    trace.pack()
+    return trace
+
+
+def _alu(i):
+    return Instruction(pc=4 * (i + 1), op=OpClass.INT_ALU)
+
+
+class TestFunctionalVecEdgeTraces:
+    """Degenerate traces, which also pin the accuracy-of-nothing fix:
+    zero predictions must report accuracy 0.0, never a vacuous 1.0."""
+
+    def _assert_nothing_predicted(self, trace):
+        (obj, _), (vec, _) = functional_both(trace, _composite())
+        assert obj == vec
+        for result in (obj, vec):
+            assert result["predicted_loads"] == 0
+        functional = run_functional(
+            trace,
+            CompositePredictor(CompositeConfig().homogeneous(128)),
+            backend="vector",
+        )
+        assert functional.accuracy == 0.0
+        assert functional.coverage == 0.0
+
+    def test_zero_loads(self):
+        instructions = [_alu(i) for i in range(8)] + [
+            Instruction(pc=64, op=OpClass.BRANCH_COND, taken=True),
+            Instruction(pc=68, op=OpClass.BRANCH_DIRECT),
+        ]
+        trace = _packed("no-loads", instructions)
+        self._assert_nothing_predicted(trace)
+
+    def test_all_unpredictable_loads(self):
+        instructions = [
+            Instruction(
+                pc=4 * (i + 1), op=OpClass.LOAD, dest=1, addr=8 * i,
+                size=8, value=i, no_predict=True,
+            )
+            for i in range(16)
+        ]
+        trace = _packed("unpredictable", instructions)
+        self._assert_nothing_predicted(trace)
+
+    def test_single_instruction(self):
+        self._assert_nothing_predicted(_packed("one-alu", [_alu(0)]))
+
+    def test_single_cold_load(self):
+        # One predictable load: probed, trained, but never confident --
+        # predicted_loads stays 0 and accuracy must read 0.0.
+        trace = _packed("one-load", [
+            Instruction(
+                pc=4, op=OpClass.LOAD, dest=2, addr=16, size=8, value=7
+            ),
+        ])
+        (obj, _), (vec, _) = functional_both(trace, _composite())
+        assert obj == vec
+        assert obj["loads"] == 1
+        self._assert_nothing_predicted(trace)
+
+
+class TestFunctionalBackendDispatch:
+    def test_unknown_backend_rejected(self):
+        trace = generate_trace("astar", 1500, 0)
+        with pytest.raises(ValueError, match="unknown functional backend"):
+            run_functional(
+                trace,
+                CompositePredictor(CompositeConfig().homogeneous(64)),
+                backend="simd",
+            )
+
+    def test_vector_rejects_unsupported_predictor(self):
+        trace = generate_trace("astar", 1500, 0)
+        adapter = EvesAdapter(eves_8kb())
+        assert vector_unsupported_reason(trace, adapter) is not None
+        with pytest.raises(ValueError, match="unsupported predictor type"):
+            run_functional(trace, adapter, backend="vector")
+
+    def test_auto_falls_back_for_unsupported_predictor(self):
+        trace = generate_trace("astar", 1500, 0)
+        auto = run_functional(trace, EvesAdapter(eves_8kb()))
+        obj = run_functional(
+            trace, EvesAdapter(eves_8kb()), backend="object"
+        )
+        assert asdict(auto) == asdict(obj)
+
+    def test_vector_rejects_unpacked_trace(self):
+        packed = generate_trace("astar", 1500, 0)
+        unpacked = Trace(
+            name=packed.name,
+            instructions=list(packed.instructions),
+            seed=packed.seed,
+            initial_memory=packed.initial_memory,
+        )
+        assert unpacked.columns is None
+        with pytest.raises(ValueError, match="no packed columns"):
+            run_functional(
+                unpacked,
+                CompositePredictor(CompositeConfig().homogeneous(64)),
+                backend="vector",
+            )
+
+    def test_supported_composite_reports_no_reason(self):
+        trace = generate_trace("astar", 1500, 0)
+        predictor = CompositePredictor(CompositeConfig().homogeneous(64))
+        assert vector_unsupported_reason(trace, predictor) is None

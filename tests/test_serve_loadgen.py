@@ -64,6 +64,41 @@ class TestPercentiles:
     def test_single_sample(self):
         assert percentile_ns([7], 0.99) == 7
 
+    def test_small_samples_clamp_to_max(self):
+        # p99 of fewer than 100 samples must read the max element --
+        # never index past the end, never collapse toward p95.
+        for n in (1, 2, 5, 50, 99):
+            ordered = list(range(1, n + 1))
+            assert percentile_ns(ordered, 0.99) == n
+
+    def test_exact_boundary_is_not_float_ceiled(self):
+        # Regression: 0.7 * 10 is 7.000000000000001 in binary floating
+        # point, so a float ceil read rank 8 where nearest-rank says 7.
+        assert percentile_ns(list(range(1, 11)), 0.7) == 7
+        assert percentile_ns(list(range(1, 1001)), 0.7) == 700
+
+    def test_property_matches_exact_nearest_rank(self):
+        # Nearest-rank definition, computed in exact rational
+        # arithmetic: rank = ceil(n * p), clamped to [1, n].
+        import math
+        from fractions import Fraction
+
+        for n in (1, 3, 7, 10, 99, 100, 101, 250):
+            ordered = list(range(1, n + 1))
+            for percent in range(0, 101):
+                fraction = percent / 100
+                rank = math.ceil(n * Fraction(percent, 100))
+                expected = ordered[min(n, max(1, rank)) - 1]
+                assert percentile_ns(ordered, fraction) == expected, (
+                    n, percent
+                )
+
+    def test_monotonic_in_fraction(self):
+        ordered = sorted([3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5])
+        values = [percentile_ns(ordered, p / 100) for p in range(101)]
+        assert values == sorted(values)
+        assert values[-1] == ordered[-1]
+
 
 class TestTotalFailures:
     def test_sums_failures_across_lanes(self):

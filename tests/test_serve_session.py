@@ -193,6 +193,84 @@ class TestApplyEvent:
         assert snap["estimated_bytes"] > 0
         assert 0.0 <= snap["accuracy"] <= 1.0
 
+    def test_accuracy_without_predictions_is_zero(self):
+        # A session that never predicted has demonstrated nothing; a
+        # vacuous 1.0 would rank idle sessions above working ones.
+        session = PredictorSession(spec_from_name("lvp", 64))
+        assert session.accuracy == 0.0
+        assert session.snapshot()["accuracy"] == 0.0
+
+
+class TestApplyBatch:
+    """The apply fast path must be indistinguishable from per-event
+    :meth:`PredictorSession.apply_event` calls."""
+
+    def _events(self, length=2000):
+        from repro.serve.loadgen import trace_to_events
+        from repro.workloads.generator import generate_trace
+
+        return trace_to_events(generate_trace("coremark", length))
+
+    def _replay(self, spec, events, batched, chunk=256):
+        from repro.serve.session import apply_events
+
+        session = PredictorSession(spec)
+        results = []
+        for start in range(0, len(events), chunk):
+            piece = events[start:start + chunk]
+            if batched:
+                results.extend(apply_events(session, piece)["results"])
+            else:
+                results.extend(
+                    session.apply_event(event) for event in piece
+                )
+        return session, results
+
+    @pytest.mark.parametrize("spec", [
+        {"kind": "composite", "entries": 64},
+        # Tiny epochs: the batch path defers per-event ticks, so epoch
+        # boundaries (monitor/fusion) must still land identically.
+        {"kind": "composite", "entries": 64,
+         "config": {"epoch_instructions": 97}},
+        {"kind": "component", "name": "sap", "entries": 64},
+        None,
+    ])
+    def test_batch_matches_per_event_replay(self, spec):
+        events = self._events()
+        batched, batched_results = self._replay(spec, events, True)
+        sequential, sequential_results = self._replay(spec, events, False)
+        assert batched_results == sequential_results
+        assert batched.snapshot() == sequential.snapshot()
+        assert (batched.histories.folded_values()
+                == sequential.histories.folded_values())
+
+    def test_malformed_event_mid_batch_keeps_prefix_applied(self):
+        from repro.serve.session import apply_events
+
+        session = PredictorSession(spec_from_name("lvp", 64))
+        with pytest.raises(SessionError, match="event 2: .*'n'"):
+            apply_events(session, [
+                {"k": "b", "pc": 4, "taken": True},
+                {"k": "t", "n": 10},
+                {"k": "t", "n": True},
+                {"k": "b", "pc": 8},
+            ])
+        # The branch and the first tick stayed applied; the offender
+        # was counted as an event but contributed no instructions.
+        assert session.events == 3
+        assert session.instructions == 11
+
+    def test_dict_subclass_events_still_accepted(self):
+        from repro.serve.session import apply_events
+
+        class EventDict(dict):
+            pass
+
+        session = PredictorSession(None)
+        out = apply_events(session, [EventDict({"k": "t", "n": 3})])
+        assert out == {"results": [None]}
+        assert session.instructions == 3
+
 
 class TestSessionManager:
     def test_open_get_close_lifecycle(self):
