@@ -1,0 +1,41 @@
+"""Table VI via successive halving: the search must agree with the
+exhaustive sweep's structure while evaluating strictly fewer cells.
+
+The `repro-lvp explore` driver halves the Table VI grid instead of
+running every (point, workload, seed) cell; this benchmark asserts the
+search preserves the paper's Table VI ordering — all four components
+in every per-budget winner, absolute speedup rising with the budget,
+speedup/KB rising as budgets shrink — at a fraction of the full-grid
+cost.  With ``REPRO_RESULTS_DB_DIR`` set, a prior ``table6`` run makes
+this search nearly free (shared cell fingerprints).
+"""
+
+from conftest import run_once
+
+from repro.harness.explore import run_explore
+from repro.harness.presets import EXPLORE_GRIDS
+
+
+def test_explore_table6_ordering(benchmark, record_result, scale):
+    result = run_once(
+        benchmark, run_explore, EXPLORE_GRIDS["table6"], scale
+    )
+    record_result("explore_table6", result)
+
+    assert result["evaluated_cells"] < result["full_grid_cells"]
+
+    winners = []
+    for group in ("t256", "t512", "t1024"):
+        top = result["groups"][group]["ranking"][0]
+        # The paper's first finding survives the search: every winning
+        # allocation keeps all four components.
+        assert all(x > 0 for x in top["allocation"])
+        winners.append(top)
+
+    # Bigger budgets buy more speedup...
+    speedups = [w["speedup"] for w in winners]
+    assert speedups[0] <= speedups[-1]
+    # ...but smaller budgets win on speedup per KB (paper: the
+    # 256-entry budget was the best speedup/KB).
+    per_kib = [w["speedup"] / w["storage_kib"] for w in winners]
+    assert per_kib[0] >= per_kib[-1]

@@ -6,7 +6,11 @@ Examples::
     repro-lvp run fig5                  # regenerate Figure 5 (quick)
     repro-lvp run table6 --scale smoke  # smaller/faster
     repro-lvp run fig12 --json out.json # machine-readable results
+    repro-lvp explore --grid table6 -o ranked.json
+                                        # successive-halving design-
+                                        #   space search (Table VI)
     repro-lvp cache --stats             # on-disk trace store contents
+    repro-lvp cache --stats --which all # ... plus the results database
     repro-lvp serve --port 7341         # online prediction service
     repro-lvp serve --data-dir ./state  # ... with durable sessions
     repro-lvp serve --shards 4 --data-dir ./state
@@ -41,7 +45,13 @@ import time
 from repro.harness import experiments as exp
 from repro.harness import resilient
 from repro.harness.journal import JournalError, atomic_write_json
-from repro.harness.presets import FULL, QUICK, SMOKE, ExperimentScale
+from repro.harness.presets import (
+    EXPLORE_GRIDS,
+    FULL,
+    QUICK,
+    SMOKE,
+    ExperimentScale,
+)
 from repro.workloads.generator import SPECIAL_WORKLOADS
 from repro.workloads.profiles import ALL_WORKLOADS
 
@@ -429,23 +439,85 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the full report dict as JSON (atomically)",
     )
 
+    explore = sub.add_parser(
+        "explore",
+        help="successive-halving search over a named design-space grid "
+             "(heterogeneous allocations, fusion, accuracy monitors)",
+    )
+    explore.add_argument(
+        "--grid", default="table6", metavar="NAME",
+        help="design-space grid to search (default: table6; "
+             "see 'repro-lvp list')",
+    )
+    explore.add_argument(
+        "--scale", default="quick", metavar="NAME",
+        help="experiment size (default: quick)",
+    )
+    explore.add_argument(
+        "--metric", default="speedup", metavar="NAME",
+        help="ranking metric (default: speedup; valid metrics depend "
+             "on --mode)",
+    )
+    explore.add_argument(
+        "--mode", default="timing", metavar="NAME",
+        help="evaluation mode: timing (cycle model) or functional "
+             "(default: timing)",
+    )
+    explore.add_argument(
+        "--eta", type=float, default=2.0, metavar="F",
+        help="halving factor: keep 1/eta of each budget group per rung "
+             "(default: 2.0)",
+    )
+    explore.add_argument(
+        "--rungs", type=int, default=None, metavar="N",
+        help="override the natural rung count (default: derived from "
+             "grid and scale)",
+    )
+    explore.add_argument(
+        "-o", "--output", metavar="PATH",
+        help="also write the ranked report as JSON (written atomically)",
+    )
+    explore.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="per-cell wall-clock timeout (cooperative when --workers 0)",
+    )
+    explore.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run cells in N worker subprocesses; 0 = in-process "
+             "(default)",
+    )
+    explore.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per cell on transient failures (default: 2)",
+    )
+
     cache = sub.add_parser(
         "cache",
-        help="inspect or clear the on-disk trace store "
-             "(REPRO_TRACE_CACHE_DIR)",
+        help="inspect or clear the on-disk caches: the trace store "
+             "(REPRO_TRACE_CACHE_DIR) and the results database "
+             "(REPRO_RESULTS_DB_DIR)",
     )
     cache_action = cache.add_mutually_exclusive_group(required=True)
     cache_action.add_argument(
         "--stats", action="store_true",
-        help="print store location, entry count, and sizes as JSON",
+        help="print location, entry count, and sizes as JSON",
     )
     cache_action.add_argument(
         "--clear", action="store_true",
-        help="delete every store entry (and stale temp files)",
+        help="delete every entry (and stale temp files)",
+    )
+    cache.add_argument(
+        "--which", default="trace", metavar="NAME",
+        help="which cache: trace (default), results, or all",
     )
     cache.add_argument(
         "--dir", metavar="PATH", dest="cache_dir",
-        help="store directory (default: $REPRO_TRACE_CACHE_DIR)",
+        help="trace store directory (default: $REPRO_TRACE_CACHE_DIR)",
+    )
+    cache.add_argument(
+        "--results-dir", metavar="PATH", dest="results_dir",
+        help="results database directory "
+             "(default: $REPRO_RESULTS_DB_DIR)",
     )
 
     report = sub.add_parser(
@@ -494,12 +566,16 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "list":
         print("experiments:", ", ".join(sorted(_EXPERIMENTS)))
+        print("explore grids:", ", ".join(sorted(EXPLORE_GRIDS)))
         print(f"workloads ({len(ALL_WORKLOADS)}):", ", ".join(ALL_WORKLOADS))
         print(
             f"special workloads ({len(SPECIAL_WORKLOADS)}):",
             ", ".join(SPECIAL_WORKLOADS),
         )
         return 0
+
+    if args.command == "explore":
+        return _explore_command(args)
 
     if args.command == "simulate":
         return _simulate_command(args)
@@ -536,6 +612,23 @@ def main(argv: list[str] | None = None) -> int:
     return _run_command(args)
 
 
+def _print_db_summary() -> None:
+    """One stderr line on results-database effectiveness, if it ran.
+
+    Stderr only: stdout payloads must stay byte-identical between a
+    clean run and a ``--resume`` (whose journal replay skips database
+    lookups and would shift the counters).
+    """
+    totals = resilient.db_usage_totals()
+    if totals.lookups:
+        print(
+            f"# results-db: {totals.hits}/{totals.lookups} cells from "
+            f"cache ({totals.hit_rate:.0%}), {totals.computed} computed, "
+            f"{totals.stored} stored",
+            file=sys.stderr,
+        )
+
+
 def _run_command(args) -> int:
     """The ``run`` subcommand: one experiment under a resilience policy."""
     if args.resume and not args.journal:
@@ -566,6 +659,7 @@ def _run_command(args) -> int:
 
     print(json.dumps(result, indent=2, default=str))
     print(f"# {args.experiment} finished in {elapsed:.1f}s", file=sys.stderr)
+    _print_db_summary()
     if args.json:
         atomic_write_json(args.json, result)
 
@@ -574,6 +668,76 @@ def _run_command(args) -> int:
         print(
             f"# {failures['failed_cells']}/{failures['total_cells']} sweep "
             "cells failed; partial results above (see 'failures')",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL_FAILURE
+    return 0
+
+
+def _explore_command(args) -> int:
+    """The ``explore`` subcommand: successive-halving grid search."""
+    from repro.harness.explore import METRICS, MODES, run_explore
+
+    if args.grid not in EXPLORE_GRIDS:
+        return _fail(
+            f"unknown grid {args.grid!r}; valid grids: "
+            + ", ".join(sorted(EXPLORE_GRIDS))
+        )
+    if args.scale not in _SCALES:
+        return _fail(
+            f"unknown scale {args.scale!r}; valid scales: "
+            + ", ".join(sorted(_SCALES))
+        )
+    if args.mode not in MODES:
+        return _fail(
+            f"unknown mode {args.mode!r}; valid modes: " + ", ".join(MODES)
+        )
+    if args.metric not in METRICS[args.mode]:
+        return _fail(
+            f"unknown metric {args.metric!r} for mode {args.mode!r}; "
+            "valid metrics: " + ", ".join(METRICS[args.mode])
+        )
+    if args.eta <= 1.0:
+        return _fail(f"--eta must be > 1.0, got {args.eta}")
+    if args.rungs is not None and args.rungs < 1:
+        return _fail(f"--rungs must be >= 1, got {args.rungs}")
+
+    policy = resilient.ExecutionPolicy(
+        workers=max(0, args.workers),
+        timeout=args.timeout,
+        retry=resilient.RetryPolicy(max_retries=max(0, args.max_retries)),
+    )
+    started = time.time()
+    try:
+        with resilient.use_policy(policy):
+            result = run_explore(
+                EXPLORE_GRIDS[args.grid], _SCALES[args.scale],
+                metric=args.metric, mode=args.mode, eta=args.eta,
+                rungs=args.rungs,
+            )
+    except ValueError as exc:
+        return _fail(str(exc))
+    except KeyboardInterrupt:
+        return 130
+    elapsed = time.time() - started
+
+    print(json.dumps(result, indent=2, default=str))
+    print(
+        f"# explore {args.grid} finished in {elapsed:.1f}s; evaluated "
+        f"{result['evaluated_cells']} of {result['full_grid_cells']} "
+        "full-grid cells",
+        file=sys.stderr,
+    )
+    _print_db_summary()
+    if args.output:
+        atomic_write_json(args.output, result)
+        print(f"# wrote {args.output}", file=sys.stderr)
+
+    failures = result.get("failures")
+    if failures:
+        print(
+            f"# {failures['failed_cells']} sweep cell(s) failed "
+            "terminally; partial ranking above (see 'failures')",
             file=sys.stderr,
         )
         return EXIT_PARTIAL_FAILURE
@@ -1051,31 +1215,80 @@ def _loadgen_command(args) -> int:
     return 0
 
 
+_CACHE_KINDS = ("trace", "results", "all")
+
+
 def _cache_command(args) -> int:
-    """The ``cache`` subcommand: inspect or clear the trace store."""
+    """The ``cache`` subcommand: inspect or clear the on-disk caches.
+
+    ``--which trace`` (the default) keeps the historical single-store
+    output shape; ``--which results`` targets the results database;
+    ``--which all`` reports both under named keys (either may be null
+    when unconfigured, but at least one must be configured).
+    """
     import os
     from pathlib import Path
 
+    from repro.harness import resultsdb
     from repro.workloads import store as trace_store
 
-    root = args.cache_dir or os.environ.get(trace_store.ENV_VAR)
-    if not root:
+    if args.which not in _CACHE_KINDS:
+        return _fail(
+            f"unknown cache {args.which!r}; valid caches: "
+            + ", ".join(_CACHE_KINDS)
+        )
+    trace_root = args.cache_dir or os.environ.get(trace_store.ENV_VAR)
+    results_root = args.results_dir or os.environ.get(resultsdb.ENV_VAR)
+    if args.which == "trace" and not trace_root:
         return _fail(
             "no trace store configured: set "
             f"{trace_store.ENV_VAR} or pass --dir PATH"
         )
-    path = Path(root)
-    if path.exists() and not path.is_dir():
-        return _fail(f"trace store path is not a directory: {path}")
-    store = trace_store.TraceStore(path)
+    if args.which == "results" and not results_root:
+        return _fail(
+            "no results database configured: set "
+            f"{resultsdb.ENV_VAR} or pass --results-dir PATH"
+        )
+    if args.which == "all" and not trace_root and not results_root:
+        return _fail(
+            f"no caches configured: set {trace_store.ENV_VAR} and/or "
+            f"{resultsdb.ENV_VAR} (or pass --dir/--results-dir)"
+        )
+    for label, root in (("trace store", trace_root),
+                        ("results database", results_root)):
+        if root and Path(root).exists() and not Path(root).is_dir():
+            return _fail(f"{label} path is not a directory: {root}")
+
+    def trace_stats() -> dict:
+        stats = trace_store.TraceStore(Path(trace_root)).scan()
+        # A standalone handle has no hit/miss history to report.
+        del stats["process_stats"]
+        return stats
+
+    def results_stats() -> dict:
+        return resultsdb.ResultsDb(Path(results_root)).scan()
+
     if args.clear:
-        removed = store.clear()
-        print(f"removed {removed} file(s) from {path}")
+        lines = []
+        if args.which in ("trace", "all") and trace_root:
+            removed = trace_store.TraceStore(Path(trace_root)).clear()
+            lines.append(f"removed {removed} file(s) from {trace_root}")
+        if args.which in ("results", "all") and results_root:
+            removed = resultsdb.ResultsDb(Path(results_root)).clear()
+            lines.append(f"removed {removed} file(s) from {results_root}")
+        print("\n".join(lines))
         return 0
-    stats = store.scan()
-    # A standalone handle has no hit/miss history to report.
-    del stats["process_stats"]
-    print(json.dumps(stats, indent=2))
+
+    if args.which == "trace":
+        payload: dict = trace_stats()
+    elif args.which == "results":
+        payload = results_stats()
+    else:
+        payload = {
+            "trace_store": trace_stats() if trace_root else None,
+            "results_db": results_stats() if results_root else None,
+        }
+    print(json.dumps(payload, indent=2))
     return 0
 
 

@@ -55,6 +55,36 @@ def paper_config(total_entries: int, base: CompositeConfig | None = None) -> Com
     return config
 
 
+def table6_candidates(
+    total_entries: int, extra_candidates: int = 4
+) -> list[tuple[int, int, int, int]]:
+    """The curated Table VI candidate allocations for one budget.
+
+    Always includes the homogeneous split and, where the paper lists
+    one, the Table VI winning allocation, plus up to
+    ``extra_candidates`` skewed alternatives around the quarter split.
+    This is the shared candidate list behind both the Table VI
+    experiment and the ``table6`` explore grid, so their cells
+    fingerprint identically in the results database.  (The paper's
+    exhaustive 0..1K sweep is :func:`candidate_allocations`; it is
+    hours of pure-Python time.)
+    """
+    candidates = {(total_entries // 4,) * 4}
+    if total_entries in TABLE_VI_CONFIGS:
+        candidates.add(TABLE_VI_CONFIGS[total_entries])
+    quarter = total_entries // 4
+    alternates = [
+        (quarter // 2, quarter * 2, quarter, quarter // 2),
+        (quarter // 2, quarter, quarter * 2, quarter // 2),
+        (quarter * 2, quarter, quarter // 2, quarter // 2),
+        (quarter // 2, quarter // 2, quarter * 2, quarter),
+    ]
+    for alt in alternates[:extra_candidates]:
+        if all(x > 0 for x in alt) and sum(alt) == total_entries:
+            candidates.add(alt)
+    return sorted(candidates)
+
+
 def candidate_allocations(
     total_entries: int,
     sizes: tuple[int, ...] = (0, 32, 64, 128, 256, 512, 1024),

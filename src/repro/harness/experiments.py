@@ -24,9 +24,9 @@ from repro.classify.oracle import LoadPattern, classify_trace
 from repro.composite.composite import CompositePredictor
 from repro.composite.config import CompositeConfig
 from repro.composite.heterogeneous import (
-    TABLE_VI_CONFIGS,
     paper_config,
     storage_kib,
+    table6_candidates,
 )
 from repro.harness import resilient
 from repro.harness.functional import run_functional
@@ -213,20 +213,7 @@ def table6_heterogeneous(
     candidates_by_total: dict[int, list[tuple[int, ...]]] = {}
     cells = []
     for total in totals:
-        candidates = {(total // 4,) * 4}
-        if total in TABLE_VI_CONFIGS:
-            candidates.add(TABLE_VI_CONFIGS[total])
-        quarter = total // 4
-        alternates = [
-            (quarter // 2, quarter * 2, quarter, quarter // 2),
-            (quarter // 2, quarter, quarter * 2, quarter // 2),
-            (quarter * 2, quarter, quarter // 2, quarter // 2),
-            (quarter // 2, quarter // 2, quarter * 2, quarter),
-        ]
-        for alt in alternates[:extra_candidates]:
-            if all(x > 0 for x in alt) and sum(alt) == total:
-                candidates.add(alt)
-        candidates_by_total[total] = sorted(candidates)
+        candidates_by_total[total] = table6_candidates(total, extra_candidates)
         for allocation in candidates_by_total[total]:
             lvp, sap, cvp, cap = allocation
             config = replace(

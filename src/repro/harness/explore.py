@@ -1,0 +1,230 @@
+"""Successive-halving design-space search (``repro-lvp explore``).
+
+The paper's Optimizations results (Table VI, Figure 9) come from
+sweeping heterogeneous table allocations, component fusion, and
+accuracy-monitor variants over all 85 workloads.  Evaluating every
+design point on every (workload, seed) run is quadratically wasteful:
+most points are clearly bad after a handful of workloads.  This driver
+runs **successive halving** instead:
+
+* rung 0 evaluates every point of the grid on a small prefix of the
+  scale's (workload, seed) runs;
+* each following rung keeps the top ``1/eta`` of each budget group
+  (points compete within their total-entry budget, as in Table VI) and
+  evaluates the survivors on ``eta``x more runs, up to the full scale
+  on the last rung.
+
+Cells are ordinary resilient-harness sweep cells executed under the
+ambient :class:`repro.harness.resilient.ExecutionPolicy` (so
+``--workers`` pools and the fingerprint-keyed results database apply),
+and a (point, workload, seed) evaluation is computed at most once per
+search even when a survivor re-scores on a superset of runs.  The
+result is a ranked report per budget group plus the evaluated-cell
+count against the full-grid cost it avoided.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.composite.heterogeneous import storage_kib
+from repro.harness import resilient
+from repro.harness.presets import DesignPoint, ExperimentScale, ExploreGrid
+from repro.harness.runner import functional_cell, speedup_cell
+
+#: Metrics explore can rank by, per evaluation mode.
+METRICS = {
+    "timing": ("speedup", "coverage", "accuracy", "ipc"),
+    "functional": ("coverage", "accuracy"),
+}
+
+#: Evaluation modes (which cell function runs each point).
+MODES = tuple(METRICS)
+
+
+def default_rungs(points: int, runs: int, eta: float) -> int:
+    """The natural rung count for a grid: halve until one point or
+    the full run set is reached, whichever bound is tighter."""
+    if points <= 1 or runs <= 1:
+        return 1
+    by_points = int(math.floor(math.log(points, eta))) + 1
+    by_runs = int(math.floor(math.log(runs, eta))) + 1
+    return max(1, min(by_points, by_runs))
+
+
+def _cell_id(grid: ExploreGrid, rung: int, label: str, workload: str,
+             seed: int) -> str:
+    return f"explore/{grid.name}/r{rung}/{label}/{workload}/s{seed}"
+
+
+def _build_cell(mode: str, cell_id: str, point: DesignPoint,
+                scale: ExperimentScale, workload: str, seed: int):
+    spec = {"kind": "composite", "config": point.config(scale)}
+    if mode == "timing":
+        return speedup_cell(cell_id, workload, scale.trace_length, spec, seed)
+    return functional_cell(cell_id, workload, scale.trace_length, spec, seed)
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else float("-inf")
+
+
+def run_explore(
+    grid: ExploreGrid,
+    scale: ExperimentScale,
+    metric: str = "speedup",
+    mode: str = "timing",
+    eta: float = 2.0,
+    rungs: int | None = None,
+) -> dict:
+    """Search ``grid`` at ``scale`` and return the ranked report.
+
+    ``metric`` must be valid for ``mode`` (see :data:`METRICS`);
+    ``eta`` is the halving factor (keep ``1/eta`` of each budget group
+    per rung, evaluate survivors on ``eta``x more runs); ``rungs``
+    overrides the natural schedule from :func:`default_rungs`.
+
+    Never raises for cell-level failures: a point whose every cell
+    failed scores ``-inf`` (and is eliminated first), and the report
+    carries a ``failures`` summary -- the CLI maps it to exit 3, the
+    resilient partial-failure contract.  Invalid ``metric``/``mode``/
+    ``eta``/``rungs`` raise :class:`ValueError` (CLI exit 2).
+    """
+    if mode not in MODES:
+        raise ValueError(
+            f"unknown explore mode {mode!r}; valid modes: {', '.join(MODES)}"
+        )
+    if metric not in METRICS[mode]:
+        raise ValueError(
+            f"unknown metric {metric!r} for mode {mode!r}; valid metrics: "
+            f"{', '.join(METRICS[mode])}"
+        )
+    if eta <= 1.0:
+        raise ValueError(f"eta must be > 1.0, got {eta}")
+    runs = list(scale.runs())
+    groups = grid.groups()
+    widest = max(len(points) for points in groups.values())
+    total_rungs = rungs if rungs is not None else default_rungs(
+        widest, len(runs), eta
+    )
+    if total_rungs < 1:
+        raise ValueError(f"rungs must be >= 1, got {total_rungs}")
+
+    points_by_label = {p.label: p for p in grid.points}
+    survivors = {group: [p.label for p in points] for group, points in groups.items()}
+    values: dict[tuple[str, str, int], Any] = {}  # (label, wl, seed) -> cell value
+    failures: list[dict] = []
+    usage = resilient.DbUsage()
+    db_active = False
+    evaluated = 0
+    schedule = []
+    last_scores: dict[str, float] = {}
+    eliminated_at: dict[str, int] = {}
+    scored_runs: dict[str, int] = {}
+
+    for rung in range(total_rungs):
+        # Runs grow by eta each rung, reaching the full scale last.
+        remaining = total_rungs - 1 - rung
+        count = max(1, math.ceil(len(runs) / eta**remaining))
+        rung_runs = runs[:count]
+
+        cells = []
+        cell_keys = []  # (label, workload, seed), aligned with ``cells``
+        for group, labels in survivors.items():
+            for label in labels:
+                for workload, seed in rung_runs:
+                    if (label, workload, seed) in values:
+                        continue
+                    cells.append(_build_cell(
+                        mode, _cell_id(grid, rung, label, workload, seed),
+                        points_by_label[label], scale, workload, seed,
+                    ))
+                    cell_keys.append((label, workload, seed))
+        report = resilient.sweep(cells)
+        evaluated += len(cells)
+        if report.db_usage is not None:
+            db_active = True
+            usage.add(report.db_usage)
+        for outcome in report.failures:
+            failures.append({
+                "id": outcome.id, "error": outcome.error,
+                "attempts": outcome.attempts,
+            })
+        for cell, key in zip(cells, cell_keys):
+            values[key] = report.value(cell.id)
+
+        # Score every survivor on this rung's run subset and keep the
+        # top 1/eta per budget group (ties broken by label for
+        # determinism).  The last rung only ranks.
+        rung_record = {"rung": rung, "runs": len(rung_runs),
+                       "evaluated_cells": len(cells), "survivors": {}}
+        for group in survivors:
+            scores = {}
+            for label in survivors[group]:
+                samples = [
+                    values[(label, wl, seed)][metric]
+                    for wl, seed in rung_runs
+                    if values.get((label, wl, seed)) is not None
+                ]
+                scores[label] = _mean(samples)
+                last_scores[label] = scores[label]
+                scored_runs[label] = len(rung_runs)
+            ranked = sorted(scores, key=lambda l: (-scores[l], l))
+            if rung < total_rungs - 1:
+                keep = max(1, math.ceil(len(ranked) / eta))
+                for label in ranked[keep:]:
+                    eliminated_at[label] = rung
+                survivors[group] = ranked[:keep]
+            else:
+                survivors[group] = ranked
+            rung_record["survivors"][group] = list(survivors[group])
+        schedule.append(rung_record)
+
+    group_reports = {}
+    for group, points in groups.items():
+        ranking = []
+        ordered = sorted(
+            (p.label for p in points),
+            key=lambda l: (l in eliminated_at, -last_scores[l], l),
+        )
+        for label in ordered:
+            point = points_by_label[label]
+            row = {
+                "label": label,
+                "allocation": list(point.allocation),
+                "table_fusion": point.table_fusion,
+                "accuracy_monitor": point.accuracy_monitor,
+                "am_threshold": point.am_threshold,
+                "storage_kib": round(storage_kib(*point.allocation), 2),
+                metric: last_scores[label],
+                "scored_runs": scored_runs[label],
+            }
+            if label in eliminated_at:
+                row["eliminated_at_rung"] = eliminated_at[label]
+            ranking.append(row)
+        group_reports[group] = {
+            "winner": ranking[0]["label"] if ranking else None,
+            "ranking": ranking,
+        }
+
+    result = {
+        "grid": grid.name,
+        "description": grid.description,
+        "scale": scale.name,
+        "mode": mode,
+        "metric": metric,
+        "eta": eta,
+        "rungs": total_rungs,
+        "schedule": schedule,
+        "groups": group_reports,
+        "evaluated_cells": evaluated,
+        "full_grid_cells": len(grid.points) * len(runs),
+    }
+    if db_active:
+        result["results_db"] = usage.as_dict()
+    if failures:
+        result["failures"] = {
+            "failed_cells": len(failures), "cells": failures,
+        }
+    return result

@@ -24,6 +24,13 @@ from repro.memory.image import MemoryImage
 from repro.pipeline.vp import ValuePredictorHost
 from repro.predictors.types import LoadOutcome, LoadProbe, PredictionKind
 
+#: Semantics version of the functional evaluator, registered with the
+#: results database (:mod:`repro.harness.resultsdb`).  Bump whenever a
+#: change alters functional counters (coverage/accuracy/overlap
+#: definitions, training order); backend-only speedups that stay
+#: bit-exact leave it alone.
+FUNCTIONAL_SEMANTICS_VERSION = 1
+
 
 @dataclass
 class FunctionalResult:

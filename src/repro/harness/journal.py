@@ -16,7 +16,9 @@ Record vocabulary (the resilient engine's, not enforced here):
   journal from a *different* sweep is rejected instead of silently
   mixing results.
 * ``{"type": "cell", "id": ..., "status": "ok", "value": {...}}`` --
-  a completed cell; the last ``ok`` record per id wins.
+  a completed cell; the last ``ok`` record per id wins.  Cells served
+  from the cross-campaign results database are recorded identically
+  but with ``"status": "cached"`` -- equivalent for resume purposes.
 * ``{"type": "cell", "id": ..., "status": "failed", "error": ...}`` --
   a terminally failed cell (recomputed on resume).
 * ``{"type": "retry", ...}`` -- informational attempt record.
@@ -221,7 +223,7 @@ class Journal:
                         "(delete the journal or point --journal elsewhere)"
                     )
                 saw_header = True
-            elif kind == "cell" and record.get("status") == "ok":
+            elif kind == "cell" and record.get("status") in ("ok", "cached"):
                 completed[record["id"]] = record.get("value")
             elif kind == "cell" and record.get("status") == "failed":
                 completed.pop(record["id"], None)

@@ -1,4 +1,4 @@
-"""Experiment scales.
+"""Experiment scales and design-space grids.
 
 The paper simulates 100M-instruction SimPoints of 85 workloads on a
 compiled simulator; this library's cycle model is pure Python, so every
@@ -12,13 +12,21 @@ experiment accepts a scale:
 
 Select via the ``REPRO_SCALE`` environment variable (``smoke`` /
 ``quick`` / ``full``) or pass a scale explicitly.
+
+This module also declares the **design-space grids** that
+``repro-lvp explore`` (:mod:`repro.harness.explore`) searches: named
+collections of :class:`DesignPoint`\\ s spanning the paper's
+Optimizations space -- heterogeneous table allocations (Table VI),
+component fusion, and accuracy-monitor variants/thresholds.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from repro.composite.config import CompositeConfig
+from repro.composite.heterogeneous import TABLE_VI_CONFIGS, table6_candidates
 from repro.workloads.profiles import ALL_WORKLOADS, REPRESENTATIVE_WORKLOADS
 
 
@@ -110,3 +118,184 @@ def scale_from_env(default: ExperimentScale = QUICK) -> ExperimentScale:
         raise ValueError(
             f"REPRO_SCALE={name!r} unknown; pick one of {sorted(_SCALES)}"
         ) from None
+
+
+# ----------------------------------------------------------------------
+# Design-space grids for ``repro-lvp explore``
+# ----------------------------------------------------------------------
+
+#: Accuracy-monitor variants a :class:`DesignPoint` may select.
+AM_VARIANTS = ("none", "m-am", "pc-am", "pc-am-infinite")
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate configuration in the Optimizations design space.
+
+    ``allocation`` is the (LVP, SAP, CVP, CAP) entry split; fusion is
+    only legal for homogeneous allocations (paper Section V-E) and is
+    rejected otherwise.  ``am_threshold`` overrides the selected
+    accuracy monitor's knob -- MpKP for ``m-am``, the per-PC accuracy
+    threshold for the ``pc-am`` variants (meaningless for ``none``).
+
+    The defaults (no fusion, ``pc-am``, stock threshold) make a bare
+    allocation's :meth:`config` identical to the Table VI experiment's,
+    so explore cells and ``table6`` cells share fingerprints in the
+    results database.
+    """
+
+    allocation: tuple[int, int, int, int]
+    table_fusion: bool = False
+    accuracy_monitor: str = "pc-am"
+    am_threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.allocation) != 4 or any(e < 0 for e in self.allocation):
+            raise ValueError(
+                f"allocation must be 4 non-negative entry counts, "
+                f"got {self.allocation!r}"
+            )
+        if self.accuracy_monitor not in AM_VARIANTS:
+            raise ValueError(
+                f"unknown accuracy monitor {self.accuracy_monitor!r}; "
+                f"expected one of {AM_VARIANTS}"
+            )
+        if self.table_fusion and len(set(self.allocation)) != 1:
+            raise ValueError(
+                f"table fusion requires a homogeneous allocation, "
+                f"got {self.allocation!r}"
+            )
+        if self.am_threshold is not None and self.accuracy_monitor == "none":
+            raise ValueError("am_threshold is meaningless without a monitor")
+
+    @property
+    def total_entries(self) -> int:
+        """The point's total entry budget across the four components."""
+        return sum(self.allocation)
+
+    @property
+    def group(self) -> str:
+        """The budget group the point competes in (e.g. ``t256``)."""
+        return f"t{self.total_entries}"
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable id (keys rankings and cell ids)."""
+        parts = [
+            "-".join(str(e) for e in self.allocation),
+            "fuse" if self.table_fusion else "nofuse",
+            self.accuracy_monitor,
+        ]
+        if self.am_threshold is not None:
+            parts[-1] += f"@{self.am_threshold:g}"
+        return "/".join(parts)
+
+    def config(self, scale: ExperimentScale) -> CompositeConfig:
+        """The :class:`CompositeConfig` this point runs at ``scale``."""
+        config = CompositeConfig(
+            epoch_instructions=scale.epoch_instructions,
+            seed=scale.seed,
+        ).with_entries(*self.allocation)
+        overrides: dict = {
+            "table_fusion": self.table_fusion,
+            "accuracy_monitor": self.accuracy_monitor,
+        }
+        if self.am_threshold is not None:
+            if self.accuracy_monitor == "m-am":
+                overrides["m_am_mpkp_threshold"] = self.am_threshold
+            else:
+                overrides["pc_am_accuracy_threshold"] = self.am_threshold
+        return replace(config, **overrides)
+
+
+@dataclass(frozen=True)
+class ExploreGrid:
+    """A named design-space grid ``repro-lvp explore`` can search."""
+
+    name: str
+    description: str
+    points: tuple[DesignPoint, ...]
+
+    def __post_init__(self) -> None:
+        labels = [p.label for p in self.points]
+        if len(set(labels)) != len(labels):
+            dupes = sorted({l for l in labels if labels.count(l) > 1})
+            raise ValueError(f"duplicate design points in grid: {dupes}")
+
+    def groups(self) -> dict[str, tuple[DesignPoint, ...]]:
+        """Points bucketed by budget group, insertion-ordered."""
+        buckets: dict[str, list[DesignPoint]] = {}
+        for point in self.points:
+            buckets.setdefault(point.group, []).append(point)
+        return {group: tuple(points) for group, points in buckets.items()}
+
+
+def _table6_grid() -> ExploreGrid:
+    points = [
+        DesignPoint(allocation=allocation)
+        for total in (256, 512, 1024)
+        for allocation in table6_candidates(total)
+    ]
+    return ExploreGrid(
+        name="table6",
+        description=(
+            "Table VI heterogeneous allocations at the 256/512/1024 "
+            "budgets (no fusion, stock PC-AM), matching the table6 "
+            "experiment's cells"
+        ),
+        points=tuple(points),
+    )
+
+
+def _optimizations_grid() -> ExploreGrid:
+    quarter = (64, 64, 64, 64)
+    winner = TABLE_VI_CONFIGS[256]
+    points = []
+    for fusion in (False, True):
+        for monitor, threshold in (
+            ("pc-am", None), ("pc-am", 0.90), ("m-am", None), ("none", None),
+        ):
+            points.append(DesignPoint(
+                allocation=quarter, table_fusion=fusion,
+                accuracy_monitor=monitor, am_threshold=threshold,
+            ))
+    for monitor, threshold in (
+        ("pc-am", None), ("pc-am", 0.90), ("m-am", None), ("none", None),
+    ):
+        points.append(DesignPoint(
+            allocation=winner, accuracy_monitor=monitor,
+            am_threshold=threshold,
+        ))
+    return ExploreGrid(
+        name="optimizations",
+        description=(
+            "Fusion x accuracy-monitor cross at the 256-entry budget: "
+            "homogeneous split (fusion legal) and the Table VI winner, "
+            "each under PC-AM (stock and 0.90), M-AM, and no monitor"
+        ),
+        points=tuple(points),
+    )
+
+
+def _smoke_grid() -> ExploreGrid:
+    return ExploreGrid(
+        name="smoke",
+        description=(
+            "Four-point miniature of the 256-entry budget for CI and "
+            "tests: homogeneous, the Table VI winner, one skewed "
+            "alternate, and homogeneous with fusion"
+        ),
+        points=(
+            DesignPoint(allocation=(64, 64, 64, 64)),
+            DesignPoint(allocation=TABLE_VI_CONFIGS[256]),
+            DesignPoint(allocation=(32, 128, 64, 32)),
+            DesignPoint(allocation=(64, 64, 64, 64), table_fusion=True),
+        ),
+    )
+
+
+#: Grids ``repro-lvp explore --grid`` accepts, keyed by name.
+EXPLORE_GRIDS: dict[str, ExploreGrid] = {
+    grid.name: grid
+    for grid in (_table6_grid(), _optimizations_grid(), _smoke_grid())
+}

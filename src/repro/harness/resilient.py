@@ -24,6 +24,13 @@ actually hit:
 * some cells fail permanently -> the sweep still returns every
   successful cell plus a structured failure report instead of raising.
 
+When ``REPRO_RESULTS_DB_DIR`` is set, the supervisor also consults the
+content-addressed results database (:mod:`repro.harness.resultsdb`)
+before dispatching each cell and writes fresh results back on success,
+so identical cells are reused *across* campaigns and processes.
+Journal replay still wins inside a campaign; database hits are
+journaled as ``cached`` cells so ``resume`` stays byte-identical.
+
 Fault injection (for tests and drills) is driven by the
 ``REPRO_FAULT_PLAN`` environment variable -- see
 :func:`parse_fault_plan`.
@@ -45,6 +52,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.harness.journal import Journal, stable_digest
+from repro.harness.resultsdb import ResultsDb, active_db
 
 #: Environment variable holding the fault plan (see :func:`parse_fault_plan`).
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
@@ -255,11 +263,68 @@ class CellOutcome:
     """Terminal state of one cell after the sweep finishes."""
 
     id: str
-    status: str  #: ``ok``, ``failed``, or ``cached`` (replayed from journal)
+    status: str  #: ``ok``, ``failed``, or ``cached`` (journal or results DB)
     value: Any = None
     attempts: int = 0
     elapsed: float = 0.0
     error: str | None = None
+    source: str = "fresh"  #: ``fresh``, ``journal``, or ``db``
+
+
+@dataclass
+class DbUsage:
+    """Results-database effectiveness counters for one sweep (or totals).
+
+    ``lookups``/``hits`` count database consultations for cells not
+    already satisfied by journal replay; ``journal_replayed`` counts
+    cells the journal satisfied first (never sent to the database);
+    ``computed`` counts cells that actually ran; ``stored`` counts
+    successful write-backs.
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    computed: int = 0
+    journal_replayed: int = 0
+    stored: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of database lookups that hit (0.0 when none)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def add(self, other: "DbUsage") -> None:
+        """Accumulate ``other``'s counters into this instance."""
+        self.lookups += other.lookups
+        self.hits += other.hits
+        self.computed += other.computed
+        self.journal_replayed += other.journal_replayed
+        self.stored += other.stored
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot including the derived hit rate."""
+        return {
+            "lookups": self.lookups, "hits": self.hits,
+            "computed": self.computed,
+            "journal_replayed": self.journal_replayed,
+            "stored": self.stored, "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+# Process-wide accumulation of every sweep's database usage, for the
+# CLI's end-of-command summary line (a command may run many sweeps).
+_DB_TOTALS = DbUsage()
+
+
+def db_usage_totals() -> DbUsage:
+    """Process-wide results-database usage accumulated across sweeps."""
+    return _DB_TOTALS
+
+
+def reset_db_usage_totals() -> None:
+    """Zero the process-wide usage totals (tests, ``clear_caches``)."""
+    global _DB_TOTALS
+    _DB_TOTALS = DbUsage()
 
 
 @dataclass
@@ -267,6 +332,7 @@ class SweepReport:
     """Everything a sweep produced: per-cell outcomes plus failure roll-up."""
 
     outcomes: dict[str, CellOutcome]
+    db_usage: DbUsage | None = None  #: set when a results DB was active
 
     def value(self, cell_id: str, default: Any = None) -> Any:
         """The cell's value, or ``default`` if it failed or is unknown."""
@@ -402,7 +468,8 @@ def run_cells(
             for cell in cells:
                 if cell.id in completed:
                     outcomes[cell.id] = CellOutcome(
-                        id=cell.id, status="cached", value=completed[cell.id]
+                        id=cell.id, status="cached",
+                        value=completed[cell.id], source="journal",
                     )
             pending = [c for c in cells if c.id not in outcomes]
             if policy.progress is not None:
@@ -422,17 +489,41 @@ def run_cells(
                 "type": "campaign", "campaign": campaign, "cells": len(cells),
             })
 
+    db = active_db()
+    usage = DbUsage(journal_replayed=len(outcomes))
+    if db is not None and pending:
+        # Consult the cross-campaign results DB for whatever the
+        # journal didn't satisfy; hits are journaled as ``cached``
+        # cells so a later resume replays them identically.
+        still_pending = []
+        for cell in pending:
+            usage.lookups += 1
+            hit, value = db.lookup_cell(cell)
+            if hit:
+                usage.hits += 1
+                _record_outcome(outcomes, journal, policy, CellOutcome(
+                    id=cell.id, status="cached", value=value, source="db",
+                ), len(cells))
+            else:
+                still_pending.append(cell)
+        pending = still_pending
+
     try:
         if policy.workers and policy.workers > 0:
-            _run_pool(pending, policy, outcomes, journal, total=len(cells))
+            _run_pool(pending, policy, outcomes, journal, total=len(cells),
+                      db=db, usage=usage)
         else:
-            _run_inline(pending, policy, outcomes, journal, total=len(cells))
+            _run_inline(pending, policy, outcomes, journal, total=len(cells),
+                        db=db, usage=usage)
     finally:
         if journal is not None:
             journal.close()
+        if db is not None:
+            _DB_TOTALS.add(usage)
 
     return SweepReport(
-        outcomes={c.id: outcomes[c.id] for c in cells if c.id in outcomes}
+        outcomes={c.id: outcomes[c.id] for c in cells if c.id in outcomes},
+        db_usage=usage if db is not None else None,
     )
 
 
@@ -449,7 +540,7 @@ def _record_outcome(
             "type": "cell", "id": outcome.id, "status": outcome.status,
             "attempt": outcome.attempts, "elapsed": round(outcome.elapsed, 6),
         }
-        if outcome.status == "ok":
+        if outcome.status in ("ok", "cached"):
             record["value"] = outcome.value
         else:
             record["error"] = outcome.error
@@ -481,14 +572,40 @@ def _normalize(value: Any) -> Any:
     return json.loads(json.dumps(value, default=str))
 
 
+def _complete_fresh(
+    outcomes: dict,
+    journal: Journal | None,
+    policy: ExecutionPolicy,
+    cell: Cell,
+    value: Any,
+    attempts: int,
+    elapsed: float,
+    total: int,
+    db: ResultsDb | None,
+    usage: DbUsage,
+) -> None:
+    """Record a freshly computed cell and write it back to the DB."""
+    normalized = _normalize(value)
+    usage.computed += 1
+    if db is not None and db.store_cell(cell, normalized):
+        usage.stored += 1
+    _record_outcome(outcomes, journal, policy, CellOutcome(
+        id=cell.id, status="ok", value=normalized,
+        attempts=attempts, elapsed=elapsed,
+    ), total)
+
+
 def _run_inline(
     pending: Sequence[Cell],
     policy: ExecutionPolicy,
     outcomes: dict,
     journal: Journal | None,
     total: int,
+    db: ResultsDb | None = None,
+    usage: DbUsage | None = None,
 ) -> None:
     global _INLINE
+    usage = usage if usage is not None else DbUsage()
     for cell in pending:
         attempt = 0
         started_total = time.monotonic()
@@ -518,11 +635,10 @@ def _run_inline(
                 break
             else:
                 _INLINE = False
-                _record_outcome(outcomes, journal, policy, CellOutcome(
-                    id=cell.id, status="ok", value=_normalize(value),
-                    attempts=attempt + 1,
-                    elapsed=time.monotonic() - started_total,
-                ), total)
+                _complete_fresh(
+                    outcomes, journal, policy, cell, value, attempt + 1,
+                    time.monotonic() - started_total, total, db, usage,
+                )
                 break
 
 
@@ -575,7 +691,10 @@ def _run_pool(
     outcomes: dict,
     journal: Journal | None,
     total: int,
+    db: ResultsDb | None = None,
+    usage: DbUsage | None = None,
 ) -> None:
+    usage = usage if usage is not None else DbUsage()
     queue: deque[tuple[Cell, int, float]] = deque(
         (cell, 0, 0.0) for cell in pending
     )  # (cell, attempt, not-before)
@@ -659,11 +778,11 @@ def _run_pool(
                         raise
                     failed(cell, attempt, exc, policy.retry.is_transient(exc))
                 else:
-                    _record_outcome(outcomes, journal, policy, CellOutcome(
-                        id=cell.id, status="ok", value=_normalize(value),
-                        attempts=attempt + 1,
-                        elapsed=time.monotonic() - first_started[cell.id],
-                    ), total)
+                    _complete_fresh(
+                        outcomes, journal, policy, cell, value, attempt + 1,
+                        time.monotonic() - first_started[cell.id], total,
+                        db, usage,
+                    )
 
             # Reap overdue workers: kill the pool, charge the overdue
             # cells a timeout, resubmit innocents at the same attempt.

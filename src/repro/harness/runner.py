@@ -21,13 +21,19 @@ import time
 from collections import OrderedDict
 from typing import Any
 
-from repro.harness import resilient
+from repro.harness import resilient, resultsdb
+from repro.harness.functional import FUNCTIONAL_SEMANTICS_VERSION
 from repro.isa.trace import Trace
-from repro.pipeline.core import SimulationInterrupted, simulate
+from repro.pipeline.core import (
+    TIMING_SEMANTICS_VERSION,
+    SimulationInterrupted,
+    simulate,
+)
 from repro.pipeline.result import SimResult
 from repro.pipeline.vp import ValuePredictorHost
 from repro.workloads.generator import (
     CACHE_SIZE,
+    GENERATOR_VERSION,
     clear_trace_caches,
     ensure_stored,
     generate_trace,
@@ -38,6 +44,15 @@ SPEEDUP_CELL_FN = "repro.harness.runner:run_speedup_cell"
 
 #: Dotted reference to :func:`run_functional_cell`, for building cells.
 FUNCTIONAL_CELL_FN = "repro.harness.runner:run_functional_cell"
+
+# Everything a sweep cell's value can depend on fingerprints through
+# these registrations; importing this module (which cell_fingerprint
+# forces, since both cell fns live here) makes the registry complete.
+resultsdb.register_semantics("repro.pipeline.core", TIMING_SEMANTICS_VERSION)
+resultsdb.register_semantics(
+    "repro.harness.functional", FUNCTIONAL_SEMANTICS_VERSION
+)
+resultsdb.register_semantics("repro.workloads.generator", GENERATOR_VERSION)
 
 
 def workload_trace(name: str, length: int, seed: int = 0) -> Trace:
@@ -320,14 +335,18 @@ def speedup_cell(
 def clear_caches() -> None:
     """Drop every per-process cache layer (tests and memory pressure).
 
-    Clears the baseline-result memo here plus the generator's trace
-    memo and the ambient trace-store handle
-    (:func:`repro.workloads.generator.clear_trace_caches`), so one call
-    resets all three caching layers at once.  On-disk store entries are
-    untouched -- delete those with ``repro-lvp cache --clear``.
+    Clears the baseline-result memo here, the generator's trace memo
+    and ambient trace-store handle
+    (:func:`repro.workloads.generator.clear_trace_caches`), and the
+    ambient results-database handle with its in-process memo and usage
+    totals, so one call resets every caching layer at once.  On-disk
+    store and database entries are untouched -- delete those with
+    ``repro-lvp cache --clear``.
     """
     _baseline_cache.clear()
     clear_trace_caches()
+    resultsdb.reset_active_db()
+    resilient.reset_db_usage_totals()
 
 
 __all__ = [

@@ -73,6 +73,13 @@ from repro.pipeline.result import SimResult
 from repro.pipeline.vp import NoPredictor, ValuePredictorHost
 from repro.predictors.types import LoadOutcome, LoadProbe, PredictionKind
 
+#: Semantics version of the timing model, registered with the results
+#: database (:mod:`repro.harness.resultsdb`).  Bump whenever a change
+#: alters the *numbers* a timing run produces -- cycle accounting,
+#: predictor interaction ordering, flush policy -- so stale cached
+#: cells stop matching.  Pure refactors and speedups leave it alone.
+TIMING_SEMANTICS_VERSION = 1
+
 # Raw opclass integers the dispatch tables key on; defined next to the
 # enum in repro.isa.instruction so the columnar loops cannot drift.
 _OP_LOAD = OP_LOAD

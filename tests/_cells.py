@@ -16,6 +16,19 @@ def boom_cell(spec):
     raise ValueError(f"deterministic boom for {spec!r}")
 
 
+def counting_cell(spec):
+    """Echo the spec after appending one line to an on-disk counter.
+
+    The results-database tests use the counter file to *prove* a cell
+    body never re-ran: every execution, in any process, appends a line
+    to ``spec["counter_path"]``, so the line count is the true
+    computation count regardless of what the sweep reports.
+    """
+    with open(spec["counter_path"], "a", encoding="utf-8") as fh:
+        fh.write(f"{spec['x']}\n")
+    return {"squared": spec["x"] ** 2}
+
+
 def trace_store_probe_cell(spec):
     """Acquire a trace and report this process's trace-store traffic.
 

@@ -8,6 +8,24 @@ from repro.common.rng import DeterministicRng
 from repro.predictors.types import LoadOutcome, LoadProbe
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_results_db(monkeypatch):
+    """Keep the results database out of tests that didn't opt in.
+
+    A developer's ``REPRO_RESULTS_DB_DIR`` would otherwise turn sweep
+    cells into ``cached`` outcomes under tests asserting ``ok``, and
+    leak per-test usage into the process-wide totals.
+    """
+    from repro.harness import resilient, resultsdb
+
+    monkeypatch.delenv(resultsdb.ENV_VAR, raising=False)
+    resultsdb.reset_active_db()
+    resilient.reset_db_usage_totals()
+    yield
+    resultsdb.reset_active_db()
+    resilient.reset_db_usage_totals()
+
+
 @pytest.fixture
 def rng() -> DeterministicRng:
     return DeterministicRng(1234, "tests")

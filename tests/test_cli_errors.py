@@ -288,6 +288,154 @@ class TestCacheCommand:
             main(["cache", "--stats", "--clear", "--dir", str(tmp_path)])
 
 
+class TestExploreFlagErrors:
+    """``explore`` validation: exit 2 with the valid names listed."""
+
+    @pytest.mark.parametrize("argv,fragment,listed", [
+        (["explore", "--grid", "bogus"], "unknown grid 'bogus'", "table6"),
+        (["explore", "--scale", "bogus"], "unknown scale 'bogus'", "quick"),
+        (["explore", "--mode", "quantum"], "unknown mode 'quantum'",
+         "timing"),
+        (["explore", "--metric", "vibes"], "unknown metric 'vibes'",
+         "speedup"),
+        (["explore", "--mode", "functional", "--metric", "speedup"],
+         "unknown metric 'speedup'", "coverage"),
+        (["explore", "--eta", "1.0"], "--eta must be > 1.0", "1.0"),
+        (["explore", "--rungs", "0"], "--rungs must be >= 1", "0"),
+    ])
+    def test_bad_flag_values_exit_2(self, argv, fragment, listed, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert fragment in err
+        assert listed in err
+
+    def test_unknown_grid_lists_every_grid(self, capsys):
+        from repro.harness.presets import EXPLORE_GRIDS
+
+        assert main(["explore", "--grid", "bogus"]) == 2
+        err = capsys.readouterr().err
+        for name in EXPLORE_GRIDS:
+            assert name in err
+
+
+class TestExploreEndToEnd:
+    def test_smoke_grid_ranked_report(self, tiny_smoke, tmp_path, capsys):
+        out = tmp_path / "ranked.json"
+        assert main([
+            "explore", "--grid", "smoke", "--scale", "smoke",
+            "--mode", "functional", "--metric", "coverage",
+            "-o", str(out),
+        ]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["grid"] == "smoke"
+        assert payload["groups"]["t256"]["winner"]
+        assert len(payload["groups"]["t256"]["ranking"]) == 4
+        assert "# explore smoke finished" in captured.err
+        assert "full-grid cells" in captured.err
+        # The -o report matches stdout and left no temp droppings.
+        assert json.loads(out.read_text()) == payload
+        assert [p.name for p in tmp_path.iterdir()] == ["ranked.json"]
+
+    def test_cell_failures_exit_3_with_partial_ranking(
+        self, tiny_smoke, monkeypatch, capsys
+    ):
+        monkeypatch.setenv(
+            FAULT_PLAN_ENV, "explore/smoke/*/*/fuse/*:fail:99"
+        )
+        rc = main([
+            "explore", "--grid", "smoke", "--scale", "smoke",
+            "--mode", "functional", "--metric", "coverage",
+            "--max-retries", "0",
+        ])
+        assert rc == 3
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["failures"]["failed_cells"] >= 1
+        ranking = payload["groups"]["t256"]["ranking"]
+        assert ranking[-1]["label"] == "64-64-64-64/fuse/pc-am"
+        assert "sweep cell(s) failed" in captured.err
+
+
+class TestCacheWhich:
+    """``cache --which``: results database and combined views."""
+
+    def _populate_results(self, root):
+        from repro.harness.resultsdb import ResultsDb
+
+        ResultsDb(root).store("ab" * 32, {"v": 1})
+
+    def test_unknown_which_exits_2(self, tmp_path, capsys):
+        assert main([
+            "cache", "--stats", "--which", "bogus", "--dir", str(tmp_path),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown cache 'bogus'" in err
+        assert "trace" in err and "results" in err and "all" in err
+
+    def test_results_stats_and_clear(self, tmp_path, capsys):
+        root = tmp_path / "db"
+        self._populate_results(root)
+        assert main([
+            "cache", "--stats", "--which", "results",
+            "--results-dir", str(root),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["total_bytes"] > 0
+        assert main([
+            "cache", "--clear", "--which", "results",
+            "--results-dir", str(root),
+        ]) == 0
+        assert "removed 1 file(s)" in capsys.readouterr().out
+
+    def test_results_stats_uses_env_var(self, tmp_path, monkeypatch, capsys):
+        from repro.harness.resultsdb import ENV_VAR
+
+        root = tmp_path / "db"
+        self._populate_results(root)
+        monkeypatch.setenv(ENV_VAR, str(root))
+        assert main(["cache", "--stats", "--which", "results"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 1
+
+    def test_results_not_configured_exits_2(self, capsys):
+        assert main(["cache", "--stats", "--which", "results"]) == 2
+        err = capsys.readouterr().err
+        assert "no results database configured" in err
+        assert "REPRO_RESULTS_DB_DIR" in err
+
+    def test_all_reports_both_with_nulls(self, tmp_path, monkeypatch, capsys):
+        from repro.workloads.store import ENV_VAR as TRACE_ENV
+
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        root = tmp_path / "db"
+        self._populate_results(root)
+        assert main([
+            "cache", "--stats", "--which", "all",
+            "--results-dir", str(root),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_store"] is None
+        assert payload["results_db"]["entries"] == 1
+
+    def test_all_with_nothing_configured_exits_2(self, monkeypatch, capsys):
+        from repro.workloads.store import ENV_VAR as TRACE_ENV
+
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        assert main(["cache", "--stats", "--which", "all"]) == 2
+        assert "no caches configured" in capsys.readouterr().err
+
+    def test_results_path_is_a_file_exits_2(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        assert main([
+            "cache", "--stats", "--which", "results",
+            "--results-dir", str(not_a_dir),
+        ]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+
 class TestCrashtestFlags:
     """``crashtest`` flag validation: exit 2 before any server starts."""
 
@@ -408,12 +556,14 @@ sys.exit(cli.main(sys.argv[1:]))
 """
 
 
-def _run_cli(tmp_path, *args, fault=None):
+def _run_cli(tmp_path, *args, fault=None, extra_env=None):
     env = dict(os.environ)
     env.pop(FAULT_PLAN_ENV, None)
     env["PYTHONPATH"] = str(REPO / "src")
     if fault:
         env[FAULT_PLAN_ENV] = fault
+    if extra_env:
+        env.update(extra_env)
     script = tmp_path / "cli_driver.py"
     script.write_text(CLI_DRIVER)
     return subprocess.run(
@@ -452,3 +602,43 @@ class TestKillAndResumeEndToEnd:
         assert clean.returncode == 0, clean.stderr
 
         assert out_resumed.read_text() == out_clean.read_text()
+
+
+class TestResultsDbEndToEnd:
+    """Cross-invocation reuse through ``REPRO_RESULTS_DB_DIR``."""
+
+    def test_repeat_explore_served_entirely_from_db(self, tmp_path):
+        db_env = {"REPRO_RESULTS_DB_DIR": str(tmp_path / "resultsdb")}
+        argv = (
+            "explore", "--grid", "smoke", "--scale", "smoke",
+            "--mode", "functional", "--metric", "coverage",
+        )
+        first = _run_cli(tmp_path, *argv, extra_env=db_env)
+        assert first.returncode == 0, first.stderr
+        assert "# results-db:" in first.stderr
+        assert json.loads(first.stdout)["results_db"]["computed"] > 0
+
+        again = _run_cli(tmp_path, *argv, extra_env=db_env)
+        assert again.returncode == 0, again.stderr
+        assert "(100%), 0 computed" in again.stderr
+        payload = json.loads(again.stdout)
+        assert payload["results_db"]["computed"] == 0
+        assert payload["results_db"]["hit_rate"] == 1.0
+        # Rankings are byte-identical whether computed or replayed.
+        assert payload["groups"] == json.loads(first.stdout)["groups"]
+
+    def test_run_and_resume_stdout_identical_with_db(self, tmp_path):
+        db_env = {"REPRO_RESULTS_DB_DIR": str(tmp_path / "resultsdb")}
+        journal = tmp_path / "fig6.jnl"
+        argv = ("run", "fig6", "--scale", "smoke",
+                "--journal", str(journal))
+        first = _run_cli(tmp_path, *argv, extra_env=db_env)
+        assert first.returncode == 0, first.stderr
+        assert "# results-db:" in first.stderr
+
+        resumed = _run_cli(tmp_path, *argv, "--resume", extra_env=db_env)
+        assert resumed.returncode == 0, resumed.stderr
+        # Journal replay wins: the DB is never consulted, the summary
+        # line disappears, and stdout stays byte-identical.
+        assert "# results-db:" not in resumed.stderr
+        assert resumed.stdout == first.stdout

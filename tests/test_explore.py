@@ -1,0 +1,251 @@
+"""Tests for the successive-halving design-space search.
+
+Exercises the schedule math, the grid/design-point declarations in
+``harness.presets``, and end-to-end searches on a tiny scale: the
+search must evaluate strictly fewer cells than the full grid, rank
+deterministically, reuse the results database across repeat searches,
+and degrade to exit-3 semantics (a ``failures`` key) instead of
+raising when individual cells fail.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.composite.config import CompositeConfig
+from repro.harness import resilient, resultsdb
+from repro.harness.explore import METRICS, MODES, default_rungs, run_explore
+from repro.harness.presets import (
+    EXPLORE_GRIDS,
+    AM_VARIANTS,
+    DesignPoint,
+    ExperimentScale,
+    ExploreGrid,
+)
+from repro.harness.resilient import ExecutionPolicy, RetryPolicy, use_policy
+from repro.harness.resultsdb import cell_fingerprint
+from repro.harness.runner import SPEEDUP_CELL_FN
+
+TINY = ExperimentScale(
+    name="tiny", workloads=("coremark", "mcf"), trace_length=2000,
+    extra_seeds=(1,),
+)
+
+
+class TestDesignPoint:
+    def test_label_roundtrips_configuration(self):
+        point = DesignPoint((32, 32, 128, 64))
+        assert point.label == "32-32-128-64/nofuse/pc-am"
+        assert point.total_entries == 256
+        assert point.group == "t256"
+        thr = DesignPoint((64,) * 4, accuracy_monitor="m-am", am_threshold=2.0)
+        assert thr.label.endswith("/nofuse/m-am@2")
+
+    def test_fusion_requires_homogeneous_tables(self):
+        DesignPoint((64,) * 4, table_fusion=True)  # fine
+        with pytest.raises(ValueError, match="fusion"):
+            DesignPoint((32, 32, 128, 64), table_fusion=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignPoint((64, 64, 64))  # wrong arity
+        with pytest.raises(ValueError):
+            DesignPoint((64, 64, 64, -1))
+        with pytest.raises(ValueError):
+            DesignPoint((64,) * 4, accuracy_monitor="bogus")
+        with pytest.raises(ValueError):
+            DesignPoint((64,) * 4, accuracy_monitor="none",
+                        am_threshold=2.0)  # no monitor to tune
+
+    def test_config_carries_scale_epoch_and_seed(self):
+        config = DesignPoint((32, 32, 128, 64)).config(TINY)
+        assert isinstance(config, CompositeConfig)
+        assert config.epoch_instructions == TINY.epoch_instructions
+        assert config.seed == TINY.seed
+        sizes = (config.lvp_entries, config.sap_entries,
+                 config.cvp_entries, config.cap_entries)
+        assert sizes == (32, 32, 128, 64)
+
+    def test_explore_cells_share_table6_fingerprints(self):
+        # The default point settings must hash identically to the
+        # cells ``table6_heterogeneous`` dispatches, so a prior table6
+        # campaign pre-populates an explore search (and vice versa).
+        from repro.harness.experiments import table6_heterogeneous  # noqa: F401
+
+        point = DesignPoint((32, 32, 128, 64))
+        spec = {"kind": "composite", "config": point.config(TINY)}
+        direct = {
+            "kind": "composite",
+            "config": dataclasses.replace(
+                CompositeConfig(
+                    epoch_instructions=TINY.epoch_instructions,
+                    seed=TINY.seed,
+                ).with_entries(32, 32, 128, 64),
+                table_fusion=False,
+            ),
+        }
+        wrap = lambda s: {  # noqa: E731 - mirror runner cell spec shape
+            "workload": "coremark", "length": TINY.trace_length,
+            "seed": 0, "predictor": s,
+        }
+        assert cell_fingerprint(SPEEDUP_CELL_FN, wrap(spec)) == \
+            cell_fingerprint(SPEEDUP_CELL_FN, wrap(direct))
+
+
+class TestGrids:
+    def test_registry_contents(self):
+        assert set(EXPLORE_GRIDS) == {"table6", "optimizations", "smoke"}
+        for grid in EXPLORE_GRIDS.values():
+            labels = [p.label for p in grid.points]
+            assert len(labels) == len(set(labels))
+            assert grid.description
+
+    def test_table6_grid_covers_budgets(self):
+        grid = EXPLORE_GRIDS["table6"]
+        groups = grid.groups()
+        assert set(groups) == {"t256", "t512", "t1024"}
+        assert all(len(points) == 5 for points in groups.values())
+
+    def test_optimizations_grid_spans_am_variants(self):
+        grid = EXPLORE_GRIDS["optimizations"]
+        monitors = {p.accuracy_monitor for p in grid.points}
+        assert monitors == {"pc-am", "m-am", "none"}
+        assert monitors <= set(AM_VARIANTS)
+        assert any(p.table_fusion for p in grid.points)
+        assert any(p.am_threshold is not None for p in grid.points)
+
+    def test_duplicate_labels_rejected(self):
+        point = DesignPoint((64,) * 4)
+        with pytest.raises(ValueError, match="duplicate"):
+            ExploreGrid("dup", "two of the same", (point, point))
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("points,runs,eta,expected", [
+        (1, 16, 2.0, 1),
+        (8, 1, 2.0, 1),
+        (5, 8, 2.0, 3),    # bounded by points: log2(5) -> 2 + 1
+        (16, 4, 2.0, 3),   # bounded by runs: log2(4) -> 2 + 1
+        (9, 81, 3.0, 3),   # log3(9) -> 2 + 1
+    ])
+    def test_default_rungs(self, points, runs, eta, expected):
+        assert default_rungs(points, runs, eta) == expected
+
+    def test_validation_errors(self):
+        grid = EXPLORE_GRIDS["smoke"]
+        with pytest.raises(ValueError, match="valid modes"):
+            run_explore(grid, TINY, mode="quantum")
+        with pytest.raises(ValueError, match="valid metrics"):
+            run_explore(grid, TINY, metric="ipc", mode="functional")
+        with pytest.raises(ValueError, match="eta"):
+            run_explore(grid, TINY, eta=1.0)
+        with pytest.raises(ValueError, match="rungs"):
+            run_explore(grid, TINY, rungs=0)
+
+    def test_metric_tables_consistent(self):
+        assert set(MODES) == set(METRICS)
+        assert "speedup" in METRICS["timing"]
+        assert "speedup" not in METRICS["functional"]
+
+
+def _quiet_policy():
+    return use_policy(ExecutionPolicy(
+        retry=RetryPolicy(max_retries=0, backoff=0.001)
+    ))
+
+
+class TestRunExplore:
+    def test_functional_search_end_to_end(self):
+        grid = EXPLORE_GRIDS["smoke"]
+        with _quiet_policy():
+            report = run_explore(
+                grid, TINY, metric="coverage", mode="functional", rungs=2,
+            )
+        assert report["grid"] == "smoke"
+        assert report["rungs"] == 2
+        assert report["evaluated_cells"] < report["full_grid_cells"]
+        assert report["full_grid_cells"] == len(grid.points) * len(TINY.runs())
+        assert "failures" not in report
+
+        (group,) = report["groups"]
+        ranking = report["groups"][group]["ranking"]
+        assert len(ranking) == len(grid.points)
+        assert report["groups"][group]["winner"] == ranking[0]["label"]
+        # Finalists scored on every run; the eliminated on rung 0's.
+        finalists = [r for r in ranking if "eliminated_at_rung" not in r]
+        assert finalists and all(
+            r["scored_runs"] == len(TINY.runs()) for r in finalists
+        )
+        eliminated = [r for r in ranking if "eliminated_at_rung" in r]
+        assert eliminated and all(r["eliminated_at_rung"] == 0
+                                  for r in eliminated)
+        assert all("coverage" in r and "storage_kib" in r for r in ranking)
+        # Schedule bookkeeping adds up to the reported total.
+        assert sum(r["evaluated_cells"] for r in report["schedule"]) == \
+            report["evaluated_cells"]
+
+    def test_search_is_deterministic(self):
+        grid = EXPLORE_GRIDS["smoke"]
+        with _quiet_policy():
+            a = run_explore(grid, TINY, metric="coverage",
+                            mode="functional", rungs=2)
+            b = run_explore(grid, TINY, metric="coverage",
+                            mode="functional", rungs=2)
+        assert a == b
+
+    def test_repeat_search_served_from_db(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(resultsdb.ENV_VAR, str(tmp_path / "db"))
+        resultsdb.reset_active_db()
+        grid = EXPLORE_GRIDS["smoke"]
+        with _quiet_policy():
+            first = run_explore(grid, TINY, metric="coverage",
+                                mode="functional", rungs=2)
+            again = run_explore(grid, TINY, metric="coverage",
+                                mode="functional", rungs=2)
+        assert first["results_db"]["computed"] == first["evaluated_cells"]
+        assert again["results_db"]["computed"] == 0
+        assert again["results_db"]["hit_rate"] == 1.0
+        assert again["groups"] == first["groups"]
+
+    def test_single_rung_ranks_full_grid_on_full_runs(self):
+        grid = EXPLORE_GRIDS["smoke"]
+        with _quiet_policy():
+            report = run_explore(grid, TINY, metric="coverage",
+                                 mode="functional", rungs=1)
+        assert report["evaluated_cells"] == report["full_grid_cells"]
+        (group,) = report["groups"]
+        ranking = report["groups"][group]["ranking"]
+        assert all("eliminated_at_rung" not in r for r in ranking)
+
+    def test_cell_failures_reported_not_raised(self, monkeypatch):
+        grid = EXPLORE_GRIDS["smoke"]
+        label = grid.points[0].label
+        monkeypatch.setenv(
+            resilient.FAULT_PLAN_ENV,
+            f"explore/smoke/r0/{label}/*:fail:99",
+        )
+        with _quiet_policy():
+            report = run_explore(grid, TINY, metric="coverage",
+                                 mode="functional", rungs=2)
+        assert report["failures"]["failed_cells"] > 0
+        (group,) = report["groups"]
+        ranking = report["groups"][group]["ranking"]
+        # The all-failed point scores -inf and is eliminated first.
+        assert ranking[-1]["label"] == label
+        assert ranking[-1]["coverage"] == float("-inf")
+        assert ranking[-1]["eliminated_at_rung"] == 0
+
+    def test_timing_mode_smoke(self):
+        # One tiny timing search: the ranked rows carry speedup/ipc
+        # metrics from the cycle-accurate model.
+        grid = ExploreGrid(
+            "pair", "two budget-256 points",
+            (DesignPoint((64,) * 4), DesignPoint((32, 32, 128, 64))),
+        )
+        scale = ExperimentScale("tiny", ("coremark",), 2000)
+        with _quiet_policy():
+            report = run_explore(grid, scale, metric="speedup",
+                                 mode="timing", rungs=1)
+        ranking = report["groups"]["t256"]["ranking"]
+        assert len(ranking) == 2
+        assert all(isinstance(r["speedup"], float) for r in ranking)
