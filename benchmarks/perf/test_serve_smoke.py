@@ -29,6 +29,7 @@ def test_quick_serve_benchmark_structure():
         "serve_single", "serve_durable",
         "serve_concurrent3", "serve_concurrent3_unbatched",
         "serve_sharded1", "serve_sharded2",  # quick clamps shards to 2
+        "serve_sharded1_durable", "serve_standby",
     ]
 
     assert total_failures(payload) == 0

@@ -16,6 +16,10 @@ Examples::
     repro-lvp serve --shards 4 --data-dir ./state
                                         # ... sharded tier: router + 4
                                         #     worker processes, failover
+    repro-lvp serve --shards 4 --standbys 1 --data-dir ./state
+                                        # ... plus a warm standby per
+                                        #     shard (promotion failover)
+    repro-lvp db gc --dry-run           # results-DB stale-entry eviction
     repro-lvp loadgen --quick           # latency lanes -> BENCH_serve.json
     repro-lvp crashtest --kills 3       # SIGKILL/recover chaos harness
     repro-lvp crashtest --shards 3 --kill-shard
@@ -253,10 +257,30 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default: 64)",
     )
     sharding.add_argument(
+        "--standbys", type=int, default=0, metavar="N",
+        help="warm standby processes per shard (0 or 1): each primary "
+             "streams its WAL to a standby whose promotion replaces "
+             "cold restart-and-replay on worker death (default: 0; "
+             "needs --data-dir)",
+    )
+    sharding.add_argument(
+        "--health-interval", type=float, default=0.25, metavar="SECONDS",
+        help="base seconds between worker liveness polls; the monitor "
+             "backs off exponentially toward --health-backoff-max "
+             "while the tier stays healthy (default: 0.25)",
+    )
+    sharding.add_argument(
+        "--health-backoff-max", type=float, default=2.0, metavar="SECONDS",
+        help="ceiling for the backed-off health poll (default: 2.0)",
+    )
+    sharding.add_argument(
         "--shard-name", default=None, help=argparse.SUPPRESS,
     )
     sharding.add_argument(
         "--parent-pid", type=int, default=None, help=argparse.SUPPRESS,
+    )
+    sharding.add_argument(
+        "--standby-of", type=int, default=None, help=argparse.SUPPRESS,
     )
     durability = serve.add_argument_group(
         "durability",
@@ -413,6 +437,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="live session migrations issued under load in sharded "
              "mode; 0 disables (default: 1)",
     )
+    chaos.add_argument(
+        "--standbys", type=int, default=0, metavar="N",
+        help="warm standbys per shard (0 or 1) in sharded mode; kills "
+             "then exercise promotion, and the report gains a "
+             "recovery-time-objective comparison of promotion vs. "
+             "restart-and-replay (default: 0)",
+    )
     crashtest.add_argument(
         "--events-per-request", type=int, default=64, metavar="N",
         help="instruction events per apply request (default: 64)",
@@ -520,6 +551,26 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default: $REPRO_RESULTS_DB_DIR)",
     )
 
+    db = sub.add_parser(
+        "db",
+        help="maintain the fingerprint-keyed results database "
+             "(REPRO_RESULTS_DB_DIR)",
+    )
+    db.add_argument(
+        "action", choices=("gc",),
+        help="gc: evict entries recorded under stale code or "
+             "semantics versions (they would never be served again)",
+    )
+    db.add_argument(
+        "--results-dir", metavar="PATH", dest="results_dir",
+        help="results database directory "
+             "(default: $REPRO_RESULTS_DB_DIR)",
+    )
+    db.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+
     report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
     )
@@ -594,6 +645,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "cache":
         return _cache_command(args)
+
+    if args.command == "db":
+        return _db_command(args)
 
     if args.command == "report":
         from repro.harness.report import generate_report
@@ -832,10 +886,38 @@ def _serve_command(args) -> int:
     ):
         if value is not None and value < 1:
             return _fail(f"{flag} must be >= 1, got {value}")
+    if args.standbys not in (0, 1):
+        return _fail(f"--standbys must be 0 or 1, got {args.standbys}")
+    if args.health_interval <= 0:
+        return _fail(
+            f"--health-interval must be > 0, got {args.health_interval}"
+        )
+    if args.health_backoff_max < args.health_interval:
+        return _fail(
+            f"--health-backoff-max must be >= --health-interval, got "
+            f"{args.health_backoff_max} < {args.health_interval}"
+        )
+    if args.standbys and args.data_dir is None:
+        return _fail("--standbys requires --data-dir (a WAL to ship)")
+    if args.standby_of is not None:
+        if not 0 < args.standby_of <= 65535:
+            return _fail(
+                f"--standby-of must be a port in [1, 65535], "
+                f"got {args.standby_of}"
+            )
+        if args.data_dir is None:
+            return _fail("--standby-of requires --data-dir")
+        if args.shards > 1 or args.standbys:
+            return _fail(
+                "--standby-of runs a single standby process; it is "
+                "incompatible with --shards > 1 and --standbys"
+            )
     problem = _check_durability_flags(args)
     if problem:
         return _fail(problem)
-    if args.shards > 1:
+    if args.standby_of is not None:
+        return _serve_standby(args)
+    if args.shards > 1 or args.standbys:
         return _serve_router(args)
 
     extra = {}
@@ -932,6 +1014,9 @@ def _serve_router(args) -> int:
         shards=args.shards,
         data_dir=args.data_dir,
         replicas=args.ring_replicas,
+        standbys=args.standbys,
+        health_interval=args.health_interval,
+        health_backoff_max=args.health_backoff_max,
         max_queue=args.max_queue,
         max_batch=args.max_batch,
         max_sessions=args.max_sessions,
@@ -970,6 +1055,69 @@ def _serve_router(args) -> int:
         stats = asyncio.run(_serve())
     except ShardError as exc:
         return _fail(f"sharded tier failed to start: {exc}", code=1)
+    except OSError as exc:
+        return _fail(f"cannot bind {args.host}:{args.port}: {exc}")
+    except KeyboardInterrupt:
+        return 130
+    print(json.dumps(stats, indent=2))
+    print("# drained cleanly", file=sys.stderr)
+    return 0
+
+
+def _serve_standby(args) -> int:
+    """``serve --standby-of PORT``: run one warm standby process.
+
+    Spawned by the shard manager behind each primary; replicates the
+    primary's WAL into live session state and answers only admin ops
+    (``standby-status``/``promote``) until promoted, after which it is
+    a full primary on the port it has held all along.
+    """
+    import asyncio
+
+    from repro.serve.server import ServerConfig
+    from repro.serve.standby import StandbyServer
+
+    extra = {}
+    if args.seq_cache_size is not None:
+        extra["seq_cache_size"] = args.seq_cache_size
+    if args.seq_cache_bytes is not None:
+        extra["seq_cache_bytes"] = args.seq_cache_bytes
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        micro_batching=not args.no_batching,
+        request_timeout=args.request_timeout or None,
+        max_sessions=args.max_sessions,
+        max_session_bytes=args.max_session_bytes,
+        data_dir=args.data_dir,
+        fsync_interval=args.fsync_interval,
+        checkpoint_every=args.checkpoint_every,
+        wal_segment_bytes=args.wal_segment_bytes,
+        shard_name=args.shard_name,
+        parent_pid=args.parent_pid,
+        **extra,
+    )
+
+    async def _serve() -> dict:
+        server = StandbyServer(
+            config, primary_port=args.standby_of, primary_host=args.host
+        )
+        await server.start()
+        # Same parseable line as a primary: the manager learns the
+        # standby's port the same way it learns a worker's.
+        print(f"serving on {config.host}:{server.port}", flush=True)
+        logger = _start_stats_logger(server.stats, args.stats_interval)
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            if logger is not None:
+                logger.cancel()
+        return server.stats()
+
+    try:
+        stats = asyncio.run(_serve())
     except OSError as exc:
         return _fail(f"cannot bind {args.host}:{args.port}: {exc}")
     except KeyboardInterrupt:
@@ -1032,6 +1180,12 @@ def _crashtest_command(args) -> int:
             "--kill-shard/--kill-router need a sharded tier: "
             "pass --shards N with N > 1"
         )
+    if args.standbys not in (0, 1):
+        return _fail(f"--standbys must be 0 or 1, got {args.standbys}")
+    if args.standbys and args.shards == 1:
+        return _fail(
+            "--standbys needs a sharded tier: pass --shards N with N > 1"
+        )
     problem = _check_workload(args.workload) or _check_durability_flags(args)
     if problem:
         return _fail(problem)
@@ -1054,6 +1208,7 @@ def _crashtest_command(args) -> int:
                 kills=args.kills,
                 kill_router=args.kill_router,
                 migrations=args.migrations,
+                standbys=args.standbys,
                 events_per_request=args.events_per_request,
                 data_dir=args.data_dir,
                 fsync_interval=args.fsync_interval,
@@ -1100,6 +1255,9 @@ def _crashtest_command(args) -> int:
             "shards", "sessions", "placements", "router_kills",
             "worker_restarts", "migrations",
         ]
+        if args.standbys:
+            keys[4:4] = ["standbys", "promotions"]
+            keys.append("rto")
     summary = {key: report[key] for key in keys}
     print(json.dumps(summary, indent=2))
     if not report["equivalent"]:
@@ -1289,6 +1447,45 @@ def _cache_command(args) -> int:
             "results_db": results_stats() if results_root else None,
         }
     print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _db_command(args) -> int:
+    """The ``db`` subcommand: results-database maintenance.
+
+    ``gc`` evicts entries whose recorded code/semantics versions no
+    longer match the running package -- their fingerprints can never be
+    queried again, so they only waste disk.
+    """
+    import os
+    from pathlib import Path
+
+    from repro.harness import resultsdb
+
+    results_root = args.results_dir or os.environ.get(resultsdb.ENV_VAR)
+    if not results_root:
+        return _fail(
+            "no results database configured: set "
+            f"{resultsdb.ENV_VAR} or pass --results-dir PATH"
+        )
+    root = Path(results_root)
+    if root.exists() and not root.is_dir():
+        return _fail(f"results database path is not a directory: {root}")
+
+    report = resultsdb.ResultsDb(root).gc(dry_run=args.dry_run)
+    print(json.dumps(report, indent=2))
+    if args.dry_run:
+        print(
+            f"# dry run: {report['stale']} stale entr(y/ies) would be "
+            "evicted",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"# evicted {report['removed']} stale entr(y/ies), kept "
+            f"{report['kept']}",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -322,6 +322,88 @@ class ResultsDb:
             "process_stats": self.stats.as_dict(),
         }
 
+    def gc(self, dry_run: bool = False) -> dict:
+        """Evict entries recorded under stale code/semantics versions.
+
+        An entry is *stale* when its recorded ``meta.code_version``
+        differs from the current package version, or when any module it
+        recorded a semantics version for now registers a different one
+        (each entry's cell function module is imported first so its
+        registrations are live, exactly as :func:`cell_fingerprint`
+        does).  Stale entries can never be served again -- their
+        fingerprints stopped matching the moment a version bumped -- so
+        they are pure dead weight on disk.  Entries written without
+        version metadata (or whose metadata cannot be judged) are kept
+        and counted as ``unversioned``.
+
+        With ``dry_run`` nothing is deleted; the report's ``stale``
+        count shows what a real pass would evict.
+        """
+        report = {
+            "path": str(self.root),
+            "scanned": 0,
+            "stale": 0,
+            "removed": 0,
+            "kept": 0,
+            "unversioned": 0,
+            "dry_run": bool(dry_run),
+        }
+        if not self.root.is_dir():
+            return report
+        current_version = _package_version()
+        for path in sorted(self.root.glob(f"??/*{_SUFFIX}")):
+            report["scanned"] += 1
+            stale = False
+            unversioned = False
+            try:
+                record = json.loads(path.read_bytes().decode("utf-8"))
+                meta = record.get("meta") if isinstance(record, dict) else None
+                meta = meta if isinstance(meta, dict) else {}
+                recorded_code = meta.get("code_version")
+                recorded_semantics = meta.get("semantics")
+                if recorded_code is None:
+                    unversioned = True
+                elif recorded_code != current_version:
+                    stale = True
+                elif isinstance(recorded_semantics, dict):
+                    # Import the cell fn's module so the semantics it
+                    # registers are present before comparing.
+                    fn = meta.get("fn")
+                    module_name = (
+                        fn.partition(":")[0] if isinstance(fn, str) else ""
+                    )
+                    if module_name:
+                        importlib.import_module(module_name)
+                    current = semantics_versions()
+                    stale = any(
+                        current.get(name) != version
+                        for name, version in recorded_semantics.items()
+                    )
+                else:
+                    unversioned = True
+            except (OSError, ValueError, ImportError):
+                # Unreadable or unjudgeable: leave it for lookup()'s
+                # corruption path rather than guessing here.
+                unversioned = True
+            if unversioned:
+                report["unversioned"] += 1
+                report["kept"] += 1
+                continue
+            if not stale:
+                report["kept"] += 1
+                continue
+            report["stale"] += 1
+            if dry_run:
+                continue
+            try:
+                path.unlink()
+                report["removed"] += 1
+            except OSError:
+                report["kept"] += 1
+        if not dry_run and report["removed"]:
+            self._memo.clear()
+        return report
+
     def clear(self) -> int:
         """Delete every entry (and stale temp files); returns the count."""
         removed = 0

@@ -293,6 +293,154 @@ def run_crashtest(
 
 
 # ----------------------------------------------------------------------
+# Recovery-time objective: promotion vs. restart-and-replay
+# ----------------------------------------------------------------------
+
+
+def _synthetic_events(count: int) -> list[dict]:
+    """``count`` deterministic load events (no trace machinery needed:
+    RTO measures the serving tier, not prediction quality)."""
+    return [
+        {
+            "k": "l", "pc": 4096 + 8 * (i % 13),
+            "addr": 65536 + 16 * (i % 251), "size": 4, "value": i * 7,
+        }
+        for i in range(count)
+    ]
+
+
+async def _measure_one_rto(
+    mode: str,
+    events: list[dict],
+    events_per_request: int,
+    spec: dict,
+    fsync_interval: float,
+    health_interval: float,
+    health_backoff_max: float,
+    note: Callable[[str], None],
+) -> dict:
+    """One kill-to-first-served-response measurement on a fresh tier.
+
+    ``mode`` is ``"promote"`` (one warm standby per shard) or
+    ``"restart"`` (cold restart-and-replay).  Both run the same
+    two-shard tier with the same aggressive health-poll settings, so
+    the measured difference is the recovery path itself, not failure
+    detection.  ``checkpoint_every`` is set beyond the WAL length so
+    the restart mode replays every record -- the worst case the
+    standby exists to beat.
+    """
+    from repro.serve.ring import HashRing
+    from repro.serve.shardmgr import shard_name
+
+    shards = 2
+    victim = shard_name(0)
+    ring = HashRing([shard_name(i) for i in range(shards)])
+    session_id = next(
+        f"rto-{i:03d}" for i in itertools.count()
+        if ring.lookup(f"rto-{i:03d}") == victim
+    )
+    chunks = [
+        events[i:i + events_per_request]
+        for i in range(0, len(events), events_per_request)
+    ]
+    loop = asyncio.get_running_loop()
+    with tempfile.TemporaryDirectory(prefix="repro-rto-") as root:
+        router = _RouterProc(
+            root, shards, fsync_interval,
+            checkpoint_every=1_000_000_000,
+            standbys=1 if mode == "promote" else 0,
+            health_interval=health_interval,
+            health_backoff_max=health_backoff_max,
+        )
+        client = DurableClient("127.0.0.1", 0, session_id, spec)
+        try:
+            client.port = await loop.run_in_executor(None, router.start)
+            await client.connect()
+            for chunk in chunks:
+                await client.apply(chunk)
+            pid = router.kill_worker(victim)
+            killed_at = time.monotonic()
+            await client.apply(_synthetic_events(1))
+            rto = time.monotonic() - killed_at
+            note(
+                f"rto[{mode}] wal={len(events)} events "
+                f"({len(chunks) + 1} records): {rto * 1000:.0f} ms "
+                f"(killed pid {pid})"
+            )
+            return {
+                "mode": mode,
+                "events": len(events),
+                "wal_records": len(chunks) + 1,
+                "rto_seconds": rto,
+            }
+        finally:
+            await client.close()
+            router.terminate()
+
+
+def measure_rto(
+    lengths: tuple[int, ...] = (256, 1024, 4096),
+    predictor: str = "lvp",
+    entries: int = 64,
+    events_per_request: int = 32,
+    fsync_interval: float = 0.005,
+    health_interval: float = 0.05,
+    health_backoff_max: float = 0.05,
+    timeout: float = 600.0,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Measure kill-to-first-served-response at several WAL lengths.
+
+    For each length the same load is driven twice on fresh two-shard
+    tiers -- once with a warm standby (failover = promotion), once
+    without (failover = restart-and-replay) -- and the time from
+    SIGKILLing the session's owner shard to the next successfully
+    served ``apply`` is recorded.  The headline verdict,
+    ``promotion_below_restart_at_longest``, is the warm-standby
+    pitch: promotion cost stays flat while replay grows with the WAL.
+    """
+    note = progress or (lambda message: None)
+    spec = spec_from_name(predictor, entries)
+    lengths = tuple(sorted({int(n) for n in lengths if int(n) > 0}))
+    if not lengths:
+        raise ValueError("measure_rto needs at least one WAL length")
+
+    async def _campaign() -> list[dict]:
+        rows = []
+        for length in lengths:
+            events = _synthetic_events(length)
+            row: dict = {"events": length}
+            for mode in ("restart", "promote"):
+                sample = await asyncio.wait_for(
+                    _measure_one_rto(
+                        mode, events, events_per_request, spec,
+                        fsync_interval, health_interval,
+                        health_backoff_max, note,
+                    ),
+                    timeout,
+                )
+                row["wal_records"] = sample["wal_records"]
+                row[f"{mode}_rto_seconds"] = sample["rto_seconds"]
+            row["promotion_below_restart"] = (
+                row["promote_rto_seconds"] < row["restart_rto_seconds"]
+            )
+            rows.append(row)
+        return rows
+
+    rows = asyncio.run(_campaign())
+    return {
+        "predictor": predictor,
+        "entries": entries,
+        "events_per_request": events_per_request,
+        "health_interval": health_interval,
+        "lengths": rows,
+        "promotion_below_restart_at_longest": rows[-1][
+            "promotion_below_restart"
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
 # Sharded tier chaos testing
 # ----------------------------------------------------------------------
 
@@ -304,11 +452,16 @@ class _RouterProc:
     """
 
     def __init__(self, data_dir: str, shards: int, fsync_interval: float,
-                 checkpoint_every: int) -> None:
+                 checkpoint_every: int, standbys: int = 0,
+                 health_interval: float | None = None,
+                 health_backoff_max: float | None = None) -> None:
         self.data_dir = data_dir
         self.shards = shards
         self.fsync_interval = fsync_interval
         self.checkpoint_every = checkpoint_every
+        self.standbys = standbys
+        self.health_interval = health_interval
+        self.health_backoff_max = health_backoff_max
         self.proc: subprocess.Popen | None = None
         self.port: int | None = None
 
@@ -318,15 +471,24 @@ class _RouterProc:
         env["PYTHONPATH"] = os.pathsep.join(
             p for p in (src_root, env.get("PYTHONPATH")) if p
         )
+        command = [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--shards", str(self.shards),
+            "--data-dir", self.data_dir,
+            "--fsync-interval", str(self.fsync_interval),
+            "--checkpoint-every", str(self.checkpoint_every),
+        ]
+        if self.standbys:
+            command += ["--standbys", str(self.standbys)]
+        if self.health_interval is not None:
+            command += ["--health-interval", str(self.health_interval)]
+        if self.health_backoff_max is not None:
+            command += [
+                "--health-backoff-max", str(self.health_backoff_max)
+            ]
         self.proc = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro", "serve",
-                "--port", "0",
-                "--shards", str(self.shards),
-                "--data-dir", self.data_dir,
-                "--fsync-interval", str(self.fsync_interval),
-                "--checkpoint-every", str(self.checkpoint_every),
-            ],
+            command,
             stdout=subprocess.PIPE,
             stderr=subprocess.DEVNULL,
             env=env,
@@ -494,6 +656,7 @@ def run_sharded_crashtest(
     kills: int = 2,
     kill_router: bool = False,
     migrations: int = 1,
+    standbys: int = 0,
     events_per_request: int = 64,
     data_dir: str | None = None,
     fsync_interval: float = 0.005,
@@ -510,6 +673,11 @@ def run_sharded_crashtest(
     once, and ``migrations`` live migrations run concurrently with the
     load.  ``equivalent`` is True only when every session's acked
     responses and final snapshot match its reference.
+
+    ``standbys=1`` runs the same campaign with a warm standby behind
+    every shard -- worker kills then exercise promotion instead of
+    restart-and-replay -- and appends a recovery-time-objective
+    comparison (:func:`measure_rto`) to the report under ``"rto"``.
     """
     from repro.serve.ring import HashRing
     from repro.serve.shardmgr import shard_name
@@ -566,7 +734,13 @@ def run_sharded_crashtest(
         owned_tmp = tempfile.TemporaryDirectory(prefix="repro-shardtest-")
         data_dir = owned_tmp.name
 
-    router = _RouterProc(data_dir, shards, fsync_interval, checkpoint_every)
+    router = _RouterProc(
+        data_dir, shards, fsync_interval, checkpoint_every,
+        standbys=standbys,
+        # Bound failure detection so backed-off health polls never
+        # dominate the campaign (or the RTO comparison's fairness).
+        health_backoff_max=0.5,
+    )
     clients = [
         DurableClient("127.0.0.1", 0, sid, spec, workload=workloads[i])
         for i, sid in enumerate(session_ids)
@@ -650,6 +824,11 @@ def run_sharded_crashtest(
         "entries": entries,
         "shards": shards,
         "sessions": sessions,
+        "standbys": standbys,
+        "promotions": {
+            name: entry.get("promotions", 0)
+            for name, entry in tier.get("shards", {}).items()
+        },
         "placements": placements,
         "chunks": sum(len(chunks) for chunks in chunk_lists),
         "events": sum(
@@ -685,11 +864,28 @@ def run_sharded_crashtest(
         f"{len(outcome['migrations'])} migration(s), "
         f"{report['reconnects']} reconnects)"
     )
+    if standbys:
+        lengths = tuple(sorted({
+            max(events_per_request, length // 4),
+            max(events_per_request, length // 2),
+            length,
+        }))
+        note(f"measuring recovery-time objective at WAL lengths {lengths}")
+        report["rto"] = measure_rto(
+            lengths=lengths,
+            predictor=predictor,
+            entries=entries,
+            events_per_request=events_per_request,
+            fsync_interval=fsync_interval,
+            timeout=timeout,
+            progress=progress,
+        )
     return report
 
 
 __all__ = [
     "CrashTestError",
+    "measure_rto",
     "run_crashtest",
     "run_sharded_crashtest",
     "SERVER_START_TIMEOUT",

@@ -19,7 +19,12 @@ four lanes into a ``repro-bench/1`` payload (``BENCH_serve.json``):
   load through the sharded tier's router with 1 and S worker shard
   *processes*; their throughput ratio is the tier's scaling factor
   (bounded above by the machine's core count -- the ``environment``
-  section records ``cpus`` so the ratio is interpretable).
+  section records ``cpus`` so the ratio is interpretable);
+* ``serve_sharded1_durable`` / ``serve_standby`` -- one durable worker
+  shard behind the router, without and with a warm standby streaming
+  its WAL; their ratio is the replication tax on the serving path
+  (the standby polls ``wal-ship``, so the primary pays disk reads and
+  frame encoding on top of the WAL writes it was already doing).
 
 Each lane reports ``median_ns`` (the p50 request latency, which is
 what ``benchdiff`` tracks across commits) plus p95/p99 -- the tail is
@@ -333,19 +338,26 @@ async def _run_sharded_lane(
     shards: int,
     max_queue: int,
     max_batch: int,
+    standbys: int = 0,
+    data_dir: str | None = None,
 ) -> dict:
     """One benchmark lane through the sharded tier.
 
     The router runs in-process (same as the other lanes' servers); the
     worker shards are real subprocesses, which is the whole point --
     they are the processes that escape the GIL.  Durability stays off
-    so the sharded/unsharded ratio isolates compute distribution.
+    by default so the sharded/unsharded ratio isolates compute
+    distribution; passing ``data_dir`` turns the load durable
+    (seq-stamped, WAL-logged), and ``standbys=1`` additionally streams
+    each worker's WAL to a warm standby while the load runs.
     """
     from repro.serve.router import RouterConfig, ShardRouter
 
     router = ShardRouter(RouterConfig(
         port=0,
         shards=shards,
+        data_dir=data_dir,
+        standbys=standbys,
         max_queue=max_queue,
         max_batch=max_batch,
         max_sessions=sessions + 4,
@@ -358,8 +370,10 @@ async def _run_sharded_lane(
             workload=workload, sessions=sessions,
             events_per_request=events_per_request,
             pipeline_depth=pipeline_depth,
+            durable=data_dir is not None,
         )
         lane["shards"] = shards
+        lane["standbys"] = standbys
         stats = await router.stats()
         lane["router"] = {
             "counters": stats["router_counters"],
@@ -490,6 +504,27 @@ def run_benchmark(
                 events_per_request, pipeline_depth, shards,
                 max_queue, max_batch,
             )
+            # Replication tax: identical durable load through one
+            # worker shard, without and with a warm standby streaming
+            # its WAL off the same process.
+            note("serve_sharded1_durable")
+            with tempfile.TemporaryDirectory(
+                prefix="loadgen-durable-"
+            ) as tier_dir:
+                lanes["serve_sharded1_durable"] = await _run_sharded_lane(
+                    events, spec, workload_desc, sessions,
+                    events_per_request, pipeline_depth, 1,
+                    max_queue, max_batch, data_dir=tier_dir,
+                )
+            note("serve_standby")
+            with tempfile.TemporaryDirectory(
+                prefix="loadgen-standby-"
+            ) as tier_dir:
+                lanes["serve_standby"] = await _run_sharded_lane(
+                    events, spec, workload_desc, sessions,
+                    events_per_request, pipeline_depth, 1,
+                    max_queue, max_batch, standbys=1, data_dir=tier_dir,
+                )
         return lanes
 
     benchmarks = asyncio.run(_all_lanes())
@@ -568,6 +603,22 @@ def run_benchmark(
                 round(concurrent["throughput_eps"]
                       / sharded1["throughput_eps"], 3)
                 if sharded1["throughput_eps"] else None
+            ),
+        })
+        sharded1_durable = benchmarks["serve_sharded1_durable"]
+        standby = benchmarks["serve_standby"]
+        payload["comparison"].update({
+            # serve_sharded1_durable vs serve_standby: same durable
+            # load, plus a standby polling wal-ship -- >1 means the
+            # replication stream costs serving throughput.
+            "standby_shipping_overhead_throughput": (
+                round(sharded1_durable["throughput_eps"]
+                      / standby["throughput_eps"], 3)
+                if standby["throughput_eps"] else None
+            ),
+            "standby_shipping_p50_overhead": (
+                round(standby["p50_ns"] / sharded1_durable["p50_ns"], 3)
+                if sharded1_durable["p50_ns"] else None
             ),
         })
     return payload

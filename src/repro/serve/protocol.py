@@ -144,11 +144,16 @@ async def write_frame(
 #: migrated-in one).
 OPS = (
     "open", "close", "apply", "predict", "train", "stats", "ping",
-    "release", "adopt",
+    "release", "adopt", "wal-ship",
 )
 
 #: Extra operations only the sharded tier's router answers itself.
 ROUTER_OPS = ("shards", "migrate")
+
+#: Extra operations only a warm standby answers (``wal-ship`` is the
+#: primary side of the same replication stream; see
+#: :mod:`repro.serve.standby`).
+STANDBY_OPS = ("standby-status", "promote")
 
 #: Session-mutating operations: WAL-logged on durable sessions and
 #: subject to the ``seq`` exactly-once contract (``open`` is durably
@@ -206,6 +211,7 @@ __all__ = [
     "REQUEST",
     "RESPONSE",
     "ROUTER_OPS",
+    "STANDBY_OPS",
     "decode_body",
     "encode_frame",
     "error_response",

@@ -71,8 +71,17 @@ class RouterConfig:
     data_dir: str | None = None
     #: Virtual points per shard on the consistent-hash ring.
     replicas: int = DEFAULT_REPLICAS
-    #: Seconds between worker liveness polls (process exit checks).
+    #: Warm standbys per shard (0 or 1).  With a standby, failover
+    #: promotes it (port swap + bounded catch-up) instead of cold
+    #: restart-and-replay; see :mod:`repro.serve.standby`.
+    standbys: int = 0
+    #: *Base* seconds between worker liveness polls.  The monitor backs
+    #: off exponentially (deterministic jitter) toward
+    #: ``health_backoff_max`` while the tier stays healthy, and any
+    #: failure snaps it back to this base.
     health_interval: float = 0.25
+    #: Ceiling for the backed-off health poll, seconds.
+    health_backoff_max: float = 2.0
     #: Seconds between worker ping probes (hang detection); 0 disables.
     ping_interval: float = 5.0
     #: Seconds a health ping may take before the worker counts as hung.
@@ -97,6 +106,8 @@ class RouterCounters:
     protocol_errors: int = 0
     routing_errors: int = 0
     failovers: int = 0
+    promotions: int = 0
+    standby_respawns: int = 0
     migrations: int = 0
     dropped_connections: int = 0
 
@@ -108,6 +119,8 @@ class RouterCounters:
             "protocol_errors": self.protocol_errors,
             "routing_errors": self.routing_errors,
             "failovers": self.failovers,
+            "promotions": self.promotions,
+            "standby_respawns": self.standby_respawns,
             "migrations": self.migrations,
             "dropped_connections": self.dropped_connections,
         }
@@ -153,6 +166,7 @@ class ShardRouter:
             fsync_interval=self.config.fsync_interval,
             checkpoint_every=self.config.checkpoint_every,
             wal_segment_bytes=self.config.wal_segment_bytes,
+            standbys=self.config.standbys,
         )
         self.ring = HashRing(
             list(self.manager.shards), replicas=self.config.replicas
@@ -169,6 +183,7 @@ class ShardRouter:
         self._server: asyncio.AbstractServer | None = None
         self._monitor: asyncio.Task | None = None
         self._restarting: set[str] = set()
+        self._standby_respawning: set[str] = set()
         self._draining = False
         self._shutdown = asyncio.Event()
         self.port: int | None = None
@@ -511,12 +526,39 @@ class ShardRouter:
     # ------------------------------------------------------------------
 
     async def _run_monitor(self) -> None:
+        """The health poll loop: adaptive cadence, not a fixed sleep.
+
+        Healthy ticks stretch the poll exponentially from
+        ``health_interval`` toward ``health_backoff_max`` (deterministic
+        jitter -- see :func:`~repro.serve.shardmgr.poll_backoff`); any
+        dead process or in-flight failover snaps the cadence back to
+        the base so recovery is detected promptly while it matters.
+        """
+        from repro.serve.shardmgr import poll_backoff
+
         last_ping = time.monotonic()
+        streak = 0
+        backoff_key = str(self.config.data_dir or id(self))
         while True:
-            await asyncio.sleep(self.config.health_interval)
-            for name in self.manager.dead_shards():
+            await asyncio.sleep(poll_backoff(
+                self.config.health_interval,
+                self.config.health_backoff_max,
+                streak, key=backoff_key,
+            ))
+            dead = self.manager.dead_shards()
+            dead_standbys = self.manager.dead_standbys()
+            if (dead or dead_standbys or self._restarting
+                    or self._standby_respawning):
+                streak = 0
+            else:
+                streak += 1
+            for name in dead:
                 if name not in self._restarting:
                     asyncio.create_task(self._failover(name))
+            for name in dead_standbys:
+                if (name not in self._restarting
+                        and name not in self._standby_respawning):
+                    asyncio.create_task(self._respawn_standby(name))
             if (self.config.ping_interval > 0
                     and time.monotonic() - last_ping
                     >= self.config.ping_interval):
@@ -526,11 +568,15 @@ class ShardRouter:
                         asyncio.create_task(self._probe(name))
 
     async def _failover(self, name: str) -> None:
-        """Restart one dead worker and cut over to the new process.
+        """Cut one dead shard over to a new process.
 
-        The replacement replays the shard's WAL + checkpoints before
-        printing its port, so by the time clients can reach it every
-        acknowledged request is already reapplied.
+        With a live standby the cutover is a *promotion* -- fence the
+        corpse, swap in the standby (already holding replayed session
+        state; it only catches up on the un-shipped WAL tail), spawn a
+        fresh standby behind it.  Without one (or if promotion fails
+        before the swap), fall back to cold restart-and-replay on the
+        shard's data dir.  Either way clients ride the existing
+        retryable ``shard-unavailable`` path while the port changes.
         """
         self._restarting.add(name)
         try:
@@ -539,6 +585,15 @@ class ShardRouter:
             if admin is not None:
                 await admin.close()
             loop = asyncio.get_running_loop()
+            if self.manager.standbys.get(name) is not None:
+                try:
+                    await loop.run_in_executor(
+                        None, self.manager.promote, name
+                    )
+                    self.counters.promotions += 1
+                    return
+                except Exception:
+                    pass  # no usable standby; cold restart below
             try:
                 await loop.run_in_executor(
                     None, self.manager.restart, name
@@ -549,6 +604,21 @@ class ShardRouter:
                 return
         finally:
             self._restarting.discard(name)
+
+    async def _respawn_standby(self, name: str) -> None:
+        """Replace one dead standby (streams afresh from its primary)."""
+        self._standby_respawning.add(name)
+        try:
+            loop = asyncio.get_running_loop()
+            try:
+                await loop.run_in_executor(
+                    None, self.manager.restart_standby, name
+                )
+                self.counters.standby_respawns += 1
+            except Exception:
+                return  # next tick retries (e.g. primary mid-failover)
+        finally:
+            self._standby_respawning.discard(name)
 
     async def _probe(self, name: str) -> None:
         """Ping one worker; a hung (unresponsive) one is restarted."""
@@ -727,8 +797,18 @@ class ShardRouter:
                     "port": shard.port,
                     "pid": shard.pid,
                     "restarts": shard.restarts,
+                    "promotions": shard.promotions,
                 }
                 for name, shard in self.manager.shards.items()
+            },
+            "standbys": {
+                name: {
+                    "alive": standby.alive(),
+                    "port": standby.port,
+                    "pid": standby.pid,
+                    "restarts": standby.restarts,
+                }
+                for name, standby in self.manager.standbys.items()
             },
         }
 

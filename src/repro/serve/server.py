@@ -484,6 +484,25 @@ class PredictionServer:
             return self.sessions.release(body.get("session"))
         if op == "adopt":
             return self.sessions.adopt(body.get("session"))
+        if op == "wal-ship":
+            # Replication: a warm standby pulling WAL bytes past its
+            # cursors (see repro.serve.standby).  Appends are flushed
+            # before they are acknowledged, so disk reads here see
+            # every acked record.
+            if self.durability is None:
+                raise SessionError(
+                    "this server has no --data-dir; there is no WAL "
+                    "to ship",
+                    code="durability-disabled",
+                )
+            from repro.serve.standby import DEFAULT_SHIP_BYTES, ship_wal
+            max_bytes = body.get("max_bytes", DEFAULT_SHIP_BYTES)
+            if not isinstance(max_bytes, int) or max_bytes <= 0:
+                max_bytes = DEFAULT_SHIP_BYTES
+            return ship_wal(
+                self.durability.sessions_root, body.get("cursors"),
+                max_bytes,
+            )
         raise SessionError(
             f"unknown op {op!r}; valid ops: " + ", ".join(protocol.OPS),
             code="unknown-op",

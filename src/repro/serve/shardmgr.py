@@ -24,8 +24,10 @@ worker pids and ports.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import shutil
 import signal
 import subprocess
 import sys
@@ -50,6 +52,27 @@ def shard_name(index: int) -> str:
     return f"shard-{index:02d}"
 
 
+def poll_backoff(
+    base: float, cap: float, streak: int, key: str = ""
+) -> float:
+    """The health monitor's next sleep, seconds.
+
+    Exponential in the *healthy* streak -- a tier that has been fine
+    for many consecutive probes is polled lazily, any failure resets to
+    ``base`` -- and jittered so a fleet of routers sharing a machine
+    never probes in lockstep.  The jitter is **deterministic**, hashed
+    from ``(key, streak)`` exactly like the resilient harness derives
+    retry jitter from ``(cell, attempt)``: reproducible runs stay
+    reproducible, byte for byte.
+    """
+    base = max(0.001, base)
+    cap = max(base, cap)
+    interval = min(cap, base * (2 ** min(max(0, streak), 20)))
+    digest = hashlib.sha256(f"{key}:{streak}".encode("utf-8")).digest()
+    jitter = int.from_bytes(digest[:4], "little") / 2 ** 32
+    return interval * (1.0 + 0.25 * jitter)
+
+
 class WorkerShard:
     """One worker subprocess: its process handle, port, and counters."""
 
@@ -59,6 +82,7 @@ class WorkerShard:
         self.proc: subprocess.Popen | None = None
         self.port: int | None = None
         self.restarts = 0
+        self.promotions = 0
 
     @property
     def pid(self) -> int | None:
@@ -82,9 +106,16 @@ class ShardManager:
         fsync_interval: float = 0.02,
         checkpoint_every: int = 2000,
         wal_segment_bytes: int = 1 << 20,
+        standbys: int = 0,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if standbys < 0 or standbys > 1:
+            raise ValueError(
+                f"standbys must be 0 or 1 per shard, got {standbys}"
+            )
+        if standbys and data_dir is None:
+            raise ValueError("standbys require a data_dir (WAL to ship)")
         self.host = host
         self.root = Path(data_dir) if data_dir is not None else None
         self.max_queue = max_queue
@@ -93,11 +124,20 @@ class ShardManager:
         self.fsync_interval = fsync_interval
         self.checkpoint_every = checkpoint_every
         self.wal_segment_bytes = wal_segment_bytes
+        self.standby_count = standbys
         self.shards: dict[str, WorkerShard] = {}
+        #: Warm standby per shard, keyed by the *shard* name.  Primary
+        #: and standby alternate between the two per-shard data dirs as
+        #: promotions swap their roles.
+        self.standbys: dict[str, WorkerShard] = {}
         for index in range(shards):
             name = shard_name(index)
             directory = self.root / name if self.root is not None else None
             self.shards[name] = WorkerShard(name, directory)
+            if standbys:
+                self.standbys[name] = WorkerShard(
+                    f"{name}-standby", self.root / f"{name}-standby"
+                )
         #: Extra JSON-serializable keys merged into the state file on
         #: every write (the router parks its migration overrides here,
         #: so restarts triggered by *any* code path persist them).
@@ -117,6 +157,8 @@ class ShardManager:
         self.fence_stale_workers()
         for shard in self.shards.values():
             self._spawn(shard)
+        for name in self.standbys:
+            self._spawn_standby(name, fresh=True)
         self.write_state()
 
     def restart(self, name: str) -> int:
@@ -135,6 +177,65 @@ class ShardManager:
         self.write_state()
         return shard.port
 
+    def promote(self, name: str) -> int:
+        """Swap one shard's warm standby in as primary; returns the port.
+
+        The promotion state machine, in fencing order:
+
+        1. SIGKILL the old primary if anything is left of it -- there
+           must never be two writers on one shard's WAL lineage;
+        2. ask the standby (synchronously) to ``promote``, pointing it
+           at the dead primary's data dir so it replays the un-shipped
+           tail before serving;
+        3. swap the shard's port/process/data-dir to the standby's --
+           from here the router opens upstreams to the promoted
+           process;
+        4. recycle the old primary's dir as the home of a *fresh*
+           standby behind the new primary.
+
+        Raises :class:`ShardError` when the standby is missing or the
+        promotion RPC fails; the caller falls back to
+        :meth:`restart` (cold restart-and-replay), which is always
+        safe because step 3 never ran.
+        """
+        from repro.serve.standby import AdminError, sync_request
+
+        shard = self.shards[name]
+        standby = self.standbys.get(name)
+        if standby is None or not standby.alive() or standby.port is None:
+            raise ShardError(f"shard {name} has no live standby")
+        if shard.proc is not None and shard.proc.poll() is None:
+            shard.proc.send_signal(signal.SIGKILL)
+            shard.proc.wait()
+        old_dir = shard.data_dir
+        try:
+            sync_request(
+                standby.port, "promote",
+                host=self.host,
+                timeout=WORKER_START_TIMEOUT,
+                source=str(old_dir),
+            )
+        except (AdminError, ConnectionError, OSError) as exc:
+            # The standby is unusable; put it down so the monitor
+            # respawns a clean one, and let the caller cold-restart.
+            if standby.alive():
+                standby.proc.send_signal(signal.SIGKILL)
+                standby.proc.wait()
+            raise ShardError(
+                f"standby promotion for {name} failed: {exc}"
+            ) from exc
+        shard.proc = standby.proc
+        shard.port = standby.port
+        shard.data_dir = standby.data_dir
+        shard.promotions += 1
+        # The old primary's dir is recycled as the home of the *next*
+        # standby, but spawning it here would add a whole process
+        # startup to the recovery critical path -- the placeholder is
+        # left unspawned for the monitor to bring up in the background.
+        self.standbys[name] = WorkerShard(f"{name}-standby", old_dir)
+        self.write_state()
+        return shard.port
+
     def kill(self, name: str) -> None:
         """SIGKILL one worker (the chaos harness's entry point)."""
         shard = self.shards[name]
@@ -142,13 +243,21 @@ class ShardManager:
             shard.proc.send_signal(signal.SIGKILL)
             shard.proc.wait()
 
+    def kill_standby(self, name: str) -> None:
+        """SIGKILL one shard's standby (chaos: replica death)."""
+        standby = self.standbys.get(name)
+        if standby is not None and standby.alive():
+            standby.proc.send_signal(signal.SIGKILL)
+            standby.proc.wait()
+
     def stop_all(self, timeout: float = 10.0) -> None:
         """Graceful tier shutdown: SIGTERM every worker, then reap."""
-        for shard in self.shards.values():
+        procs = list(self.shards.values()) + list(self.standbys.values())
+        for shard in procs:
             if shard.alive():
                 shard.proc.terminate()
         deadline = time.monotonic() + timeout
-        for shard in self.shards.values():
+        for shard in procs:
             if shard.proc is None:
                 continue
             remaining = max(0.1, deadline - time.monotonic())
@@ -164,6 +273,30 @@ class ShardManager:
             name for name, shard in self.shards.items()
             if shard.proc is not None and shard.proc.poll() is not None
         ]
+
+    def dead_standbys(self) -> list[str]:
+        """Shard names whose standby has exited or was never spawned.
+
+        A just-promoted shard leaves an unspawned placeholder standby
+        (``proc is None``) behind on purpose -- reporting it here is
+        how the monitor knows to bring the replacement up off the
+        recovery critical path.
+        """
+        return [
+            name for name, standby in self.standbys.items()
+            if standby.proc is None or standby.proc.poll() is not None
+        ]
+
+    def restart_standby(self, name: str) -> int:
+        """Respawn one shard's standby from scratch (fresh stream)."""
+        standby = self.standbys[name]
+        if standby.proc is not None and standby.proc.poll() is None:
+            standby.proc.send_signal(signal.SIGKILL)
+            standby.proc.wait()
+        standby.restarts += 1
+        self._spawn_standby(name, fresh=True)
+        self.write_state()
+        return standby.port
 
     # ------------------------------------------------------------------
     # Spawning
@@ -201,6 +334,51 @@ class ShardManager:
         )
         shard.port = self._read_port(shard)
 
+    def _spawn_standby(self, name: str, fresh: bool = False) -> None:
+        """Launch one shard's standby, streaming from its primary.
+
+        ``fresh`` wipes the standby's data dir first: a standby's local
+        WAL copy is only meaningful relative to its in-memory cursor
+        state, which dies with the process, so every (re)spawn streams
+        from ``(1, 0)`` -- in the background, off the serving path.
+        """
+        primary = self.shards[name]
+        if primary.port is None:
+            raise ShardError(
+                f"cannot spawn standby for {name}: primary has no port"
+            )
+        standby = self.standbys[name]
+        if fresh and standby.data_dir is not None:
+            shutil.rmtree(standby.data_dir, ignore_errors=True)
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        command = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", self.host,
+            "--port", "0",
+            "--max-queue", str(self.max_queue),
+            "--max-batch", str(self.max_batch),
+            "--max-sessions", str(self.max_sessions),
+            "--shard-name", standby.name,
+            "--parent-pid", str(os.getpid()),
+            "--standby-of", str(primary.port),
+            "--data-dir", str(standby.data_dir),
+            "--fsync-interval", str(self.fsync_interval),
+            "--checkpoint-every", str(self.checkpoint_every),
+            "--wal-segment-bytes", str(self.wal_segment_bytes),
+        ]
+        standby.proc = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        standby.port = self._read_port(standby)
+
     def _read_port(self, shard: WorkerShard) -> int:
         """Block until the worker prints ``serving on host:port``."""
         deadline = time.monotonic() + WORKER_START_TIMEOUT
@@ -237,8 +415,21 @@ class ShardManager:
                     "pid": shard.pid,
                     "port": shard.port,
                     "restarts": shard.restarts,
+                    "promotions": shard.promotions,
+                    "data_dir": str(shard.data_dir)
+                    if shard.data_dir is not None else None,
                 }
                 for name, shard in self.shards.items()
+            },
+            "standbys": {
+                name: {
+                    "pid": standby.pid,
+                    "port": standby.port,
+                    "restarts": standby.restarts,
+                    "data_dir": str(standby.data_dir)
+                    if standby.data_dir is not None else None,
+                }
+                for name, standby in self.standbys.items()
             },
         }
         for key, value in self.extra.items():
@@ -264,8 +455,10 @@ class ShardManager:
             state = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return []
+        recorded = list((state.get("workers") or {}).values())
+        recorded += list((state.get("standbys") or {}).values())
         fenced = []
-        for info in (state.get("workers") or {}).values():
+        for info in recorded:
             pid = info.get("pid") if isinstance(info, dict) else None
             if not isinstance(pid, int) or pid <= 0:
                 continue
@@ -320,6 +513,7 @@ __all__ = [
     "ShardError",
     "ShardManager",
     "WorkerShard",
+    "poll_backoff",
     "read_state",
     "shard_name",
 ]

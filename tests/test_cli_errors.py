@@ -544,6 +544,52 @@ class TestShardingFlags:
         assert "--shards must be >= 0" in capsys.readouterr().err
 
 
+class TestStandbyFlags:
+    """Warm-standby flag validation across serve/crashtest."""
+
+    def test_serve_bad_standbys(self, capsys):
+        assert main(["serve", "--standbys", "2"]) == 2
+        assert "--standbys must be 0 or 1" in capsys.readouterr().err
+
+    def test_serve_standbys_require_data_dir(self, capsys):
+        assert main(["serve", "--shards", "2", "--standbys", "1"]) == 2
+        assert "--standbys requires --data-dir" in capsys.readouterr().err
+
+    def test_serve_bad_health_interval(self, capsys):
+        assert main(["serve", "--health-interval", "0"]) == 2
+        assert "--health-interval must be > 0" in capsys.readouterr().err
+
+    def test_serve_backoff_below_interval(self, capsys):
+        assert main(["serve", "--health-interval", "1.0",
+                     "--health-backoff-max", "0.5"]) == 2
+        assert "--health-backoff-max must be >= --health-interval" in \
+            capsys.readouterr().err
+
+    def test_standby_of_bad_port(self, tmp_path, capsys):
+        assert main(["serve", "--standby-of", "0",
+                     "--data-dir", str(tmp_path)]) == 2
+        assert "port in [1, 65535]" in capsys.readouterr().err
+
+    def test_standby_of_requires_data_dir(self, capsys):
+        assert main(["serve", "--standby-of", "9000"]) == 2
+        assert "--standby-of requires --data-dir" in \
+            capsys.readouterr().err
+
+    def test_standby_of_excludes_sharding(self, tmp_path, capsys):
+        assert main(["serve", "--standby-of", "9000", "--shards", "3",
+                     "--data-dir", str(tmp_path)]) == 2
+        assert "incompatible" in capsys.readouterr().err
+
+    def test_crashtest_bad_standbys(self, capsys):
+        assert main(["crashtest", "--shards", "2",
+                     "--standbys", "3"]) == 2
+        assert "--standbys must be 0 or 1" in capsys.readouterr().err
+
+    def test_crashtest_standbys_need_a_tier(self, capsys):
+        assert main(["crashtest", "--standbys", "1"]) == 2
+        assert "pass --shards N with N > 1" in capsys.readouterr().err
+
+
 CLI_DRIVER = """\
 import sys
 from repro import cli

@@ -1,0 +1,147 @@
+"""Results-database garbage collection: ``repro-lvp db gc``.
+
+An entry recorded under an older package version (or an older
+semantics registration) can never be served again -- its fingerprint
+stopped matching the moment the version bumped -- so ``gc`` evicts it.
+Entries without version metadata are kept (``unversioned``): eviction
+must never guess.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness import resultsdb
+from repro.harness.resultsdb import ResultsDb, register_semantics
+
+
+@pytest.fixture
+def clean_registry(monkeypatch):
+    """Isolate the process-global semantics registry per test."""
+    monkeypatch.setattr(resultsdb, "_SEMANTICS", dict(resultsdb._SEMANTICS))
+
+
+def fingerprint(tag: str) -> str:
+    """A syntactically valid (64-hex) fingerprint, distinct per tag."""
+    import hashlib
+
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+def store(db: ResultsDb, tag: str, meta: dict | None) -> str:
+    fp = fingerprint(tag)
+    assert db.store(fp, {"tag": tag}, meta=meta)
+    return fp
+
+
+def current_meta(**overrides) -> dict:
+    meta = {
+        "fn": "_cells:echo_cell",
+        "code_version": resultsdb._package_version(),
+        "semantics": resultsdb.semantics_versions(),
+    }
+    meta.update(overrides)
+    return meta
+
+
+class TestGc:
+    def test_stale_code_version_evicted(self, tmp_path, clean_registry):
+        db = ResultsDb(tmp_path / "db")
+        keep = store(db, "keep", current_meta())
+        stale = store(db, "stale", current_meta(code_version="0.0-old"))
+        report = db.gc()
+        assert report["scanned"] == 2
+        assert report["stale"] == 1 and report["removed"] == 1
+        assert report["kept"] == 1
+        assert db.entry_path(keep).exists()
+        assert not db.entry_path(stale).exists()
+
+    def test_stale_semantics_evicted(self, tmp_path, clean_registry):
+        register_semantics("gcmod", 5)
+        db = ResultsDb(tmp_path / "db")
+        keep = store(db, "match", current_meta())
+        stale = store(
+            db, "mismatch",
+            current_meta(semantics={"gcmod": 4}),
+        )
+        report = db.gc()
+        assert report["stale"] == 1 and report["removed"] == 1
+        assert db.entry_path(keep).exists()
+        assert not db.entry_path(stale).exists()
+
+    def test_unversioned_entries_kept(self, tmp_path, clean_registry):
+        db = ResultsDb(tmp_path / "db")
+        bare = store(db, "bare", None)
+        nosem = store(db, "nosem", {"code_version":
+                                    resultsdb._package_version()})
+        report = db.gc()
+        assert report["unversioned"] == 2
+        assert report["stale"] == 0 and report["removed"] == 0
+        assert db.entry_path(bare).exists()
+        assert db.entry_path(nosem).exists()
+
+    def test_dry_run_deletes_nothing(self, tmp_path, clean_registry):
+        db = ResultsDb(tmp_path / "db")
+        stale = store(db, "stale", current_meta(code_version="0.0-old"))
+        report = db.gc(dry_run=True)
+        assert report["dry_run"] is True
+        assert report["stale"] == 1 and report["removed"] == 0
+        assert db.entry_path(stale).exists()
+        # A real pass after the rehearsal evicts it.
+        assert db.gc()["removed"] == 1
+        assert not db.entry_path(stale).exists()
+
+    def test_gc_clears_memo_after_eviction(self, tmp_path, clean_registry):
+        db = ResultsDb(tmp_path / "db")
+        stale = store(db, "stale", current_meta(code_version="0.0-old"))
+        hit, _ = db.lookup(stale)
+        assert hit  # memoized
+        db.gc()
+        hit, _ = db.lookup(stale)
+        assert not hit
+
+    def test_empty_database(self, tmp_path):
+        report = ResultsDb(tmp_path / "nothing").gc()
+        assert report["scanned"] == 0 and report["removed"] == 0
+
+
+class TestDbCli:
+    def test_gc_via_cli(self, tmp_path, monkeypatch, capsys,
+                        clean_registry):
+        root = tmp_path / "db"
+        db = ResultsDb(root)
+        store(db, "stale", current_meta(code_version="0.0-old"))
+        monkeypatch.delenv(resultsdb.ENV_VAR, raising=False)
+        assert main(["db", "gc", "--results-dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["removed"] == 1
+
+    def test_gc_honours_env_var(self, tmp_path, monkeypatch, capsys,
+                                clean_registry):
+        root = tmp_path / "db"
+        store(ResultsDb(root), "stale",
+              current_meta(code_version="0.0-old"))
+        monkeypatch.setenv(resultsdb.ENV_VAR, str(root))
+        assert main(["db", "gc", "--dry-run"]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["stale"] == 1
+        assert "dry run" in captured.err
+
+    def test_no_database_configured_is_exit_2(self, monkeypatch, capsys):
+        monkeypatch.delenv(resultsdb.ENV_VAR, raising=False)
+        assert main(["db", "gc"]) == 2
+        assert "no results database configured" in capsys.readouterr().err
+
+    def test_path_not_a_directory_is_exit_2(self, tmp_path, monkeypatch,
+                                            capsys):
+        bogus = tmp_path / "file"
+        bogus.write_text("not a dir")
+        monkeypatch.delenv(resultsdb.ENV_VAR, raising=False)
+        assert main(["db", "gc", "--results-dir", str(bogus)]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_unknown_action_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["db", "defrag"])
+        assert err.value.code == 2

@@ -140,6 +140,7 @@ class TestBenchmarkEndToEnd:
             "serve_single", "serve_durable", "serve_concurrent4",
             "serve_concurrent4_unbatched",
             "serve_sharded1", "serve_sharded2",  # quick clamps shards to 2
+            "serve_sharded1_durable", "serve_standby",
         }
         for lane in lanes.values():
             assert lane["requests_ok"] > 0
@@ -184,6 +185,13 @@ class TestBenchmarkEndToEnd:
         # workers to spread across.
         spread = lanes["serve_sharded2"]["router"]["shard_sessions"]
         assert sum(spread.values()) == 4
+        # The standby lane is the durable single-worker tier plus WAL
+        # shipping; its baseline lane is the same tier without the
+        # standby, so the pair isolates the replication price.
+        baseline = lanes["serve_sharded1_durable"]
+        standby = lanes["serve_standby"]
+        assert baseline["durable"] is True and baseline["standbys"] == 0
+        assert standby["durable"] is True and standby["standbys"] == 1
         # environment.cpus makes the scaling ratio interpretable: on a
         # single-core runner sharding cannot (and must not pretend to)
         # beat one worker.
@@ -196,3 +204,5 @@ class TestBenchmarkEndToEnd:
         assert comparison["sharded_scaling_throughput"] > 0
         assert comparison["sharded_scaling_p99_ratio"] > 0
         assert comparison["router_overhead_throughput"] > 0
+        assert comparison["standby_shipping_overhead_throughput"] > 0
+        assert comparison["standby_shipping_p50_overhead"] > 0
